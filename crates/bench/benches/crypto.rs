@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks for the cryptographic substrate: the
+//! primitives on NEXUS's hot paths (chunk encryption, metadata sealing,
+//! keywrap, identity operations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nexus_crypto::ed25519::SigningKey;
+use nexus_crypto::gcm::AesGcm;
+use nexus_crypto::gcm_siv::AesGcmSiv;
+use nexus_crypto::sha2::Sha256;
+use nexus_crypto::x25519;
+
+fn bench_aes_gcm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aes-gcm");
+    let gcm = AesGcm::new_128(&[7u8; 16]);
+    for size in [1024usize, 64 * 1024, 1024 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("seal", size), &data, |b, data| {
+            b.iter(|| gcm.seal(&[1u8; 12], b"aad", data));
+        });
+        let sealed = gcm.seal(&[1u8; 12], b"aad", &data);
+        group.bench_with_input(BenchmarkId::new("open", size), &sealed, |b, sealed| {
+            b.iter(|| gcm.open(&[1u8; 12], b"aad", sealed).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_keywrap(c: &mut Criterion) {
+    let siv = AesGcmSiv::new_256(&[3u8; 32]);
+    c.bench_function("gcm-siv keywrap 16B", |b| {
+        b.iter(|| siv.seal(&[0u8; 12], b"preamble", &[0x42u8; 16]));
+    });
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 4096, 1024 * 1024] {
+        let data = vec![0x17u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| Sha256::digest(data));
+        });
+    }
+    group.finish();
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let key = SigningKey::from_seed(&[9u8; 32]);
+    let msg = vec![0u8; 256];
+    let sig = key.sign(&msg);
+    let pk = key.verifying_key();
+    c.bench_function("ed25519 sign 256B", |b| b.iter(|| key.sign(&msg)));
+    c.bench_function("ed25519 verify 256B", |b| b.iter(|| pk.verify(&msg, &sig).unwrap()));
+}
+
+fn bench_x25519(c: &mut Criterion) {
+    let secret = [0x42u8; 32];
+    let peer = x25519::x25519_public_key(&[0x24u8; 32]);
+    c.bench_function("x25519 shared secret", |b| {
+        b.iter(|| x25519::x25519(&secret, &peer));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_aes_gcm,
+    bench_keywrap,
+    bench_sha256,
+    bench_signatures,
+    bench_x25519
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks for the SGX-simulator and metadata layers:
+//! ecall transition overhead, sealing, quoting, and the three-section
+//! metadata format — the per-operation fixed costs behind the paper's
+//! "enclave runtime" column.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nexus_core::metadata::crypto::{open_object, seal_object, ObjectKind, Preamble};
+use nexus_core::NexusUuid;
+use nexus_sgx::{Enclave, EnclaveImage, Platform, SealPolicy};
+
+fn bench_ecall_transition(c: &mut Criterion) {
+    let platform = Platform::seeded(1);
+    let enclave = Enclave::create(&platform, &EnclaveImage::new(b"bench".to_vec()), 0u64);
+    c.bench_function("ecall transition (empty)", |b| {
+        b.iter(|| enclave.ecall(|state, _| *state));
+    });
+}
+
+fn bench_sealing(c: &mut Criterion) {
+    let platform = Platform::seeded(1);
+    let enclave = Enclave::create(&platform, &EnclaveImage::new(b"bench".to_vec()), ());
+    c.bench_function("sgx seal 48B (rootkey)", |b| {
+        b.iter(|| enclave.ecall(|_, env| env.seal(SealPolicy::MrEnclave, &[0u8; 48], b"aad")));
+    });
+    let sealed = enclave.ecall(|_, env| env.seal(SealPolicy::MrEnclave, &[0u8; 48], b"aad"));
+    c.bench_function("sgx unseal 48B", |b| {
+        b.iter(|| enclave.ecall(|_, env| env.unseal(&sealed, b"aad").unwrap()));
+    });
+}
+
+fn bench_quote(c: &mut Criterion) {
+    let platform = Platform::seeded(1);
+    let enclave = Enclave::create(&platform, &EnclaveImage::new(b"bench".to_vec()), ());
+    let ias = nexus_sgx::AttestationService::new();
+    ias.register_platform(&platform);
+    c.bench_function("quote generation", |b| {
+        b.iter(|| enclave.ecall(|_, env| env.quote(&[5u8; 64])));
+    });
+    let quote = enclave.ecall(|_, env| env.quote(&[5u8; 64]));
+    c.bench_function("quote verification", |b| {
+        b.iter(|| ias.verify(&quote).unwrap());
+    });
+}
+
+fn bench_metadata_format(c: &mut Criterion) {
+    let rootkey = [0x11u8; 32];
+    let preamble = Preamble {
+        kind: ObjectKind::Dirnode,
+        uuid: NexusUuid([1; 16]),
+        parent: NexusUuid([2; 16]),
+        version: 7,
+    };
+    // A dirnode-main-sized body (128-entry bucket ≈ 5 KB).
+    let body = vec![0x3cu8; 5 * 1024];
+    let mut counter = 0u8;
+    c.bench_function("metadata seal 5KB", |b| {
+        b.iter(|| {
+            counter = counter.wrapping_add(1);
+            seal_object(&rootkey, &preamble, &body, |dest| dest.fill(counter))
+        });
+    });
+    let blob = seal_object(&rootkey, &preamble, &body, |dest| dest.fill(9));
+    c.bench_function("metadata open 5KB", |b| {
+        b.iter(|| open_object(&rootkey, &blob).unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ecall_transition,
+    bench_sealing,
+    bench_quote,
+    bench_metadata_format
+);
+criterion_main!(benches);

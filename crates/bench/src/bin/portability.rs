@@ -1,0 +1,116 @@
+//! Portability (paper §IV): the same NEXUS volume code runs unchanged over
+//! a LAN AFS deployment and a WAN cloud object store — "a broad range of
+//! underlying storage services ... including object-based storage
+//! services". This binary quantifies what changes (latency, request
+//! volume, billing) and what does not (the code, the security).
+//!
+//! ```text
+//! cargo run --release -p nexus-bench --bin portability [--files N] [--file-kb K]
+//! ```
+
+use std::sync::Arc;
+
+use nexus_bench::{arg_usize, header, rule, secs};
+use nexus_core::{NexusConfig, NexusVolume, UserKeys};
+use nexus_sgx::{AttestationService, Platform};
+use nexus_storage::{CloudStore, SimClock, StorageBackend};
+use nexus_workloads::{measure, BenchFs, TestRig};
+
+fn main() {
+    let files = arg_usize("--files", 64);
+    let file_kb = arg_usize("--file-kb", 256);
+    header(
+        "Portability — one volume implementation, two storage services (§IV)",
+        &format!("workload: create {files} files of {file_kb} kB, then cold-read them all"),
+    );
+
+    let data = vec![0x42u8; file_kb * 1024];
+
+    // --- Deployment 1: the LAN AFS simulation used across the evaluation.
+    let rig = TestRig::default_latency();
+    let afs_fs = rig.nexus_fs();
+    let write_afs = measure(&afs_fs, || {
+        for i in 0..files {
+            afs_fs.write_file(&format!("f{i:04}"), &data)?;
+        }
+        Ok(())
+    })
+    .expect("afs writes");
+    afs_fs.flush_caches();
+    let read_afs = measure(&afs_fs, || {
+        for i in 0..files {
+            afs_fs.read_file(&format!("f{i:04}"))?;
+        }
+        Ok(())
+    })
+    .expect("afs reads");
+
+    // --- Deployment 2: a WAN cloud object store. Identical volume code.
+    let platform = Platform::seeded(0xC10D);
+    let ias = AttestationService::new();
+    ias.register_platform(&platform);
+    let clock = SimClock::new();
+    let cloud = Arc::new(CloudStore::new(clock));
+    let owner = UserKeys::from_seed("owner", &[11u8; 32]);
+    let (volume, _) = NexusVolume::create(
+        &platform,
+        cloud.clone(),
+        &ias,
+        &owner,
+        NexusConfig::default(),
+    )
+    .expect("cloud volume");
+    volume.authenticate(&owner).expect("auth");
+
+    let t0 = cloud.simulated_time();
+    let e0 = volume.enclave().stats().enclave_time();
+    for i in 0..files {
+        volume.write_file(&format!("f{i:04}"), &data).expect("cloud write");
+    }
+    let write_cloud_io = cloud.simulated_time() - t0;
+    let write_cloud_encl = volume.enclave().stats().enclave_time() - e0;
+
+    let t0 = cloud.simulated_time();
+    let e0 = volume.enclave().stats().enclave_time();
+    for i in 0..files {
+        volume.read_file(&format!("f{i:04}")).expect("cloud read");
+    }
+    let read_cloud_io = cloud.simulated_time() - t0;
+    let read_cloud_encl = volume.enclave().stats().enclave_time() - e0;
+
+    println!(
+        "{:>22} {:>14} {:>14}",
+        "", "LAN AFS", "cloud object store"
+    );
+    rule(56);
+    println!(
+        "{:>22} {:>14} {:>14}",
+        "write phase",
+        secs(write_afs.total()),
+        secs(write_cloud_io + write_cloud_encl),
+    );
+    println!(
+        "{:>22} {:>14} {:>14}",
+        "cold read phase",
+        secs(read_afs.total()),
+        secs(read_cloud_io + read_cloud_encl),
+    );
+    rule(56);
+
+    let billing = cloud.billing();
+    println!("cloud request/billing profile for this workload:");
+    println!(
+        "  {} PUT-class, {} GET-class, {} LIST, {} DELETE requests",
+        billing.put_requests, billing.get_requests, billing.list_requests, billing.delete_requests
+    );
+    println!(
+        "  {:.1} MB ingress, {:.1} MB egress, ≈${:.4} at list prices",
+        billing.ingress_bytes as f64 / 1e6,
+        billing.egress_bytes as f64 / 1e6,
+        billing.estimated_cost_usd(),
+    );
+    println!();
+    println!("observations: identical volume code and guarantees on both services; the");
+    println!("object store pays WAN RTTs per metadata request (no callbacks/caching) and");
+    println!("emulates NEXUS's advisory locks with conditional-PUT lock objects.");
+}

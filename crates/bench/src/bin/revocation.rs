@@ -1,0 +1,151 @@
+//! §VII-E: revocation estimates — NEXUS metadata-only revocation against a
+//! SiRiUS/Plutus-style pure-cryptographic filesystem that must re-encrypt
+//! file contents.
+//!
+//! The paper estimates that revoking a user from a directory holding the
+//! SFLD workload (10 MB in 1024 files) touches ≈95 KB of metadata, and the
+//! LFSD workload (3.2 GB in 32 files) only ≈3.2 KB — while a pure crypto FS
+//! re-encrypts the full file data in both cases.
+//!
+//! ```text
+//! cargo run --release -p nexus-bench --bin revocation [--scale S]
+//! ```
+
+use std::sync::Arc;
+
+use nexus_bench::{arg_f64, header, rule};
+use nexus_core::Rights;
+use nexus_cryptofs_baseline::{CryptoFs, Identity};
+use nexus_storage::MemBackend;
+use nexus_workloads::apps::{Archive, LFSD, SFLD};
+use nexus_workloads::{BenchFs, TestRig};
+
+struct RevocationRow {
+    workload: &'static str,
+    file_bytes: u64,
+    nexus_revoke_bytes: u64,
+    nexus_dir_metadata: u64,
+    cryptofs_reencrypted: u64,
+    cryptofs_metadata: u64,
+}
+
+/// Returns (bytes rewritten by the revocation, total metadata bytes under
+/// the directory, plaintext bytes). The paper's ~95 KB / ~3.2 KB estimates
+/// count the *whole* affected directory metadata; NEXUS's bucketed dirnodes
+/// do even better, rewriting only the main object holding the ACL.
+fn nexus_revocation(rig: &TestRig, archive: &Archive) -> (u64, u64, u64) {
+    let fs = rig.nexus_fs();
+    let volume = fs.volume();
+    let alice = nexus_core::UserKeys::from_seed("alice", &[2u8; 32]);
+    volume.add_user("alice", alice.public_key()).expect("add user");
+
+    let pre_populate = volume.io_stats();
+    fs.mkdir_all(&archive.root).expect("mkdir");
+    let mut data_ciphertext = 0u64;
+    for (i, (name, size)) in archive.files.iter().enumerate() {
+        let data = nexus_workloads::apps::app_file_contents(*size, i as u64);
+        // Each file's data object: plaintext + one GCM tag per 1 MB chunk.
+        data_ciphertext += data.len() as u64 + 16 * (data.len() as u64).div_ceil(1 << 20).max(1);
+        fs.write_file(&format!("{}/{name}", archive.root), &data)
+            .expect("write");
+    }
+    volume.set_acl(&archive.root, "alice", Rights::RW).expect("acl");
+    let _ = volume.io_stats().delta_since(&pre_populate);
+    // Resident metadata footprint: every stored object that is not file
+    // ciphertext is metadata (supernode, dirnodes, buckets, filenodes).
+    let backend = volume.backend();
+    let total_stored: u64 = backend
+        .list("")
+        .iter()
+        .filter_map(|name| backend.stat(name).ok())
+        .map(|s| s.size)
+        .sum();
+    let dir_metadata = total_stored.saturating_sub(data_ciphertext);
+
+    let before = volume.io_stats();
+    volume.revoke_acl(&archive.root, "alice").expect("revoke");
+    let delta = volume.io_stats().delta_since(&before);
+    (delta.bytes_written, dir_metadata, archive.total_bytes())
+}
+
+fn cryptofs_revocation(archive: &Archive) -> (u64, u64) {
+    let store = Arc::new(MemBackend::new());
+    let owner = Identity::from_seed("owen", &[1; 32]);
+    let alice = Identity::from_seed("alice", &[2; 32]);
+    let fs = CryptoFs::new(store, owner);
+    for (i, (name, size)) in archive.files.iter().enumerate() {
+        let data = nexus_workloads::apps::app_file_contents(*size, i as u64);
+        fs.write_file(&format!("{}/{name}", archive.root, name = name), &data, &[alice.public()])
+            .expect("write");
+    }
+    let mut reencrypted = 0u64;
+    let mut metadata = 0u64;
+    for (name, _) in &archive.files {
+        let cost = fs
+            .revoke_reader(&format!("{}/{name}", archive.root), "alice")
+            .expect("revoke");
+        reencrypted += cost.file_bytes_reencrypted;
+        metadata += cost.metadata_bytes;
+    }
+    (reencrypted, metadata)
+}
+
+fn kb(bytes: u64) -> String {
+    if bytes >= 10 * 1024 * 1024 {
+        format!("{:.1} MB", bytes as f64 / 1e6)
+    } else {
+        format!("{:.1} KB", bytes as f64 / 1e3)
+    }
+}
+
+fn main() {
+    let scale = arg_f64("--scale", 0.02);
+    header(
+        "§VII-E — Revocation estimates",
+        &format!(
+            "revoke one user from a directory holding each workload (sizes scaled \u{d7}{scale})"
+        ),
+    );
+    println!(
+        "paper estimates (full-size workloads): SFLD \u{2192} ~95 KB of metadata for 10 MB of data;"
+    );
+    println!("LFSD \u{2192} ~3.2 KB of metadata for 3.2 GB of data. Pure-crypto re-encrypts everything.\n");
+
+    let rig = TestRig::default_latency();
+    let mut rows = Vec::new();
+    for (profile, workload_scale) in [(&SFLD, 1.0), (&LFSD, scale)] {
+        let archive = Archive::for_profile(profile, workload_scale);
+        let (revoke_bytes, dir_meta, file_bytes) = nexus_revocation(&rig, &archive);
+        let (reenc, cfs_meta) = cryptofs_revocation(&archive);
+        rows.push(RevocationRow {
+            workload: profile.code,
+            file_bytes,
+            nexus_revoke_bytes: revoke_bytes,
+            nexus_dir_metadata: dir_meta,
+            cryptofs_reencrypted: reenc,
+            cryptofs_metadata: cfs_meta,
+        });
+    }
+
+    println!(
+        "{:>8} {:>11} | {:>13} {:>13} | {:>15} {:>13}",
+        "workload", "file data", "nx revoked", "nx dir-meta", "cryptofs re-enc", "cryptofs meta"
+    );
+    rule(84);
+    for row in rows {
+        println!(
+            "{:>8} {:>11} | {:>13} {:>13} | {:>15} {:>13}",
+            row.workload,
+            kb(row.file_bytes),
+            kb(row.nexus_revoke_bytes),
+            kb(row.nexus_dir_metadata),
+            kb(row.cryptofs_reencrypted),
+            kb(row.cryptofs_metadata),
+        );
+    }
+    rule(84);
+    println!("\"nx dir-meta\" is the full metadata footprint of the affected directory -- the");
+    println!("quantity the paper's 95 KB / 3.2 KB estimates refer to. Bucketed dirnodes let");
+    println!("the actual revocation rewrite only the main object (\"nx revoked\"), while the");
+    println!("pure-crypto baseline re-encrypts 100% of the file data on every revocation.");
+}

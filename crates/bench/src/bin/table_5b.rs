@@ -1,0 +1,61 @@
+//! Table 5b: latency of directory operations — create then delete N files
+//! in one flat directory, N ∈ {1024, 2048, 4096, 8192}, with the NEXUS
+//! metadata-I/O and enclave breakdown.
+//!
+//! ```text
+//! cargo run --release -p nexus-bench --bin table_5b [--max N]
+//! ```
+
+use nexus_bench::{arg_usize, header, rule, secs};
+use nexus_workloads::fileio::run_dir_ops;
+use nexus_workloads::TestRig;
+
+/// Paper-reported seconds: (files, OpenAFS, NEXUS, Metadata I/O, Enclave).
+const PAPER: [(usize, f64, f64, f64, f64); 4] = [
+    (1024, 1.27, 19.38, 17.44, 0.38),
+    (2048, 2.63, 38.62, 34.63, 0.79),
+    (4096, 5.26, 81.98, 73.66, 1.67),
+    (8192, 11.93, 172.29, 154.34, 3.55),
+];
+
+fn main() {
+    let max = arg_usize("--max", 8192);
+    header(
+        "Table 5b — Latency of directory operations",
+        "create + delete N empty files in one flat directory (bucket size 128)",
+    );
+
+    let rig = TestRig::default_latency();
+    println!(
+        "{:>7}  {:>10} {:>10}   {:>10} {:>10} {:>10}  {:>10} {:>8}",
+        "files", "afs(sim)", "afs(ppr)", "nexus(sim)", "meta-io", "enclave", "nx(paper)", "ovh"
+    );
+    rule(92);
+    for (n, paper_afs, paper_nx, paper_meta, paper_encl) in PAPER {
+        if n > max {
+            continue;
+        }
+        let afs = rig.plain_afs();
+        let afs_sample = run_dir_ops(&afs, n).expect("afs dirops");
+        let nexus = rig.nexus_fs();
+        let nx_sample = run_dir_ops(&nexus, n).expect("nexus dirops");
+        println!(
+            "{:>7}  {:>10} {:>9.2}s   {:>10} {:>10} {:>10}  {:>9.2}s {:>8}",
+            n,
+            secs(afs_sample.total()),
+            paper_afs,
+            secs(nx_sample.total()),
+            secs(nx_sample.sim_io),
+            secs(nx_sample.enclave),
+            paper_nx,
+            nexus_bench::overhead(&nx_sample, &afs_sample),
+        );
+        println!(
+            "{:>7}  paper breakdown: meta-io {paper_meta:.2}s, enclave {paper_encl:.2}s",
+            ""
+        );
+    }
+    rule(92);
+    println!("expected shape: NEXUS pays a large multiple on metadata-intensive creates,");
+    println!("dominated by metadata I/O, with enclave time a small, linear component.");
+}

@@ -1,0 +1,113 @@
+//! # nexus-bench
+//!
+//! The benchmark harness regenerating every table and figure of the NEXUS
+//! evaluation (paper §VII). One binary per experiment:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table_5a` | Table 5a — file I/O latency |
+//! | `table_5b` | Table 5b — directory-operation latency |
+//! | `fig_5c` | Fig. 5c — git-clone latency |
+//! | `table_2` | Table II — LevelDB/SQLite benchmarks |
+//! | `fig_6` | Fig. 6 — Linux applications over LFSD/MFMD/SFLD |
+//! | `revocation` | §VII-E — revocation estimates vs a pure-crypto FS |
+//! | `sharing_costs` | §VII-F — sharing cost accounting |
+//! | `ablation_buckets` | §V-B — dirnode bucket-size sweep |
+//! | `ablation_caches` | §V-B — metadata cache on/off |
+//! | `ablation_chunks` | §VI-A — chunk-size sweep |
+//!
+//! Every binary prints the measured (simulated-I/O + enclave) numbers next
+//! to the values the paper reports; the reproduction targets the *shape*
+//! (who wins, by roughly what factor), not the absolute numbers of the
+//! authors' 2019 testbed. Criterion micro-benchmarks for the cryptographic
+//! and enclave substrates live under `benches/`.
+
+use std::time::Duration;
+
+use nexus_workloads::Sample;
+
+/// Formats a duration in seconds with sensible precision.
+pub fn secs(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 100.0 {
+        format!("{s:.0}s")
+    } else if s >= 1.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.1}ms", s * 1e3)
+    }
+}
+
+/// Formats a sample's headline total.
+pub fn total(sample: &Sample) -> String {
+    secs(sample.total())
+}
+
+/// Overhead ratio `nexus / baseline` rendered as the paper's `×N.NN`.
+pub fn overhead(nexus: &Sample, baseline: &Sample) -> String {
+    let ratio = nexus.total().as_secs_f64() / baseline.total().as_secs_f64().max(1e-12);
+    format!("\u{d7}{ratio:.2}")
+}
+
+/// Parses `--flag value` style arguments with a default.
+pub fn arg_f64(name: &str, default: f64) -> f64 {
+    arg_value(name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parses an integer argument with a default.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    arg_value(name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// True when `--flag` is present.
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Prints a horizontal rule sized to `width`.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Prints the standard experiment header.
+pub fn header(title: &str, detail: &str) {
+    rule(78);
+    println!("{title}");
+    println!("{detail}");
+    println!(
+        "methodology: latency = simulated network I/O (virtual clock, LAN-calibrated)\n\
+         + measured enclave compute; see EXPERIMENTS.md"
+    );
+    rule(78);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secs_formats_ranges() {
+        assert_eq!(secs(Duration::from_millis(5)), "5.0ms");
+        assert_eq!(secs(Duration::from_secs_f64(2.346)), "2.35s");
+        assert_eq!(secs(Duration::from_secs(150)), "150s");
+    }
+
+    #[test]
+    fn overhead_ratio() {
+        let a = Sample { sim_io: Duration::from_secs(2), ..Default::default() };
+        let b = Sample { sim_io: Duration::from_secs(1), ..Default::default() };
+        assert_eq!(overhead(&a, &b), "\u{d7}2.00");
+    }
+}

@@ -1,0 +1,182 @@
+//! Persistent client-side state for the CLI.
+//!
+//! A real NEXUS deployment keeps three things on the user's local disk: the
+//! identity keypair, the sealed volume rootkey, and (implicitly, in
+//! silicon) the platform identity. The CLI persists stand-ins for all three
+//! under `--home`, and publishes platform attestation records into the
+//! shared store so separate invocations — even "different machines"
+//! (different homes) — can verify each other's quotes, the way Intel's
+//! provisioning database does.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use nexus_core::{SealedRootKey, UserKeys};
+use nexus_crypto::ed25519::VerifyingKey;
+use nexus_sgx::{AttestationService, Platform, PlatformId};
+use nexus_storage::{DirBackend, StorageBackend};
+
+/// Everything a CLI invocation needs to act as one user on one machine.
+pub struct CliState {
+    /// The simulated machine (same seed ⇒ same machine across invocations).
+    pub platform: Platform,
+    /// The user's identity keys.
+    pub user: UserKeys,
+    /// The shared untrusted store.
+    pub store: Arc<DirBackend>,
+    /// The attestation service, loaded from published platform records.
+    pub ias: AttestationService,
+    home: PathBuf,
+}
+
+fn read_or_create_seed(path: &Path) -> Result<[u8; 32], String> {
+    if let Ok(bytes) = std::fs::read(path) {
+        let arr: [u8; 32] = bytes
+            .try_into()
+            .map_err(|_| format!("{} is corrupt (expected 32 bytes)", path.display()))?;
+        return Ok(arr);
+    }
+    let mut rng = nexus_crypto::rng::OsRandom::new();
+    let mut seed = [0u8; 32];
+    use nexus_crypto::rng::SecureRandom;
+    rng.fill(&mut seed);
+    std::fs::write(path, seed).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    Ok(seed)
+}
+
+impl CliState {
+    /// Opens (creating on first use) the client state in `home`, against the
+    /// shared store directory `store`.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors creating or reading the state files.
+    pub fn open(home: &Path, store: &Path, user_name: &str) -> Result<CliState, String> {
+        std::fs::create_dir_all(home).map_err(|e| format!("creating {}: {e}", home.display()))?;
+        let platform_seed = read_or_create_seed(&home.join("platform.seed"))?;
+        let user_seed = read_or_create_seed(&home.join("identity.seed"))?;
+        let platform =
+            Platform::from_identity_seed_persistent(&platform_seed, home.join("counters.bin"));
+        let user = UserKeys::from_seed(user_name, &user_seed);
+        let store: Arc<DirBackend> =
+            Arc::new(DirBackend::open(store).map_err(|e| e.to_string())?);
+
+        // Publish this platform's attestation record and load everyone's.
+        let ias = AttestationService::new();
+        publish_platform_record(store.as_ref(), &platform)?;
+        load_platform_records(store.as_ref(), &ias)?;
+        Ok(CliState { platform, user, store, ias, home: home.to_path_buf() })
+    }
+
+    /// Path of the saved sealed rootkey for `volume_hint` ("default" when a
+    /// single volume is used).
+    fn rootkey_path(&self, volume_hint: &str) -> PathBuf {
+        self.home.join(format!("rootkey-{volume_hint}.sealed"))
+    }
+
+    /// Persists a sealed rootkey.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors.
+    pub fn save_rootkey(&self, hint: &str, sealed: &SealedRootKey) -> Result<(), String> {
+        std::fs::write(self.rootkey_path(hint), &sealed.0)
+            .map_err(|e| format!("saving rootkey: {e}"))
+    }
+
+    /// Loads a previously saved sealed rootkey.
+    ///
+    /// # Errors
+    ///
+    /// A readable message when no volume was initialized in this home.
+    pub fn load_rootkey(&self, hint: &str) -> Result<SealedRootKey, String> {
+        let path = self.rootkey_path(hint);
+        let bytes = std::fs::read(&path).map_err(|_| {
+            format!(
+                "no sealed rootkey at {} — run `nexus-cli init` or `nexus-cli accept` first",
+                path.display()
+            )
+        })?;
+        Ok(SealedRootKey(bytes))
+    }
+}
+
+const IAS_PREFIX: &str = "ias-record-";
+
+fn publish_platform_record(store: &DirBackend, platform: &Platform) -> Result<(), String> {
+    let id = platform.id();
+    let mut record = Vec::with_capacity(48);
+    record.extend_from_slice(&id.0);
+    record.extend_from_slice(&platform.attestation_public_key().to_bytes());
+    let name = format!("{IAS_PREFIX}{}", hex(&id.0));
+    store.put(&name, &record).map_err(|e| e.to_string())
+}
+
+fn load_platform_records(store: &DirBackend, ias: &AttestationService) -> Result<(), String> {
+    for name in store.list(IAS_PREFIX) {
+        let record = store.get(&name).map_err(|e| e.to_string())?;
+        if record.len() != 48 {
+            return Err(format!("corrupt attestation record {name}"));
+        }
+        let mut id = [0u8; 16];
+        id.copy_from_slice(&record[..16]);
+        let key = VerifyingKey::from_bytes(&record[16..])
+            .map_err(|_| format!("corrupt attestation key in {name}"))?;
+        ias.register_platform_key(PlatformId(id), key);
+    }
+    Ok(())
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nexus-cli-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn state_is_stable_across_opens() {
+        let home = tmp("home");
+        let store = tmp("store");
+        let a = CliState::open(&home, &store, "owen").unwrap();
+        let b = CliState::open(&home, &store, "owen").unwrap();
+        assert_eq!(a.platform.id(), b.platform.id());
+        assert_eq!(a.user.public_key(), b.user.public_key());
+    }
+
+    #[test]
+    fn different_homes_are_different_machines() {
+        let store = tmp("store2");
+        let a = CliState::open(&tmp("home-a"), &store, "a").unwrap();
+        let b = CliState::open(&tmp("home-b"), &store, "b").unwrap();
+        assert_ne!(a.platform.id(), b.platform.id());
+    }
+
+    #[test]
+    fn platform_records_cross_homes() {
+        let store = tmp("store3");
+        let a = CliState::open(&tmp("home-c"), &store, "a").unwrap();
+        // b's IAS must know a's platform (published record).
+        let b = CliState::open(&tmp("home-d"), &store, "b").unwrap();
+        use nexus_sgx::{Enclave, EnclaveImage};
+        let enclave = Enclave::create(&a.platform, &EnclaveImage::new(b"x".to_vec()), ());
+        let quote = enclave.ecall(|_, env| env.quote(&[0u8; 64]));
+        b.ias.verify(&quote).unwrap();
+    }
+
+    #[test]
+    fn rootkey_roundtrip() {
+        let state = CliState::open(&tmp("home-e"), &tmp("store4"), "a").unwrap();
+        let sealed = SealedRootKey(vec![1, 2, 3]);
+        state.save_rootkey("default", &sealed).unwrap();
+        assert_eq!(state.load_rootkey("default").unwrap(), sealed);
+        assert!(state.load_rootkey("missing").is_err());
+    }
+}

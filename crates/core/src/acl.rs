@@ -1,0 +1,211 @@
+//! Access control lists.
+//!
+//! NEXUS access control (paper §IV-C) is a discretionary ACL scheme:
+//! permissions attach to directories and apply to the files within; user
+//! IDs map to (username, public key) pairs in the supernode; the volume
+//! owner always has full rights and administers the lists.
+
+use crate::error::{NexusError, Result};
+use crate::wire::{Reader, Writer};
+
+/// A set of access rights, stored as a bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rights(pub u8);
+
+impl Rights {
+    /// No rights.
+    pub const NONE: Rights = Rights(0);
+    /// Permission to read files and list the directory.
+    pub const READ: Rights = Rights(1);
+    /// Permission to create, modify, rename, and delete.
+    pub const WRITE: Rights = Rights(2);
+    /// Read and write.
+    pub const RW: Rights = Rights(3);
+
+    /// True when every right in `needed` is present.
+    pub fn allows(&self, needed: Rights) -> bool {
+        self.0 & needed.0 == needed.0
+    }
+
+    /// Union of two right sets.
+    pub fn union(&self, other: Rights) -> Rights {
+        Rights(self.0 | other.0)
+    }
+}
+
+impl std::fmt::Display for Rights {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let r = if self.allows(Rights::READ) { "r" } else { "-" };
+        let w = if self.allows(Rights::WRITE) { "w" } else { "-" };
+        write!(f, "{r}{w}")
+    }
+}
+
+/// A user identifier within one volume (assigned by the supernode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UserId(pub u32);
+
+/// The owner's reserved id.
+pub const OWNER_USER_ID: UserId = UserId(0);
+
+/// A directory's access control list: (user id → rights).
+///
+/// Deny-by-default: users without an entry get [`Rights::NONE`]; the volume
+/// owner bypasses the list entirely (enforced by the enclave, not here).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Acl {
+    entries: Vec<(UserId, Rights)>,
+}
+
+impl Acl {
+    /// Creates an empty (deny-everyone) list.
+    pub fn new() -> Acl {
+        Acl::default()
+    }
+
+    /// Grants `rights` to `user`, replacing any existing entry.
+    pub fn grant(&mut self, user: UserId, rights: Rights) {
+        match self.entries.iter_mut().find(|(u, _)| *u == user) {
+            Some((_, r)) => *r = rights,
+            None => self.entries.push((user, rights)),
+        }
+    }
+
+    /// Removes `user`'s entry; true if one existed.
+    pub fn revoke(&mut self, user: UserId) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|(u, _)| *u != user);
+        self.entries.len() != before
+    }
+
+    /// The rights granted to `user` (NONE when absent).
+    pub fn rights_of(&self, user: UserId) -> Rights {
+        self.entries
+            .iter()
+            .find(|(u, _)| *u == user)
+            .map(|(_, r)| *r)
+            .unwrap_or(Rights::NONE)
+    }
+
+    /// True when `user` holds all of `needed`.
+    pub fn allows(&self, user: UserId, needed: Rights) -> bool {
+        self.rights_of(user).allows(needed)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(user, rights)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &(UserId, Rights)> {
+        self.entries.iter()
+    }
+
+    /// Serializes into `w`.
+    pub fn encode(&self, w: &mut Writer) {
+        w.u32(self.entries.len() as u32);
+        for (user, rights) in &self.entries {
+            w.u32(user.0);
+            w.u8(rights.0);
+        }
+    }
+
+    /// Deserializes from `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NexusError::Malformed`] on truncation.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Acl> {
+        let count = r.u32()? as usize;
+        if count > 1_000_000 {
+            return Err(NexusError::Malformed("absurd ACL entry count".into()));
+        }
+        let mut entries = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            let user = UserId(r.u32()?);
+            let rights = Rights(r.u8()?);
+            entries.push((user, rights));
+        }
+        Ok(Acl { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deny_by_default() {
+        let acl = Acl::new();
+        assert!(!acl.allows(UserId(1), Rights::READ));
+        assert_eq!(acl.rights_of(UserId(1)), Rights::NONE);
+    }
+
+    #[test]
+    fn grant_and_check() {
+        let mut acl = Acl::new();
+        acl.grant(UserId(1), Rights::READ);
+        acl.grant(UserId(2), Rights::RW);
+        assert!(acl.allows(UserId(1), Rights::READ));
+        assert!(!acl.allows(UserId(1), Rights::WRITE));
+        assert!(acl.allows(UserId(2), Rights::RW));
+        assert_eq!(acl.len(), 2);
+    }
+
+    #[test]
+    fn grant_replaces_existing() {
+        let mut acl = Acl::new();
+        acl.grant(UserId(1), Rights::RW);
+        acl.grant(UserId(1), Rights::READ);
+        assert_eq!(acl.len(), 1);
+        assert!(!acl.allows(UserId(1), Rights::WRITE));
+    }
+
+    #[test]
+    fn revoke_removes_entry() {
+        let mut acl = Acl::new();
+        acl.grant(UserId(1), Rights::RW);
+        assert!(acl.revoke(UserId(1)));
+        assert!(!acl.revoke(UserId(1)));
+        assert!(!acl.allows(UserId(1), Rights::READ));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut acl = Acl::new();
+        acl.grant(UserId(3), Rights::READ);
+        acl.grant(UserId(9), Rights::RW);
+        let mut w = Writer::new();
+        acl.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let decoded = Acl::decode(&mut r).unwrap();
+        assert_eq!(decoded, acl);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut w = Writer::new();
+        w.u32(5); // claims 5 entries, provides none
+        let bytes = w.into_bytes();
+        assert!(Acl::decode(&mut Reader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn rights_display() {
+        assert_eq!(Rights::RW.to_string(), "rw");
+        assert_eq!(Rights::READ.to_string(), "r-");
+        assert_eq!(Rights::NONE.to_string(), "--");
+    }
+
+    #[test]
+    fn rights_union() {
+        assert_eq!(Rights::READ.union(Rights::WRITE), Rights::RW);
+    }
+}

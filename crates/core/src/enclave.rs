@@ -1,0 +1,719 @@
+//! The trusted portion of NEXUS: enclave state and metadata I/O.
+//!
+//! Everything in this module conceptually runs *inside* the SGX enclave
+//! (`nexus_sgx::Enclave<EnclaveState>`): the volume rootkey, decrypted
+//! metadata, the dentry/metadata caches, and the user session never leave
+//! it. Untrusted code interacts only through the ecalls defined on
+//! [`crate::volume::NexusVolume`], and all storage traffic flows through
+//! ocalls (the crate-private `MetaIo` shim).
+
+use std::collections::HashMap;
+
+use nexus_crypto::sha2::Sha256;
+use nexus_sgx::EnclaveEnv;
+use nexus_storage::StorageBackend;
+
+use crate::acl::{Rights, UserId};
+use crate::error::{NexusError, Result};
+use crate::metadata::crypto::{open_object, seal_object, ObjectKind, Preamble, RootKey};
+use crate::metadata::dirnode::{Bucket, Dirnode};
+use crate::metadata::filenode::Filenode;
+use crate::metadata::supernode::Supernode;
+use crate::uuid::NexusUuid;
+
+/// Tunables mirroring the paper's configuration knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct NexusConfig {
+    /// File chunk size (1 MB in the evaluation).
+    pub chunk_size: u32,
+    /// Dirnode bucket size in entries (128 in the evaluation).
+    pub bucket_size: usize,
+    /// Enable the in-enclave metadata/dentry caches (§V-B); disabling them
+    /// is used by the cache ablation benchmark.
+    pub cache_metadata: bool,
+    /// Create volumes with the Merkle-anchored freshness manifest (§VI-C
+    /// extension): volume-wide rollback protection at the cost of one extra
+    /// metadata write per update. Read at volume *creation*; mounts follow
+    /// whatever the volume was created with.
+    pub merkle_freshness: bool,
+}
+
+impl Default for NexusConfig {
+    fn default() -> Self {
+        NexusConfig {
+            chunk_size: crate::metadata::filenode::DEFAULT_CHUNK_SIZE,
+            bucket_size: crate::metadata::dirnode::DEFAULT_BUCKET_SIZE,
+            cache_metadata: true,
+            merkle_freshness: false,
+        }
+    }
+}
+
+/// An authenticated session (paper §IV-B: the user id is "cached inside the
+/// enclave" after the challenge/response completes).
+#[derive(Debug, Clone, Copy)]
+pub struct Session {
+    /// The authenticated user's volume-local id.
+    pub user_id: UserId,
+    /// Owner fast-path flag.
+    pub is_owner: bool,
+}
+
+/// The enclave's long-term ECDH identity for the rootkey exchange.
+#[derive(Clone)]
+pub(crate) struct ExchangeKeys {
+    pub(crate) secret: [u8; 32],
+    pub(crate) public: [u8; 32],
+}
+
+impl std::fmt::Debug for ExchangeKeys {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ExchangeKeys { .. }")
+    }
+}
+
+/// A cached, decrypted metadata node.
+#[derive(Debug, Clone)]
+pub(crate) enum CachedNode {
+    Dir(Dirnode),
+    File(Filenode),
+}
+
+/// State of a mounted volume, held entirely in enclave memory.
+#[derive(Debug)]
+pub(crate) struct Mounted {
+    pub(crate) rootkey: RootKey,
+    pub(crate) supernode_uuid: NexusUuid,
+    pub(crate) supernode: Supernode,
+    /// Version of the supernode object we decrypted.
+    pub(crate) supernode_version: u64,
+    pub(crate) session: Option<Session>,
+    /// uuid → (decrypted node, storage version it came from).
+    pub(crate) meta_cache: HashMap<NexusUuid, (CachedNode, u64)>,
+    /// Rollback table: highest preamble version seen per object (§VI-C).
+    pub(crate) version_table: HashMap<NexusUuid, u64>,
+    /// Volume freshness manifest, when the volume carries one.
+    pub(crate) manifest: Option<crate::freshness::ManifestState>,
+}
+
+/// The private state inside the NEXUS enclave.
+///
+/// Public only so `Enclave<EnclaveState>` handles can be returned for
+/// statistics; every field is crate-private, so no secret escapes.
+#[derive(Debug, Default)]
+pub struct EnclaveState {
+    pub(crate) config: Option<NexusConfig>,
+    pub(crate) exchange: Option<ExchangeKeys>,
+    pub(crate) mounted: Option<Mounted>,
+    /// Outstanding authentication challenges: user public key → nonce.
+    pub(crate) pending_auth: HashMap<[u8; 32], [u8; 16]>,
+}
+
+impl EnclaveState {
+    pub(crate) fn config(&self) -> NexusConfig {
+        self.config.unwrap_or_default()
+    }
+
+    pub(crate) fn mounted(&mut self) -> Result<&mut Mounted> {
+        self.mounted.as_mut().ok_or(NexusError::NotMounted)
+    }
+
+    pub(crate) fn session(&mut self) -> Result<Session> {
+        self.mounted()?
+            .session
+            .ok_or(NexusError::NotAuthenticated)
+    }
+
+    /// Enforces access control for the current session (paper §IV-C):
+    /// the owner always passes; other users need `needed` within the
+    /// *effective* rights accumulated along the traversal (directory
+    /// permissions apply to all files and subdirectories within it, so
+    /// rights granted on an ancestor flow down).
+    pub(crate) fn check_access(&mut self, dir: &Dirnode, effective: Rights, needed: Rights) -> Result<()> {
+        let session = self.session()?;
+        if session.is_owner {
+            return Ok(());
+        }
+        if effective.allows(needed) {
+            return Ok(());
+        }
+        Err(NexusError::AccessDenied(format!(
+            "user {:?} lacks {} on directory {}",
+            session.user_id, needed, dir.uuid
+        )))
+    }
+
+    /// The rights `user` holds directly on `dir`'s ACL.
+    pub(crate) fn local_rights(&mut self, dir: &Dirnode) -> Result<Rights> {
+        let session = self.session()?;
+        if session.is_owner {
+            return Ok(Rights::RW);
+        }
+        Ok(dir.acl.rights_of(session.user_id))
+    }
+}
+
+/// Storage access from inside the enclave: every call is an ocall into the
+/// untrusted runtime, which forwards to the backing store.
+pub(crate) struct MetaIo<'a> {
+    pub(crate) env: &'a EnclaveEnv<'a>,
+    pub(crate) backend: &'a dyn StorageBackend,
+}
+
+impl<'a> MetaIo<'a> {
+    pub(crate) fn new(env: &'a EnclaveEnv<'a>, backend: &'a dyn StorageBackend) -> MetaIo<'a> {
+        MetaIo { env, backend }
+    }
+
+    pub(crate) fn get(&self, uuid: &NexusUuid) -> Result<Vec<u8>> {
+        let name = uuid.object_name();
+        self.env
+            .ocall(|| self.backend.get(&name))
+            .map_err(NexusError::from)
+    }
+
+    pub(crate) fn get_range(&self, uuid: &NexusUuid, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let name = uuid.object_name();
+        self.env
+            .ocall(|| self.backend.get_range(&name, offset, len))
+            .map_err(NexusError::from)
+    }
+
+    pub(crate) fn put(&self, uuid: &NexusUuid, data: &[u8]) -> Result<()> {
+        let name = uuid.object_name();
+        self.env
+            .ocall(|| self.backend.put(&name, data))
+            .map_err(NexusError::from)
+    }
+
+    pub(crate) fn delete(&self, uuid: &NexusUuid) -> Result<()> {
+        let name = uuid.object_name();
+        self.env
+            .ocall(|| self.backend.delete(&name))
+            .map_err(NexusError::from)
+    }
+
+    pub(crate) fn version(&self, uuid: &NexusUuid) -> Option<u64> {
+        let name = uuid.object_name();
+        self.env
+            .ocall(|| self.backend.stat(&name))
+            .ok()
+            .map(|s| s.version)
+    }
+
+    pub(crate) fn lock(&self, uuid: &NexusUuid) -> Result<()> {
+        // `flock` blocks until the lock is granted; emulate with a bounded
+        // retry loop so cross-client contention resolves instead of erroring.
+        let name = uuid.object_name();
+        let mut attempts = 0u32;
+        loop {
+            match self.env.ocall(|| self.backend.lock(&name, 0)) {
+                Ok(()) => return Ok(()),
+                Err(nexus_storage::StorageError::LockContended(_)) if attempts < 10_000 => {
+                    attempts += 1;
+                    std::thread::yield_now();
+                }
+                Err(e) => return Err(NexusError::from(e)),
+            }
+        }
+    }
+
+    pub(crate) fn unlock(&self, uuid: &NexusUuid) {
+        let name = uuid.object_name();
+        self.env.ocall(|| self.backend.unlock(&name, 0));
+    }
+}
+
+/// Generates a fresh UUID from enclave randomness.
+pub(crate) fn fresh_uuid(env: &EnclaveEnv<'_>) -> NexusUuid {
+    NexusUuid::generate(|dest| env.random_bytes(dest))
+}
+
+// ---------------------------------------------------------------------------
+// Metadata load/store with caching, parent checks, and rollback detection.
+// ---------------------------------------------------------------------------
+
+/// Validates a freshly opened object against expectations and the rollback
+/// table, recording its version.
+fn admit(
+    mounted: &mut Mounted,
+    preamble: &Preamble,
+    uuid: &NexusUuid,
+    expected_kind: ObjectKind,
+    expected_parent: Option<NexusUuid>,
+) -> Result<()> {
+    if preamble.uuid != *uuid {
+        return Err(NexusError::Integrity(format!(
+            "object {uuid} carries uuid {} (swapping attack?)",
+            preamble.uuid
+        )));
+    }
+    if preamble.kind != expected_kind {
+        return Err(NexusError::Integrity(format!("object {uuid} has wrong kind")));
+    }
+    if let Some(parent) = expected_parent {
+        if preamble.parent != parent {
+            return Err(NexusError::Integrity(format!(
+                "object {uuid} claims parent {} but was reached via {parent} (swapping attack)",
+                preamble.parent
+            )));
+        }
+    }
+    let seen = mounted.version_table.entry(*uuid).or_insert(0);
+    if preamble.version < *seen {
+        return Err(NexusError::Rollback {
+            object: uuid.to_string(),
+            seen: *seen,
+            got: preamble.version,
+        });
+    }
+    *seen = preamble.version;
+    Ok(())
+}
+
+/// Next version for an object we are about to write.
+pub(crate) fn next_version_pub(mounted: &mut Mounted, uuid: &NexusUuid) -> u64 {
+    next_version(mounted, uuid)
+}
+
+/// Next version for an object we are about to write.
+fn next_version(mounted: &mut Mounted, uuid: &NexusUuid) -> u64 {
+    let seen = mounted.version_table.entry(*uuid).or_insert(0);
+    *seen += 1;
+    *seen
+}
+
+/// Retries `load` while concurrent updates are observed (stale manifest
+/// disagreements), escalating to an integrity violation when persistent.
+fn retry_fresh<T>(
+    mut load: impl FnMut() -> Result<T>,
+) -> Result<T> {
+    const RETRIES: u64 = 32;
+    let mut last = String::new();
+    for attempt in 0..RETRIES {
+        if attempt > 0 {
+            // Give the concurrent writer time to land its manifest update.
+            std::thread::sleep(std::time::Duration::from_micros(50 * attempt));
+        }
+        match load() {
+            Err(NexusError::StaleRead(why)) => last = why,
+            other => return other,
+        }
+    }
+    Err(NexusError::Integrity(format!("{last} (persisted across retries)")))
+}
+
+/// Loads a dirnode's main object (buckets unloaded), honouring the cache
+/// and healing concurrent-update races.
+pub(crate) fn load_dirnode(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    uuid: NexusUuid,
+    expected_parent: Option<NexusUuid>,
+) -> Result<Dirnode> {
+    retry_fresh(|| load_dirnode_once(state, io, uuid, expected_parent))
+}
+
+fn load_dirnode_once(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    uuid: NexusUuid,
+    expected_parent: Option<NexusUuid>,
+) -> Result<Dirnode> {
+    let use_cache = state.config().cache_metadata;
+    let mounted = state.mounted()?;
+    if use_cache {
+        if let Some((CachedNode::Dir(dir), cached_ver)) = mounted.meta_cache.get(&uuid) {
+            if io.version(&uuid) == Some(*cached_ver) {
+                let dir = dir.clone();
+                if let Some(parent) = expected_parent {
+                    if dir.parent != parent {
+                        return Err(NexusError::Integrity(format!(
+                            "cached dirnode {uuid} has unexpected parent"
+                        )));
+                    }
+                }
+                return Ok(dir);
+            }
+            mounted.meta_cache.remove(&uuid);
+        }
+    }
+    let blob = io.get(&uuid)?;
+    crate::freshness::verify_fresh(state, io, &uuid, &blob)?;
+    let mounted = state.mounted()?;
+    let storage_version = io.version(&uuid).unwrap_or(0);
+    let rootkey = mounted.rootkey;
+    let (preamble, body) = open_object(&rootkey, &blob)?;
+    admit(mounted, &preamble, &uuid, ObjectKind::Dirnode, expected_parent)?;
+    let dir = Dirnode::decode_main(uuid, preamble.parent, &body)?;
+    io.env.epc_alloc(body.len());
+    if use_cache {
+        mounted
+            .meta_cache
+            .insert(uuid, (CachedNode::Dir(dir.clone()), storage_version));
+    }
+    Ok(dir)
+}
+
+/// Loads one bucket of `dir` (index `idx`) if not already loaded, verifying
+/// its MAC against the main dirnode.
+pub(crate) fn load_bucket(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    dir: &mut Dirnode,
+    idx: usize,
+) -> Result<()> {
+    if dir.buckets[idx].bucket.is_some() {
+        return Ok(());
+    }
+    let slot_uuid = dir.buckets[idx].re.uuid;
+    let expected_mac = dir.buckets[idx].re.mac;
+    let blob = io.get(&slot_uuid)?;
+    crate::freshness::verify_fresh(state, io, &slot_uuid, &blob)?;
+    let mac = Sha256::digest(&blob);
+    if mac != expected_mac {
+        // Either an attack, or a concurrent writer updated the bucket after
+        // we read the main dirnode. Callers retry with a fresh dirnode and
+        // report an integrity violation only if the mismatch persists.
+        return Err(NexusError::StaleRead(format!(
+            "bucket {slot_uuid} does not match the MAC in its dirnode"
+        )));
+    }
+    let mounted = state.mounted()?;
+    let rootkey = mounted.rootkey;
+    let (preamble, body) = open_object(&rootkey, &blob)?;
+    admit(mounted, &preamble, &slot_uuid, ObjectKind::DirBucket, Some(dir.uuid))?;
+    let bucket = Bucket::decode(&body)?;
+    dir.buckets[idx].bucket = Some(bucket);
+    dir.buckets[idx].dirty = false;
+    Ok(())
+}
+
+/// Retries `f` against a freshly reloaded dirnode whenever a concurrent
+/// update is observed mid-read (stale bucket MAC). After the retry budget,
+/// the persistent mismatch is reported as an integrity violation.
+fn retry_stale<T>(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    dir: &mut Dirnode,
+    mut f: impl FnMut(&mut EnclaveState, &MetaIo<'_>, &mut Dirnode) -> Result<T>,
+) -> Result<T> {
+    const RETRIES: usize = 32;
+    let mut last = String::new();
+    for _ in 0..RETRIES {
+        match f(state, io, dir) {
+            Err(NexusError::StaleRead(why)) => {
+                last = why;
+                std::thread::yield_now();
+                evict(state, &dir.uuid);
+                *dir = load_dirnode(state, io, dir.uuid, None)?;
+            }
+            other => return other,
+        }
+    }
+    Err(NexusError::Integrity(format!("{last} (persisted across retries)")))
+}
+
+/// Loads every bucket (required before mutations), healing concurrent-update
+/// races by reloading the dirnode.
+pub(crate) fn load_all_buckets(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    dir: &mut Dirnode,
+) -> Result<()> {
+    retry_stale(state, io, dir, |state, io, dir| {
+        for idx in 0..dir.buckets.len() {
+            load_bucket(state, io, dir, idx)?;
+        }
+        Ok(())
+    })
+}
+
+/// Looks up `name` in `dir`, loading buckets lazily until found; heals
+/// concurrent-update races by reloading the dirnode.
+pub(crate) fn lookup_entry(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    dir: &mut Dirnode,
+    name: &str,
+) -> Result<Option<crate::metadata::dirnode::DirEntry>> {
+    retry_stale(state, io, dir, |state, io, dir| {
+        for idx in 0..dir.buckets.len() {
+            load_bucket(state, io, dir, idx)?;
+            if let Some(entry) = dir.buckets[idx].bucket.as_ref().unwrap().find(name) {
+                return Ok(Some(entry.clone()));
+            }
+        }
+        Ok(None)
+    })
+}
+
+/// Flushes a dirnode: seals and stores every dirty bucket (refreshing its
+/// MAC in the main object), then the main object, then updates the cache.
+pub(crate) fn store_dirnode(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    mut dir: Dirnode,
+) -> Result<()> {
+    let use_cache = state.config().cache_metadata;
+    let mut manifest_updates: Vec<(NexusUuid, [u8; 32])> = Vec::new();
+    let mounted = state.mounted()?;
+    let rootkey = mounted.rootkey;
+    for slot in dir.buckets.iter_mut() {
+        if !slot.dirty {
+            continue;
+        }
+        let bucket = slot
+            .bucket
+            .as_ref()
+            .expect("dirty bucket must be loaded");
+        let version = next_version(mounted, &slot.re.uuid);
+        let preamble = Preamble {
+            kind: ObjectKind::DirBucket,
+            uuid: slot.re.uuid,
+            parent: dir.uuid,
+            version,
+        };
+        let blob = seal_object(&rootkey, &preamble, &bucket.encode(), |dest| {
+            io.env.random_bytes(dest)
+        });
+        slot.re.mac = Sha256::digest(&blob);
+        io.put(&slot.re.uuid, &blob)?;
+        manifest_updates.push((slot.re.uuid, slot.re.mac));
+        slot.dirty = false;
+    }
+    let version = next_version(mounted, &dir.uuid);
+    let preamble = Preamble {
+        kind: ObjectKind::Dirnode,
+        uuid: dir.uuid,
+        parent: dir.parent,
+        version,
+    };
+    let blob = seal_object(&rootkey, &preamble, &dir.encode_main(), |dest| {
+        io.env.random_bytes(dest)
+    });
+    io.put(&dir.uuid, &blob)?;
+    manifest_updates.push((dir.uuid, Sha256::digest(&blob)));
+    let storage_version = io.version(&dir.uuid).unwrap_or(0);
+    if use_cache {
+        mounted
+            .meta_cache
+            .insert(dir.uuid, (CachedNode::Dir(dir), storage_version));
+    }
+    crate::freshness::record_objects(state, io, &manifest_updates, &[])?;
+    Ok(())
+}
+
+/// Loads a filenode, honouring the cache and healing concurrent-update
+/// races.
+pub(crate) fn load_filenode(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    uuid: NexusUuid,
+    expected_parent: Option<NexusUuid>,
+) -> Result<Filenode> {
+    retry_fresh(|| load_filenode_once(state, io, uuid, expected_parent))
+}
+
+fn load_filenode_once(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    uuid: NexusUuid,
+    expected_parent: Option<NexusUuid>,
+) -> Result<Filenode> {
+    let use_cache = state.config().cache_metadata;
+    let mounted = state.mounted()?;
+    if use_cache {
+        if let Some((CachedNode::File(fnode), cached_ver)) = mounted.meta_cache.get(&uuid) {
+            if io.version(&uuid) == Some(*cached_ver) {
+                let fnode = fnode.clone();
+                if let Some(parent) = expected_parent {
+                    if fnode.parent != parent {
+                        return Err(NexusError::Integrity(format!(
+                            "cached filenode {uuid} has unexpected parent"
+                        )));
+                    }
+                }
+                return Ok(fnode);
+            }
+            mounted.meta_cache.remove(&uuid);
+        }
+    }
+    let blob = io.get(&uuid)?;
+    crate::freshness::verify_fresh(state, io, &uuid, &blob)?;
+    let mounted = state.mounted()?;
+    let storage_version = io.version(&uuid).unwrap_or(0);
+    let rootkey = mounted.rootkey;
+    let (preamble, body) = open_object(&rootkey, &blob)?;
+    admit(mounted, &preamble, &uuid, ObjectKind::Filenode, expected_parent)?;
+    let fnode = Filenode::decode(&body)?;
+    if fnode.uuid != uuid {
+        return Err(NexusError::Integrity("filenode body uuid mismatch".into()));
+    }
+    io.env.epc_alloc(body.len());
+    if use_cache {
+        mounted
+            .meta_cache
+            .insert(uuid, (CachedNode::File(fnode.clone()), storage_version));
+    }
+    Ok(fnode)
+}
+
+/// Seals and stores a filenode, updating the cache.
+pub(crate) fn store_filenode(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    fnode: Filenode,
+) -> Result<()> {
+    let use_cache = state.config().cache_metadata;
+    let mounted = state.mounted()?;
+    let rootkey = mounted.rootkey;
+    let version = next_version(mounted, &fnode.uuid);
+    let preamble = Preamble {
+        kind: ObjectKind::Filenode,
+        uuid: fnode.uuid,
+        parent: fnode.parent,
+        version,
+    };
+    let blob = seal_object(&rootkey, &preamble, &fnode.encode(), |dest| {
+        io.env.random_bytes(dest)
+    });
+    io.put(&fnode.uuid, &blob)?;
+    let fnode_uuid = fnode.uuid;
+    let blob_hash = Sha256::digest(&blob);
+    let storage_version = io.version(&fnode.uuid).unwrap_or(0);
+    if use_cache {
+        mounted
+            .meta_cache
+            .insert(fnode.uuid, (CachedNode::File(fnode), storage_version));
+    }
+    crate::freshness::record_objects(state, io, &[(fnode_uuid, blob_hash)], &[])?;
+    Ok(())
+}
+
+/// Drops an object from the metadata cache (after deletion).
+pub(crate) fn evict(state: &mut EnclaveState, uuid: &NexusUuid) {
+    if let Some(mounted) = state.mounted.as_mut() {
+        mounted.meta_cache.remove(uuid);
+    }
+}
+
+/// Seals and stores the supernode (after user list changes).
+pub(crate) fn store_supernode(state: &mut EnclaveState, io: &MetaIo<'_>) -> Result<()> {
+    let mounted = state.mounted()?;
+    let rootkey = mounted.rootkey;
+    let uuid = mounted.supernode_uuid;
+    let version = next_version(mounted, &uuid);
+    mounted.supernode_version = version;
+    let preamble = Preamble {
+        kind: ObjectKind::Supernode,
+        uuid,
+        parent: NexusUuid::NIL,
+        version,
+    };
+    let body = mounted.supernode.encode();
+    let blob = seal_object(&rootkey, &preamble, &body, |dest| io.env.random_bytes(dest));
+    io.put(&uuid, &blob)?;
+    // The supernode participates in the freshness manifest too: a rolled
+    // back user list would otherwise resurrect revoked identities for
+    // history-less clients.
+    let blob_hash = Sha256::digest(&blob);
+    crate::freshness::record_objects(state, io, &[(uuid, blob_hash)], &[])?;
+    Ok(())
+}
+
+/// Fetches, verifies, and decodes the supernode for `uuid`.
+pub(crate) fn fetch_supernode(
+    io: &MetaIo<'_>,
+    rootkey: &RootKey,
+    uuid: NexusUuid,
+) -> Result<(Supernode, u64)> {
+    let blob = io.get(&uuid)?;
+    let (preamble, body) = open_object(rootkey, &blob)?;
+    if preamble.uuid != uuid || preamble.kind != ObjectKind::Supernode {
+        return Err(NexusError::Integrity("supernode identity mismatch".into()));
+    }
+    let supernode = Supernode::decode(&body)?;
+    if supernode.uuid != uuid {
+        return Err(NexusError::Integrity("supernode body uuid mismatch".into()));
+    }
+    Ok((supernode, preamble.version))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acl::OWNER_USER_ID;
+
+    #[test]
+    fn default_config_matches_paper() {
+        let cfg = NexusConfig::default();
+        assert_eq!(cfg.chunk_size, 1024 * 1024);
+        assert_eq!(cfg.bucket_size, 128);
+        assert!(cfg.cache_metadata);
+    }
+
+    #[test]
+    fn state_requires_mount() {
+        let mut state = EnclaveState::default();
+        assert!(matches!(state.mounted(), Err(NexusError::NotMounted)));
+        assert!(matches!(state.session(), Err(NexusError::NotMounted)));
+    }
+
+    #[test]
+    fn check_access_owner_bypasses_acl() {
+        let mut state = EnclaveState {
+            mounted: Some(test_mounted(Some(Session { user_id: OWNER_USER_ID, is_owner: true }))),
+            ..Default::default()
+        };
+        let dir = Dirnode::new(NexusUuid([1; 16]), NexusUuid::NIL, 8);
+        state.check_access(&dir, Rights::NONE, Rights::RW).unwrap();
+        assert_eq!(state.local_rights(&dir).unwrap(), Rights::RW);
+    }
+
+    #[test]
+    fn check_access_denies_without_effective_rights() {
+        let mut state = EnclaveState {
+            mounted: Some(test_mounted(Some(Session { user_id: UserId(5), is_owner: false }))),
+            ..Default::default()
+        };
+        let dir = Dirnode::new(NexusUuid([1; 16]), NexusUuid::NIL, 8);
+        assert!(matches!(
+            state.check_access(&dir, Rights::NONE, Rights::READ),
+            Err(NexusError::AccessDenied(_))
+        ));
+    }
+
+    #[test]
+    fn check_access_allows_with_effective_rights() {
+        let mut state = EnclaveState {
+            mounted: Some(test_mounted(Some(Session { user_id: UserId(5), is_owner: false }))),
+            ..Default::default()
+        };
+        let mut dir = Dirnode::new(NexusUuid([1; 16]), NexusUuid::NIL, 8);
+        dir.acl.grant(UserId(5), Rights::READ);
+        let local = state.local_rights(&dir).unwrap();
+        assert_eq!(local, Rights::READ);
+        state.check_access(&dir, local, Rights::READ).unwrap();
+        assert!(state.check_access(&dir, local, Rights::WRITE).is_err());
+    }
+
+    fn test_mounted(session: Option<Session>) -> Mounted {
+        use nexus_crypto::ed25519::SigningKey;
+        Mounted {
+            rootkey: [0u8; 32],
+            supernode_uuid: NexusUuid([9; 16]),
+            supernode: Supernode::new(
+                NexusUuid([9; 16]),
+                NexusUuid([8; 16]),
+                "owner",
+                SigningKey::from_seed(&[1; 32]).verifying_key(),
+            ),
+            supernode_version: 1,
+            session,
+            meta_cache: HashMap::new(),
+            version_table: HashMap::new(),
+            manifest: None,
+        }
+    }
+}

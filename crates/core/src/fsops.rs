@@ -1,0 +1,671 @@
+//! The NEXUS filesystem API (paper Table I) — enclave-side implementations.
+//!
+//! Nine operations: seven directory operations (`touch`, `remove`,
+//! `lookup`, `filldir`, `symlink`, `hardlink`, `rename`) and two file
+//! operations (`encrypt`, `decrypt`), plus the random-access read the
+//! chunked format exists for. Each operation traverses the volume's
+//! metadata from the root, decrypting and enforcing access control at every
+//! layer (§IV-A), and takes the server-side advisory lock around metadata
+//! updates (§V-A).
+
+use nexus_crypto::gcm::AesGcm;
+
+use crate::acl::Rights;
+use crate::enclave::{
+    evict, fresh_uuid, load_all_buckets, load_dirnode, load_filenode, lookup_entry,
+    store_dirnode, store_filenode, EnclaveState, MetaIo,
+};
+use crate::error::{NexusError, Result};
+use crate::metadata::dirnode::{DirEntry, Dirnode, EntryKind};
+use crate::metadata::filenode::{ChunkContext, Filenode, CHUNK_OVERHEAD};
+use crate::uuid::NexusUuid;
+use crate::wire::Writer;
+
+/// What `lookup` reports about a path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupInfo {
+    /// UUID of the metadata object backing the path.
+    pub uuid: NexusUuid,
+    /// Entry type at the path.
+    pub kind: FileType,
+    /// Plaintext size for files; entry count for directories.
+    pub size: u64,
+    /// Hard-link count for files (1 otherwise).
+    pub nlink: u32,
+}
+
+/// Public entry type (mirrors [`EntryKind`] without the inline target).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileType {
+    /// A directory.
+    Directory,
+    /// A regular file.
+    File,
+    /// A symbolic link.
+    Symlink,
+}
+
+impl From<&EntryKind> for FileType {
+    fn from(kind: &EntryKind) -> FileType {
+        match kind {
+            EntryKind::Directory => FileType::Directory,
+            EntryKind::File => FileType::File,
+            EntryKind::Symlink(_) => FileType::Symlink,
+        }
+    }
+}
+
+/// One row of a directory listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirRow {
+    /// Entry name.
+    pub name: String,
+    /// Entry type.
+    pub kind: FileType,
+}
+
+/// RAII unlock for the server-side advisory lock.
+struct LockGuard<'x, 'a> {
+    io: &'x MetaIo<'a>,
+    uuid: NexusUuid,
+}
+
+impl<'x, 'a> LockGuard<'x, 'a> {
+    fn acquire(io: &'x MetaIo<'a>, uuid: NexusUuid) -> Result<LockGuard<'x, 'a>> {
+        io.lock(&uuid)?;
+        Ok(LockGuard { io, uuid })
+    }
+}
+
+impl Drop for LockGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.io.unlock(&self.uuid);
+    }
+}
+
+/// Splits and validates a path into components.
+pub(crate) fn split_path(path: &str) -> Result<Vec<&str>> {
+    let mut out = Vec::new();
+    for comp in path.split('/') {
+        match comp {
+            "" | "." => continue,
+            ".." => return Err(NexusError::InvalidName("`..` is not supported".into())),
+            name => out.push(name),
+        }
+    }
+    Ok(out)
+}
+
+fn validate_name(name: &str) -> Result<()> {
+    if name.is_empty() || name.contains('/') || name == "." || name == ".." {
+        return Err(NexusError::InvalidName(name.to_string()));
+    }
+    Ok(())
+}
+
+/// Walks from the volume root through `components`, validating parent
+/// pointers and decrypting each layer; returns the final dirnode.
+///
+/// Traversal itself requires only an authenticated session. Rights are
+/// enforced against the *containing* directory of whatever an operation
+/// touches (paper §IV-C: "permissions apply to all files and
+/// subdirectories within a directory"), so holding rights on a shared
+/// subdirectory suffices even without rights on its ancestors.
+pub(crate) fn resolve_dir(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    components: &[&str],
+) -> Result<(Dirnode, Rights)> {
+    state.session()?;
+    let root_uuid = state.mounted()?.supernode.root_dir;
+    let mut dir = load_dirnode(state, io, root_uuid, Some(NexusUuid::NIL))?;
+    let mut effective = state.local_rights(&dir)?;
+    for comp in components {
+        let entry = lookup_entry(state, io, &mut dir, comp)?
+            .ok_or_else(|| NexusError::NotFound((*comp).to_string()))?;
+        match entry.kind {
+            EntryKind::Directory => {
+                dir = load_dirnode(state, io, entry.uuid, Some(dir.uuid))?;
+                effective = effective.union(state.local_rights(&dir)?);
+            }
+            _ => return Err(NexusError::NotADirectory((*comp).to_string())),
+        }
+    }
+    Ok((dir, effective))
+}
+
+/// Resolves the parent directory of `path`, returning it, the final name,
+/// and the session's effective rights on it.
+fn resolve_parent<'p>(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    path: &'p str,
+) -> Result<(Dirnode, &'p str, Rights)> {
+    let comps = split_path(path)?;
+    let (last, parents) = comps
+        .split_last()
+        .ok_or_else(|| NexusError::InvalidName("path has no final component".into()))?;
+    let (dir, effective) = resolve_dir(state, io, parents)?;
+    Ok((dir, last, effective))
+}
+
+/// `nexus_fs_touch`: creates a file or directory at `path`.
+pub(crate) fn fs_touch(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    path: &str,
+    kind: FileType,
+) -> Result<NexusUuid> {
+    #[allow(unused_mut)]
+    let (mut dir, name, effective) = resolve_parent(state, io, path)?;
+    validate_name(name)?;
+    state.check_access(&dir, effective, Rights::WRITE)?;
+    let _lock = LockGuard::acquire(io, dir.uuid)?;
+    // Re-load under the lock: another client may have updated the dirnode
+    // between resolution and lock acquisition.
+    dir = load_dirnode(state, io, dir.uuid, None)?;
+    load_all_buckets(state, io, &mut dir)?;
+    if dir.find_loaded(name).is_some() {
+        return Err(NexusError::AlreadyExists(path.to_string()));
+    }
+    let child_uuid = fresh_uuid(io.env);
+    let config = state.config();
+    match kind {
+        FileType::Directory => {
+            let child = Dirnode::new(child_uuid, dir.uuid, config.bucket_size);
+            store_dirnode(state, io, child)?;
+            dir.insert(
+                DirEntry { name: name.into(), uuid: child_uuid, kind: EntryKind::Directory },
+                fresh_uuid(io.env),
+            )?;
+        }
+        FileType::File => {
+            let data_uuid = fresh_uuid(io.env);
+            let fnode = Filenode::new(child_uuid, dir.uuid, data_uuid, config.chunk_size);
+            io.put(&data_uuid, &[])?;
+            store_filenode(state, io, fnode)?;
+            dir.insert(
+                DirEntry { name: name.into(), uuid: child_uuid, kind: EntryKind::File },
+                fresh_uuid(io.env),
+            )?;
+        }
+        FileType::Symlink => {
+            return Err(NexusError::InvalidName("use fs_symlink for symlinks".into()))
+        }
+    }
+    store_dirnode(state, io, dir)?;
+    Ok(child_uuid)
+}
+
+/// `nexus_fs_remove`: deletes the file, empty directory, or symlink at
+/// `path`.
+pub(crate) fn fs_remove(state: &mut EnclaveState, io: &MetaIo<'_>, path: &str) -> Result<()> {
+    let (mut dir, name, effective) = resolve_parent(state, io, path)?;
+    state.check_access(&dir, effective, Rights::WRITE)?;
+    let _lock = LockGuard::acquire(io, dir.uuid)?;
+    dir = load_dirnode(state, io, dir.uuid, None)?;
+    load_all_buckets(state, io, &mut dir)?;
+    let entry = dir
+        .find_loaded(name)
+        .cloned()
+        .ok_or_else(|| NexusError::NotFound(path.to_string()))?;
+    let mut manifest_removals: Vec<NexusUuid> = Vec::new();
+    match &entry.kind {
+        EntryKind::Directory => {
+            let child = load_dirnode(state, io, entry.uuid, Some(dir.uuid))?;
+            if child.entry_count > 0 {
+                return Err(NexusError::NotEmpty(path.to_string()));
+            }
+            for slot in &child.buckets {
+                let _ = io.delete(&slot.re.uuid);
+                manifest_removals.push(slot.re.uuid);
+            }
+            io.delete(&entry.uuid)?;
+            manifest_removals.push(entry.uuid);
+            evict(state, &entry.uuid);
+        }
+        EntryKind::File => {
+            let mut fnode = load_filenode(state, io, entry.uuid, None)?;
+            fnode.nlink = fnode.nlink.saturating_sub(1);
+            if fnode.nlink == 0 {
+                let _ = io.delete(&fnode.data_uuid);
+                io.delete(&entry.uuid)?;
+                manifest_removals.push(entry.uuid);
+                evict(state, &entry.uuid);
+            } else {
+                store_filenode(state, io, fnode)?;
+            }
+        }
+        EntryKind::Symlink(_) => {}
+    }
+    dir.remove(name)?;
+    for pruned in dir.prune_empty_buckets() {
+        let _ = io.delete(&pruned);
+        manifest_removals.push(pruned);
+    }
+    store_dirnode(state, io, dir)?;
+    crate::freshness::record_objects(state, io, &[], &manifest_removals)?;
+    Ok(())
+}
+
+/// `nexus_fs_lookup`: finds a file/directory by path.
+pub(crate) fn fs_lookup(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    path: &str,
+) -> Result<LookupInfo> {
+    let comps = split_path(path)?;
+    if comps.is_empty() {
+        let (dir, effective) = resolve_dir(state, io, &[])?;
+        state.check_access(&dir, effective, Rights::READ)?;
+        return Ok(LookupInfo {
+            uuid: dir.uuid,
+            kind: FileType::Directory,
+            size: dir.entry_count,
+            nlink: 1,
+        });
+    }
+    let (mut dir, name, effective) = resolve_parent(state, io, path)?;
+    state.check_access(&dir, effective, Rights::READ)?;
+    let entry = lookup_entry(state, io, &mut dir, name)?
+        .ok_or_else(|| NexusError::NotFound(path.to_string()))?;
+    match &entry.kind {
+        EntryKind::Directory => {
+            let child = load_dirnode(state, io, entry.uuid, Some(dir.uuid))?;
+            Ok(LookupInfo {
+                uuid: entry.uuid,
+                kind: FileType::Directory,
+                size: child.entry_count,
+                nlink: 1,
+            })
+        }
+        EntryKind::File => {
+            let fnode = load_file_via(state, io, &dir, &entry)?;
+            Ok(LookupInfo {
+                uuid: entry.uuid,
+                kind: FileType::File,
+                size: fnode.size,
+                nlink: fnode.nlink,
+            })
+        }
+        EntryKind::Symlink(_) => Ok(LookupInfo {
+            uuid: entry.uuid,
+            kind: FileType::Symlink,
+            size: 0,
+            nlink: 1,
+        }),
+    }
+}
+
+/// Loads a filenode reached through `dir`, applying the parent-pointer check
+/// for non-hardlinked files (hardlinks legitimately have one parent only).
+fn load_file_via(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    dir: &Dirnode,
+    entry: &DirEntry,
+) -> Result<Filenode> {
+    let fnode = load_filenode(state, io, entry.uuid, None)?;
+    if fnode.nlink <= 1 && fnode.parent != dir.uuid {
+        return Err(NexusError::Integrity(format!(
+            "filenode {} reached via {} but claims parent {} (swapping attack)",
+            entry.uuid, dir.uuid, fnode.parent
+        )));
+    }
+    Ok(fnode)
+}
+
+/// `nexus_fs_filldir`: lists a directory.
+pub(crate) fn fs_filldir(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    path: &str,
+) -> Result<Vec<DirRow>> {
+    let comps = split_path(path)?;
+    let (mut dir, effective) = resolve_dir(state, io, &comps)?;
+    state.check_access(&dir, effective, Rights::READ)?;
+    load_all_buckets(state, io, &mut dir)?;
+    Ok(dir
+        .list_loaded()
+        .into_iter()
+        .map(|e| DirRow { name: e.name.clone(), kind: FileType::from(&e.kind) })
+        .collect())
+}
+
+/// `nexus_fs_symlink`: creates a symlink at `linkpath` pointing to `target`.
+pub(crate) fn fs_symlink(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    target: &str,
+    linkpath: &str,
+) -> Result<NexusUuid> {
+    let (mut dir, name, effective) = resolve_parent(state, io, linkpath)?;
+    validate_name(name)?;
+    state.check_access(&dir, effective, Rights::WRITE)?;
+    let _lock = LockGuard::acquire(io, dir.uuid)?;
+    dir = load_dirnode(state, io, dir.uuid, None)?;
+    load_all_buckets(state, io, &mut dir)?;
+    let uuid = fresh_uuid(io.env);
+    dir.insert(
+        DirEntry { name: name.into(), uuid, kind: EntryKind::Symlink(target.into()) },
+        fresh_uuid(io.env),
+    )?;
+    store_dirnode(state, io, dir)?;
+    Ok(uuid)
+}
+
+/// Reads the target of a symlink.
+pub(crate) fn fs_readlink(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    path: &str,
+) -> Result<String> {
+    let (mut dir, name, effective) = resolve_parent(state, io, path)?;
+    state.check_access(&dir, effective, Rights::READ)?;
+    let entry = lookup_entry(state, io, &mut dir, name)?
+        .ok_or_else(|| NexusError::NotFound(path.to_string()))?;
+    match entry.kind {
+        EntryKind::Symlink(target) => Ok(target),
+        _ => Err(NexusError::InvalidName(format!("{path} is not a symlink"))),
+    }
+}
+
+/// `nexus_fs_hardlink`: makes `linkpath` a second name for the file at
+/// `existing`.
+pub(crate) fn fs_hardlink(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    existing: &str,
+    linkpath: &str,
+) -> Result<()> {
+    let (mut src_dir, src_name, src_effective) = resolve_parent(state, io, existing)?;
+    state.check_access(&src_dir, src_effective, Rights::READ)?;
+    let src_entry = lookup_entry(state, io, &mut src_dir, src_name)?
+        .ok_or_else(|| NexusError::NotFound(existing.to_string()))?;
+    if !matches!(src_entry.kind, EntryKind::File) {
+        return Err(NexusError::IsADirectory(existing.to_string()));
+    }
+    let mut fnode = load_file_via(state, io, &src_dir, &src_entry)?;
+
+    let (mut dst_dir, dst_name, dst_effective) = resolve_parent(state, io, linkpath)?;
+    validate_name(dst_name)?;
+    state.check_access(&dst_dir, dst_effective, Rights::WRITE)?;
+    let _lock = LockGuard::acquire(io, dst_dir.uuid)?;
+    dst_dir = load_dirnode(state, io, dst_dir.uuid, None)?;
+    load_all_buckets(state, io, &mut dst_dir)?;
+    if dst_dir.find_loaded(dst_name).is_some() {
+        return Err(NexusError::AlreadyExists(linkpath.to_string()));
+    }
+    fnode.nlink += 1;
+    store_filenode(state, io, fnode)?;
+    dst_dir.insert(
+        DirEntry { name: dst_name.into(), uuid: src_entry.uuid, kind: EntryKind::File },
+        fresh_uuid(io.env),
+    )?;
+    store_dirnode(state, io, dst_dir)?;
+    Ok(())
+}
+
+/// `nexus_fs_rename`: moves `from` to `to` (both full paths).
+pub(crate) fn fs_rename(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    from: &str,
+    to: &str,
+) -> Result<()> {
+    // Moving a directory into its own subtree would orphan it (POSIX
+    // EINVAL); reject by component-prefix comparison before any I/O.
+    let from_comps = split_path(from)?;
+    let to_comps = split_path(to)?;
+    if to_comps.len() > from_comps.len() && to_comps[..from_comps.len()] == from_comps[..] {
+        return Err(NexusError::InvalidName(format!(
+            "cannot move {from:?} into its own subtree {to:?}"
+        )));
+    }
+    let (mut src_dir, src_name, src_effective) = resolve_parent(state, io, from)?;
+    state.check_access(&src_dir, src_effective, Rights::WRITE)?;
+    // POSIX ordering: the source must exist before the destination parent
+    // is even considered.
+    if lookup_entry(state, io, &mut src_dir, src_name)?.is_none() {
+        return Err(NexusError::NotFound(from.to_string()));
+    }
+    let (dst_dir, dst_name, dst_effective) = resolve_parent(state, io, to)?;
+    validate_name(dst_name)?;
+    state.check_access(&dst_dir, dst_effective, Rights::WRITE)?;
+
+    let same_dir = src_dir.uuid == dst_dir.uuid;
+    let _lock = LockGuard::acquire(io, src_dir.uuid)?;
+    let _lock2 = if same_dir { None } else { Some(LockGuard::acquire(io, dst_dir.uuid)?) };
+
+    src_dir = load_dirnode(state, io, src_dir.uuid, None)?;
+    load_all_buckets(state, io, &mut src_dir)?;
+    let entry = src_dir
+        .find_loaded(src_name)
+        .cloned()
+        .ok_or_else(|| NexusError::NotFound(from.to_string()))?;
+
+    if same_dir {
+        if src_name == dst_name {
+            return Ok(());
+        }
+        if src_dir.find_loaded(dst_name).is_some() {
+            return Err(NexusError::AlreadyExists(to.to_string()));
+        }
+        src_dir.remove(src_name)?;
+        src_dir.insert(
+            DirEntry { name: dst_name.into(), ..entry },
+            fresh_uuid(io.env),
+        )?;
+        store_dirnode(state, io, src_dir)?;
+        return Ok(());
+    }
+
+    let mut dst_dir = load_dirnode(state, io, dst_dir.uuid, None)?;
+    load_all_buckets(state, io, &mut dst_dir)?;
+    if dst_dir.find_loaded(dst_name).is_some() {
+        return Err(NexusError::AlreadyExists(to.to_string()));
+    }
+    src_dir.remove(src_name)?;
+
+    // Re-home the child's parent pointer so traversal checks keep holding.
+    match &entry.kind {
+        EntryKind::Directory => {
+            let mut child = load_dirnode(state, io, entry.uuid, Some(src_dir.uuid))?;
+            child.parent = dst_dir.uuid;
+            // Buckets carry the dirnode itself as parent, so only the main
+            // object changes — but it must be marked so store rewrites it.
+            store_dirnode(state, io, child)?;
+        }
+        EntryKind::File => {
+            let mut fnode = load_filenode(state, io, entry.uuid, None)?;
+            if fnode.nlink <= 1 {
+                fnode.parent = dst_dir.uuid;
+                store_filenode(state, io, fnode)?;
+            }
+        }
+        EntryKind::Symlink(_) => {}
+    }
+
+    dst_dir.insert(
+        DirEntry { name: dst_name.into(), ..entry },
+        fresh_uuid(io.env),
+    )?;
+    let mut manifest_removals: Vec<NexusUuid> = Vec::new();
+    for pruned in src_dir.prune_empty_buckets() {
+        let _ = io.delete(&pruned);
+        manifest_removals.push(pruned);
+    }
+    store_dirnode(state, io, src_dir)?;
+    store_dirnode(state, io, dst_dir)?;
+    crate::freshness::record_objects(state, io, &[], &manifest_removals)?;
+    Ok(())
+}
+
+/// AAD binding a chunk to its file, position, and file size.
+fn chunk_aad(data_uuid: &NexusUuid, index: u64, total_size: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.uuid(data_uuid).u64(index).u64(total_size);
+    w.into_bytes()
+}
+
+/// `nexus_fs_encrypt`: replaces the contents of the file at `path` with
+/// `data`, drawing fresh per-chunk keys (§VI-A).
+pub(crate) fn fs_encrypt(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    path: &str,
+    data: &[u8],
+) -> Result<()> {
+    let (mut dir, name, effective) = resolve_parent(state, io, path)?;
+    state.check_access(&dir, effective, Rights::WRITE)?;
+    let entry = lookup_entry(state, io, &mut dir, name)?
+        .ok_or_else(|| NexusError::NotFound(path.to_string()))?;
+    if !matches!(entry.kind, EntryKind::File) {
+        return Err(NexusError::IsADirectory(path.to_string()));
+    }
+    let mut fnode = load_file_via(state, io, &dir, &entry)?;
+    let _lock = LockGuard::acquire(io, fnode.uuid)?;
+
+    let chunk_size = fnode.chunk_size as usize;
+    let n_chunks = Filenode::chunk_count_for(data.len() as u64, fnode.chunk_size);
+    let mut ciphertext =
+        Vec::with_capacity(data.len() + (n_chunks as usize) * CHUNK_OVERHEAD as usize);
+    let mut contexts = Vec::with_capacity(n_chunks as usize);
+    for (idx, chunk) in data.chunks(chunk_size.max(1)).enumerate() {
+        let mut key = [0u8; 16];
+        io.env.random_bytes(&mut key);
+        let mut nonce = [0u8; 12];
+        io.env.random_bytes(&mut nonce);
+        let gcm = AesGcm::new_128(&key);
+        let aad = chunk_aad(&fnode.data_uuid, idx as u64, data.len() as u64);
+        ciphertext.extend_from_slice(&gcm.seal(&nonce, &aad, chunk));
+        contexts.push(ChunkContext { key, nonce });
+    }
+    io.put(&fnode.data_uuid, &ciphertext)?;
+    fnode.size = data.len() as u64;
+    fnode.chunks = contexts;
+    store_filenode(state, io, fnode)?;
+    Ok(())
+}
+
+/// `nexus_fs_decrypt`: reads and decrypts the whole file at `path`.
+pub(crate) fn fs_decrypt(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    path: &str,
+) -> Result<Vec<u8>> {
+    let (dir, entry, fnode) = open_file_for_read(state, io, path)?;
+    let _ = (dir, entry);
+    let ciphertext = io.get(&fnode.data_uuid)?;
+    decrypt_chunks(&fnode, &ciphertext, 0, fnode.chunks.len() as u64)
+}
+
+/// Random access: decrypts only the chunks covering `[offset, offset+len)`.
+pub(crate) fn fs_read_range(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    path: &str,
+    offset: u64,
+    len: u64,
+) -> Result<Vec<u8>> {
+    let (_dir, _entry, fnode) = open_file_for_read(state, io, path)?;
+    if len == 0 {
+        return Ok(Vec::new());
+    }
+    if offset + len > fnode.size {
+        return Err(NexusError::Malformed(format!(
+            "read {offset}+{len} beyond eof {}",
+            fnode.size
+        )));
+    }
+    let first = offset / fnode.chunk_size as u64;
+    let last = (offset + len - 1) / fnode.chunk_size as u64;
+    // Fetch the covering ciphertext span in one ranged read.
+    let (span_start, _) = fnode.ciphertext_range(first);
+    let (last_start, last_len) = fnode.ciphertext_range(last);
+    let span = io.get_range(&fnode.data_uuid, span_start, last_start + last_len - span_start)?;
+    let plain = decrypt_chunks_at(&fnode, &span, first, last - first + 1)?;
+    let skip = (offset - first * fnode.chunk_size as u64) as usize;
+    Ok(plain[skip..skip + len as usize].to_vec())
+}
+
+fn open_file_for_read(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    path: &str,
+) -> Result<(Dirnode, DirEntry, Filenode)> {
+    let (mut dir, name, effective) = resolve_parent(state, io, path)?;
+    state.check_access(&dir, effective, Rights::READ)?;
+    let entry = lookup_entry(state, io, &mut dir, name)?
+        .ok_or_else(|| NexusError::NotFound(path.to_string()))?;
+    if !matches!(entry.kind, EntryKind::File) {
+        return Err(NexusError::IsADirectory(path.to_string()));
+    }
+    let fnode = load_file_via(state, io, &dir, &entry)?;
+    Ok((dir, entry, fnode))
+}
+
+/// Decrypts whole-file ciphertext (chunks `0..count`).
+fn decrypt_chunks(fnode: &Filenode, ciphertext: &[u8], first: u64, count: u64) -> Result<Vec<u8>> {
+    decrypt_chunks_at(fnode, ciphertext, first, count)
+}
+
+/// Decrypts `count` chunks starting at chunk `first`, where `ciphertext`
+/// begins exactly at chunk `first`'s ciphertext offset.
+fn decrypt_chunks_at(
+    fnode: &Filenode,
+    ciphertext: &[u8],
+    first: u64,
+    count: u64,
+) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut cursor = 0usize;
+    for idx in first..first + count {
+        let ctx = fnode
+            .chunks
+            .get(idx as usize)
+            .ok_or_else(|| NexusError::Integrity("missing chunk context".into()))?;
+        let ct_len = (fnode.plaintext_chunk_len(idx) + CHUNK_OVERHEAD) as usize;
+        let chunk_ct = ciphertext
+            .get(cursor..cursor + ct_len)
+            .ok_or_else(|| NexusError::Integrity("data object truncated".into()))?;
+        cursor += ct_len;
+        let gcm = AesGcm::new_128(&ctx.key);
+        let aad = chunk_aad(&fnode.data_uuid, idx, fnode.size);
+        let plain = gcm
+            .open(&ctx.nonce, &aad, chunk_ct)
+            .map_err(|_| NexusError::Integrity(format!("chunk {idx} failed authentication")))?;
+        out.extend_from_slice(&plain);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_path_variants() {
+        assert_eq!(split_path("a/b/c").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(split_path("/a//b/").unwrap(), vec!["a", "b"]);
+        assert_eq!(split_path("").unwrap(), Vec::<&str>::new());
+        assert_eq!(split_path("./a").unwrap(), vec!["a"]);
+        assert!(split_path("a/../b").is_err());
+    }
+
+    #[test]
+    fn validate_name_rejects_bad_names() {
+        assert!(validate_name("ok.txt").is_ok());
+        assert!(validate_name("").is_err());
+        assert!(validate_name("a/b").is_err());
+        assert!(validate_name(".").is_err());
+    }
+
+    #[test]
+    fn chunk_aad_is_positional() {
+        let u = NexusUuid([5; 16]);
+        assert_ne!(chunk_aad(&u, 0, 100), chunk_aad(&u, 1, 100));
+        assert_ne!(chunk_aad(&u, 0, 100), chunk_aad(&u, 0, 101));
+        assert_ne!(chunk_aad(&u, 0, 100), chunk_aad(&NexusUuid([6; 16]), 0, 100));
+    }
+}

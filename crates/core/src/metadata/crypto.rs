@@ -1,0 +1,297 @@
+//! The three-section encrypted metadata layout (paper §IV-A2).
+//!
+//! Every metadata object on the untrusted store consists of:
+//!
+//! 1. a **preamble** of non-sensitive fields (type, UUID, parent UUID,
+//!    version) — integrity-protected as AAD;
+//! 2. a **cryptographic context**: a fresh 128-bit object key, key-wrapped
+//!    under the volume rootkey with AES-GCM-SIV, plus the nonces — also
+//!    integrity-protected;
+//! 3. the **protected body**, encrypted and authenticated with AES-GCM
+//!    under the object key.
+//!
+//! A fresh object key and nonces are drawn on *every* update, so revocation
+//! only ever re-encrypts metadata (never file data), and possession of an
+//! old object key reveals nothing about the current version.
+
+use nexus_crypto::gcm::AesGcm;
+use nexus_crypto::gcm_siv::AesGcmSiv;
+
+use crate::error::{NexusError, Result};
+use crate::uuid::NexusUuid;
+use crate::wire::{Reader, Writer};
+
+/// Magic bytes opening every metadata object.
+pub const MAGIC: &[u8; 4] = b"NXMD";
+
+/// Volume rootkey: the single secret a user needs (sealed) to use a volume.
+pub type RootKey = [u8; 32];
+
+/// What kind of metadata an object holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjectKind {
+    /// Volume supernode (superblock analogue).
+    Supernode,
+    /// Directory node (dentry analogue) — the main bucket.
+    Dirnode,
+    /// Overflow bucket of a large directory.
+    DirBucket,
+    /// File node (inode analogue).
+    Filenode,
+    /// The volume freshness manifest (§VI-C extension).
+    Manifest,
+}
+
+impl ObjectKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            ObjectKind::Supernode => 1,
+            ObjectKind::Dirnode => 2,
+            ObjectKind::DirBucket => 3,
+            ObjectKind::Filenode => 4,
+            ObjectKind::Manifest => 5,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<ObjectKind> {
+        match v {
+            1 => Ok(ObjectKind::Supernode),
+            2 => Ok(ObjectKind::Dirnode),
+            3 => Ok(ObjectKind::DirBucket),
+            4 => Ok(ObjectKind::Filenode),
+            5 => Ok(ObjectKind::Manifest),
+            other => Err(NexusError::Malformed(format!("unknown object kind {other}"))),
+        }
+    }
+}
+
+/// The integrity-protected, unencrypted header of a metadata object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Preamble {
+    /// Object kind.
+    pub kind: ObjectKind,
+    /// This object's UUID (must match the name it is stored under).
+    pub uuid: NexusUuid,
+    /// The containing directory's UUID (anti-swapping pointer, §IV-A3);
+    /// NIL for the supernode and the root dirnode.
+    pub parent: NexusUuid,
+    /// Monotonic version for rollback detection (§VI-C).
+    pub version: u64,
+}
+
+impl Preamble {
+    const ENCODED_LEN: usize = 4 + 1 + 16 + 16 + 8;
+
+    fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.raw(MAGIC)
+            .u8(self.kind.to_u8())
+            .uuid(&self.uuid)
+            .uuid(&self.parent)
+            .u64(self.version);
+        w.into_bytes()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Preamble> {
+        let mut r = Reader::new(bytes);
+        let magic = r.array::<4>()?;
+        if &magic != MAGIC {
+            return Err(NexusError::Malformed("bad magic".into()));
+        }
+        let kind = ObjectKind::from_u8(r.u8()?)?;
+        let uuid = r.uuid()?;
+        let parent = r.uuid()?;
+        let version = r.u64()?;
+        Ok(Preamble { kind, uuid, parent, version })
+    }
+}
+
+/// Lengths of the crypto-context section.
+const SIV_NONCE_LEN: usize = 12;
+const WRAPPED_KEY_LEN: usize = 16 + 16; // key + GCM-SIV tag
+const GCM_NONCE_LEN: usize = 12;
+
+/// Encrypts a metadata body into the full on-storage representation.
+///
+/// `fill_random` supplies enclave randomness for the fresh object key and
+/// nonces.
+pub fn seal_object(
+    rootkey: &RootKey,
+    preamble: &Preamble,
+    body: &[u8],
+    mut fill_random: impl FnMut(&mut [u8]),
+) -> Vec<u8> {
+    let preamble_bytes = preamble.encode();
+
+    let mut object_key = [0u8; 16];
+    fill_random(&mut object_key);
+    let mut siv_nonce = [0u8; SIV_NONCE_LEN];
+    fill_random(&mut siv_nonce);
+    let mut gcm_nonce = [0u8; GCM_NONCE_LEN];
+    fill_random(&mut gcm_nonce);
+
+    // Section 2: wrap the object key under the rootkey.
+    let siv = AesGcmSiv::new_256(rootkey);
+    let wrapped = siv.seal(&siv_nonce, &preamble_bytes, &object_key);
+    debug_assert_eq!(wrapped.len(), WRAPPED_KEY_LEN);
+
+    // Section 3: encrypt the body, binding sections 1 and 2 as AAD.
+    let mut aad = preamble_bytes.clone();
+    aad.extend_from_slice(&siv_nonce);
+    aad.extend_from_slice(&wrapped);
+    let gcm = AesGcm::new_128(&object_key);
+    let ciphertext = gcm.seal(&gcm_nonce, &aad, body);
+
+    let mut out = Vec::with_capacity(
+        preamble_bytes.len() + SIV_NONCE_LEN + WRAPPED_KEY_LEN + GCM_NONCE_LEN + ciphertext.len(),
+    );
+    out.extend_from_slice(&preamble_bytes);
+    out.extend_from_slice(&siv_nonce);
+    out.extend_from_slice(&wrapped);
+    out.extend_from_slice(&gcm_nonce);
+    out.extend_from_slice(&ciphertext);
+    out
+}
+
+/// Verifies and decrypts a metadata object fetched from untrusted storage.
+///
+/// # Errors
+///
+/// [`NexusError::Malformed`] on framing problems, [`NexusError::Integrity`]
+/// when any authentication check fails (wrong rootkey, tampering, or a
+/// spliced preamble).
+pub fn open_object(rootkey: &RootKey, blob: &[u8]) -> Result<(Preamble, Vec<u8>)> {
+    let fixed = Preamble::ENCODED_LEN + SIV_NONCE_LEN + WRAPPED_KEY_LEN + GCM_NONCE_LEN + 16;
+    if blob.len() < fixed {
+        return Err(NexusError::Malformed("metadata object too short".into()));
+    }
+    let (preamble_bytes, rest) = blob.split_at(Preamble::ENCODED_LEN);
+    let preamble = Preamble::decode(preamble_bytes)?;
+    let (siv_nonce, rest) = rest.split_at(SIV_NONCE_LEN);
+    let (wrapped, rest) = rest.split_at(WRAPPED_KEY_LEN);
+    let (gcm_nonce, ciphertext) = rest.split_at(GCM_NONCE_LEN);
+
+    let siv = AesGcmSiv::new_256(rootkey);
+    let siv_nonce_arr: [u8; 12] = siv_nonce.try_into().unwrap();
+    let object_key = siv
+        .open(&siv_nonce_arr, preamble_bytes, wrapped)
+        .map_err(|_| NexusError::Integrity("metadata key unwrap failed".into()))?;
+    let object_key: [u8; 16] = object_key
+        .try_into()
+        .map_err(|_| NexusError::Integrity("unwrapped key has wrong length".into()))?;
+
+    let mut aad = preamble_bytes.to_vec();
+    aad.extend_from_slice(siv_nonce);
+    aad.extend_from_slice(wrapped);
+    let gcm = AesGcm::new_128(&object_key);
+    let gcm_nonce_arr: [u8; 12] = gcm_nonce.try_into().unwrap();
+    let body = gcm
+        .open(&gcm_nonce_arr, &aad, ciphertext)
+        .map_err(|_| NexusError::Integrity("metadata body authentication failed".into()))?;
+    Ok((preamble, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rk() -> RootKey {
+        [0x11; 32]
+    }
+
+    fn pre() -> Preamble {
+        Preamble {
+            kind: ObjectKind::Dirnode,
+            uuid: NexusUuid([1; 16]),
+            parent: NexusUuid([2; 16]),
+            version: 7,
+        }
+    }
+
+    fn rand(dest: &mut [u8]) {
+        for (i, b) in dest.iter_mut().enumerate() {
+            *b = (i * 31 + 5) as u8;
+        }
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let blob = seal_object(&rk(), &pre(), b"directory contents", rand);
+        let (preamble, body) = open_object(&rk(), &blob).unwrap();
+        assert_eq!(preamble, pre());
+        assert_eq!(body, b"directory contents");
+    }
+
+    #[test]
+    fn wrong_rootkey_fails() {
+        let blob = seal_object(&rk(), &pre(), b"secret", rand);
+        let err = open_object(&[0x22; 32], &blob).unwrap_err();
+        assert!(matches!(err, NexusError::Integrity(_)));
+    }
+
+    #[test]
+    fn tampered_preamble_fails() {
+        let mut blob = seal_object(&rk(), &pre(), b"secret", rand);
+        blob[30] ^= 1; // inside the parent uuid
+        let err = open_object(&rk(), &blob).unwrap_err();
+        assert!(matches!(err, NexusError::Integrity(_)));
+    }
+
+    #[test]
+    fn tampered_version_fails() {
+        // Downgrading the plaintext version field must break authentication.
+        let mut blob = seal_object(&rk(), &pre(), b"secret", rand);
+        blob[Preamble::ENCODED_LEN - 1] ^= 1;
+        assert!(open_object(&rk(), &blob).is_err());
+    }
+
+    #[test]
+    fn tampered_ciphertext_fails() {
+        let mut blob = seal_object(&rk(), &pre(), b"secret", rand);
+        let last = blob.len() - 1;
+        blob[last] ^= 1;
+        let err = open_object(&rk(), &blob).unwrap_err();
+        assert!(matches!(err, NexusError::Integrity(_)));
+    }
+
+    #[test]
+    fn spliced_crypto_context_fails() {
+        // Take the context from one object and splice it into another.
+        let blob_a = seal_object(&rk(), &pre(), b"aaaa", rand);
+        let other = Preamble { version: 8, ..pre() };
+        let mut blob_b = seal_object(&rk(), &other, b"bbbb", rand);
+        let ctx_range = Preamble::ENCODED_LEN..Preamble::ENCODED_LEN + 12 + 32;
+        blob_b[ctx_range.clone()].copy_from_slice(&blob_a[ctx_range]);
+        assert!(open_object(&rk(), &blob_b).is_err());
+    }
+
+    #[test]
+    fn truncated_blob_is_malformed() {
+        let blob = seal_object(&rk(), &pre(), b"secret", rand);
+        assert!(matches!(
+            open_object(&rk(), &blob[..20]),
+            Err(NexusError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn empty_body_allowed() {
+        let blob = seal_object(&rk(), &pre(), b"", rand);
+        let (_, body) = open_object(&rk(), &blob).unwrap();
+        assert!(body.is_empty());
+    }
+
+    #[test]
+    fn object_kind_roundtrip() {
+        for kind in [
+            ObjectKind::Supernode,
+            ObjectKind::Dirnode,
+            ObjectKind::DirBucket,
+            ObjectKind::Filenode,
+            ObjectKind::Manifest,
+        ] {
+            assert_eq!(ObjectKind::from_u8(kind.to_u8()).unwrap(), kind);
+        }
+        assert!(ObjectKind::from_u8(99).is_err());
+    }
+}

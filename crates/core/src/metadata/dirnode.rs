@@ -1,0 +1,437 @@
+//! Directory nodes and their buckets (paper §IV-A1, §V-B).
+//!
+//! A dirnode maps human-readable names to the UUIDs of child *metadata*
+//! objects (never data objects directly) and carries the directory's ACL.
+//! To keep updates to large directories cheap, entries live in
+//! independently-encrypted **buckets** stored as separate metadata objects;
+//! the main dirnode stores each bucket's MAC, preventing bucket-level
+//! rollback, and only dirty buckets are re-encrypted on flush.
+
+use crate::acl::Acl;
+use crate::error::{NexusError, Result};
+use crate::uuid::NexusUuid;
+use crate::wire::{Reader, Writer};
+
+/// Default number of entries per bucket (the evaluation uses 128, §VII).
+pub const DEFAULT_BUCKET_SIZE: usize = 128;
+
+/// What a directory entry points at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntryKind {
+    /// A subdirectory; the UUID names a dirnode.
+    Directory,
+    /// A regular file; the UUID names a filenode. Hardlinks are additional
+    /// entries sharing one filenode UUID.
+    File,
+    /// A symbolic link storing its target path inline.
+    Symlink(String),
+}
+
+impl EntryKind {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            EntryKind::Directory => {
+                w.u8(1);
+            }
+            EntryKind::File => {
+                w.u8(2);
+            }
+            EntryKind::Symlink(target) => {
+                w.u8(3);
+                w.string(target);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<EntryKind> {
+        match r.u8()? {
+            1 => Ok(EntryKind::Directory),
+            2 => Ok(EntryKind::File),
+            3 => Ok(EntryKind::Symlink(r.string()?)),
+            other => Err(NexusError::Malformed(format!("unknown entry kind {other}"))),
+        }
+    }
+}
+
+/// One name → metadata-UUID mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Plaintext component name (only visible inside the enclave).
+    pub name: String,
+    /// UUID of the child's metadata object.
+    pub uuid: NexusUuid,
+    /// Entry type.
+    pub kind: EntryKind,
+}
+
+impl DirEntry {
+    fn encode(&self, w: &mut Writer) {
+        w.string(&self.name);
+        w.uuid(&self.uuid);
+        self.kind.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<DirEntry> {
+        let name = r.string()?;
+        let uuid = r.uuid()?;
+        let kind = EntryKind::decode(r)?;
+        Ok(DirEntry { name, uuid, kind })
+    }
+}
+
+/// A bucket of directory entries (stored as its own metadata object).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bucket {
+    /// Entries in insertion order.
+    pub entries: Vec<DirEntry>,
+}
+
+impl Bucket {
+    /// Serializes the bucket body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(self.entries.len() as u32);
+        for e in &self.entries {
+            e.encode(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a bucket body.
+    ///
+    /// # Errors
+    ///
+    /// [`NexusError::Malformed`] on framing problems.
+    pub fn decode(bytes: &[u8]) -> Result<Bucket> {
+        let mut r = Reader::new(bytes);
+        let count = r.u32()? as usize;
+        if count > 10_000_000 {
+            return Err(NexusError::Malformed("absurd bucket entry count".into()));
+        }
+        let mut entries = Vec::with_capacity(count.min(4096));
+        for _ in 0..count {
+            entries.push(DirEntry::decode(&mut r)?);
+        }
+        r.finish()?;
+        Ok(Bucket { entries })
+    }
+
+    /// Finds an entry by name.
+    pub fn find(&self, name: &str) -> Option<&DirEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+}
+
+/// Reference from the main dirnode to one bucket object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketRef {
+    /// UUID of the bucket metadata object.
+    pub uuid: NexusUuid,
+    /// SHA-256 of the bucket's sealed blob, refreshed on every bucket flush.
+    /// Binds the bucket's exact version to the main dirnode.
+    pub mac: [u8; 32],
+}
+
+/// One bucket slot: the on-storage reference plus, when loaded, the
+/// decrypted bucket and its dirty flag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketSlot {
+    /// Persistent reference.
+    pub re: BucketRef,
+    /// Decrypted contents, when loaded.
+    pub bucket: Option<Bucket>,
+    /// True when the in-memory bucket differs from storage.
+    pub dirty: bool,
+}
+
+/// An in-memory dirnode: the decrypted main object plus bucket slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dirnode {
+    /// This dirnode's UUID.
+    pub uuid: NexusUuid,
+    /// Containing directory (NIL for the volume root).
+    pub parent: NexusUuid,
+    /// Directory ACL (paper: access control is per-directory).
+    pub acl: Acl,
+    /// Bucket slots in order.
+    pub buckets: Vec<BucketSlot>,
+    /// Total entries across buckets (maintained incrementally).
+    pub entry_count: u64,
+    /// Maximum entries per bucket.
+    pub bucket_size: usize,
+}
+
+impl Dirnode {
+    /// Creates an empty directory.
+    pub fn new(uuid: NexusUuid, parent: NexusUuid, bucket_size: usize) -> Dirnode {
+        Dirnode {
+            uuid,
+            parent,
+            acl: Acl::new(),
+            buckets: Vec::new(),
+            entry_count: 0,
+            bucket_size: bucket_size.max(1),
+        }
+    }
+
+    /// Serializes the *main* body (ACL + bucket references).
+    pub fn encode_main(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.acl.encode(&mut w);
+        w.u64(self.entry_count);
+        w.u32(self.bucket_size as u32);
+        w.u32(self.buckets.len() as u32);
+        for slot in &self.buckets {
+            w.uuid(&slot.re.uuid);
+            w.raw(&slot.re.mac);
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a main body; buckets come back unloaded.
+    ///
+    /// # Errors
+    ///
+    /// [`NexusError::Malformed`] on framing problems.
+    pub fn decode_main(
+        uuid: NexusUuid,
+        parent: NexusUuid,
+        bytes: &[u8],
+    ) -> Result<Dirnode> {
+        let mut r = Reader::new(bytes);
+        let acl = Acl::decode(&mut r)?;
+        let entry_count = r.u64()?;
+        let bucket_size = r.u32()? as usize;
+        let count = r.u32()? as usize;
+        if count > 10_000_000 {
+            return Err(NexusError::Malformed("absurd bucket count".into()));
+        }
+        let mut buckets = Vec::with_capacity(count.min(4096));
+        for _ in 0..count {
+            let buuid = r.uuid()?;
+            let mac = r.array::<32>()?;
+            buckets.push(BucketSlot { re: BucketRef { uuid: buuid, mac }, bucket: None, dirty: false });
+        }
+        r.finish()?;
+        Ok(Dirnode {
+            uuid,
+            parent,
+            acl,
+            buckets,
+            entry_count,
+            bucket_size: bucket_size.max(1),
+        })
+    }
+
+    /// Looks up `name` among *loaded* buckets.
+    pub fn find_loaded(&self, name: &str) -> Option<&DirEntry> {
+        self.buckets
+            .iter()
+            .filter_map(|s| s.bucket.as_ref())
+            .find_map(|b| b.find(name))
+    }
+
+    /// True when every bucket slot has been loaded.
+    pub fn fully_loaded(&self) -> bool {
+        self.buckets.iter().all(|s| s.bucket.is_some())
+    }
+
+    /// Inserts an entry. All buckets must be loaded; `fresh_uuid` is used if
+    /// a new bucket must be created.
+    ///
+    /// # Errors
+    ///
+    /// [`NexusError::AlreadyExists`] when the name is taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bucket is unloaded (enclave-layer invariant).
+    pub fn insert(&mut self, entry: DirEntry, fresh_uuid: NexusUuid) -> Result<()> {
+        assert!(self.fully_loaded(), "insert requires all buckets loaded");
+        if self.find_loaded(&entry.name).is_some() {
+            return Err(NexusError::AlreadyExists(entry.name));
+        }
+        let cap = self.bucket_size;
+        if let Some(slot) = self
+            .buckets
+            .iter_mut()
+            .find(|s| s.bucket.as_ref().map(|b| b.entries.len() < cap).unwrap_or(false))
+        {
+            slot.bucket.as_mut().unwrap().entries.push(entry);
+            slot.dirty = true;
+        } else {
+            self.buckets.push(BucketSlot {
+                re: BucketRef { uuid: fresh_uuid, mac: [0u8; 32] },
+                bucket: Some(Bucket { entries: vec![entry] }),
+                dirty: true,
+            });
+        }
+        self.entry_count += 1;
+        Ok(())
+    }
+
+    /// Removes the entry named `name`. All buckets must be loaded.
+    ///
+    /// # Errors
+    ///
+    /// [`NexusError::NotFound`] for unknown names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bucket is unloaded (enclave-layer invariant).
+    pub fn remove(&mut self, name: &str) -> Result<DirEntry> {
+        assert!(self.fully_loaded(), "remove requires all buckets loaded");
+        for slot in self.buckets.iter_mut() {
+            let bucket = slot.bucket.as_mut().unwrap();
+            if let Some(idx) = bucket.entries.iter().position(|e| e.name == name) {
+                let entry = bucket.entries.remove(idx);
+                slot.dirty = true;
+                self.entry_count -= 1;
+                return Ok(entry);
+            }
+        }
+        Err(NexusError::NotFound(name.to_string()))
+    }
+
+    /// All entries across loaded buckets, in bucket order.
+    pub fn list_loaded(&self) -> Vec<&DirEntry> {
+        self.buckets
+            .iter()
+            .filter_map(|s| s.bucket.as_ref())
+            .flat_map(|b| b.entries.iter())
+            .collect()
+    }
+
+    /// Drops empty trailing bucket slots (after removals).
+    pub fn prune_empty_buckets(&mut self) -> Vec<NexusUuid> {
+        let mut removed = Vec::new();
+        self.buckets.retain(|slot| match &slot.bucket {
+            Some(b) if b.entries.is_empty() => {
+                removed.push(slot.re.uuid);
+                false
+            }
+            _ => true,
+        });
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acl::{Rights, UserId};
+
+    fn uuid(n: u8) -> NexusUuid {
+        NexusUuid([n; 16])
+    }
+
+    fn entry(name: &str, n: u8) -> DirEntry {
+        DirEntry { name: name.into(), uuid: uuid(n), kind: EntryKind::File }
+    }
+
+    #[test]
+    fn insert_and_find() {
+        let mut d = Dirnode::new(uuid(1), NexusUuid::NIL, 4);
+        d.insert(entry("a.txt", 10), uuid(100)).unwrap();
+        d.insert(entry("b.txt", 11), uuid(101)).unwrap();
+        assert_eq!(d.find_loaded("a.txt").unwrap().uuid, uuid(10));
+        assert!(d.find_loaded("c.txt").is_none());
+        assert_eq!(d.entry_count, 2);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut d = Dirnode::new(uuid(1), NexusUuid::NIL, 4);
+        d.insert(entry("a", 10), uuid(100)).unwrap();
+        assert!(matches!(
+            d.insert(entry("a", 11), uuid(101)),
+            Err(NexusError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn buckets_split_at_capacity() {
+        let mut d = Dirnode::new(uuid(1), NexusUuid::NIL, 2);
+        for i in 0..5 {
+            d.insert(entry(&format!("f{i}"), i as u8), uuid(100 + i as u8)).unwrap();
+        }
+        assert_eq!(d.buckets.len(), 3, "5 entries at 2/bucket = 3 buckets");
+        assert_eq!(d.entry_count, 5);
+        assert_eq!(d.list_loaded().len(), 5);
+    }
+
+    #[test]
+    fn remove_marks_bucket_dirty_only() {
+        let mut d = Dirnode::new(uuid(1), NexusUuid::NIL, 2);
+        for i in 0..4 {
+            d.insert(entry(&format!("f{i}"), i as u8), uuid(100 + i as u8)).unwrap();
+        }
+        for slot in &mut d.buckets {
+            slot.dirty = false;
+        }
+        d.remove("f3").unwrap();
+        let dirty: Vec<bool> = d.buckets.iter().map(|s| s.dirty).collect();
+        assert_eq!(dirty, vec![false, true], "only the containing bucket is dirty");
+    }
+
+    #[test]
+    fn remove_missing_is_not_found() {
+        let mut d = Dirnode::new(uuid(1), NexusUuid::NIL, 2);
+        assert!(matches!(d.remove("x"), Err(NexusError::NotFound(_))));
+    }
+
+    #[test]
+    fn prune_drops_empty_buckets() {
+        let mut d = Dirnode::new(uuid(1), NexusUuid::NIL, 1);
+        d.insert(entry("a", 1), uuid(100)).unwrap();
+        d.insert(entry("b", 2), uuid(101)).unwrap();
+        d.remove("a").unwrap();
+        let removed = d.prune_empty_buckets();
+        assert_eq!(removed, vec![uuid(100)]);
+        assert_eq!(d.buckets.len(), 1);
+    }
+
+    #[test]
+    fn main_body_roundtrip() {
+        let mut d = Dirnode::new(uuid(1), uuid(9), 128);
+        d.acl.grant(UserId(4), Rights::RW);
+        d.insert(entry("a", 1), uuid(50)).unwrap();
+        // Simulate flush: unload bucket, keep ref.
+        let encoded = d.encode_main();
+        let decoded = Dirnode::decode_main(uuid(1), uuid(9), &encoded).unwrap();
+        assert_eq!(decoded.acl, d.acl);
+        assert_eq!(decoded.entry_count, 1);
+        assert_eq!(decoded.buckets.len(), 1);
+        assert!(decoded.buckets[0].bucket.is_none(), "buckets decode unloaded");
+        assert_eq!(decoded.buckets[0].re.uuid, d.buckets[0].re.uuid);
+    }
+
+    #[test]
+    fn bucket_body_roundtrip_with_all_kinds() {
+        let bucket = Bucket {
+            entries: vec![
+                DirEntry { name: "dir".into(), uuid: uuid(1), kind: EntryKind::Directory },
+                DirEntry { name: "file".into(), uuid: uuid(2), kind: EntryKind::File },
+                DirEntry {
+                    name: "link".into(),
+                    uuid: uuid(3),
+                    kind: EntryKind::Symlink("../target".into()),
+                },
+            ],
+        };
+        let decoded = Bucket::decode(&bucket.encode()).unwrap();
+        assert_eq!(decoded, bucket);
+        assert!(matches!(
+            decoded.find("link").unwrap().kind,
+            EntryKind::Symlink(ref t) if t == "../target"
+        ));
+    }
+
+    #[test]
+    fn bucket_decode_rejects_garbage() {
+        assert!(Bucket::decode(&[1, 2, 3]).is_err());
+        let mut good = Bucket { entries: vec![entry("a", 1)] }.encode();
+        good.push(0xff);
+        assert!(Bucket::decode(&good).is_err(), "trailing bytes rejected");
+    }
+}

@@ -1,0 +1,205 @@
+//! File nodes (paper §IV-A1) and chunked file encryption (§VI-A).
+//!
+//! A filenode is NEXUS's inode: it names the data object holding the file's
+//! ciphertext and stores one cryptographic context per fixed-size chunk.
+//! Chunks are encrypted independently so random access decrypts only what
+//! is read, and every content update draws *fresh* chunk keys.
+
+use crate::error::{NexusError, Result};
+use crate::uuid::NexusUuid;
+use crate::wire::{Reader, Writer};
+
+/// Default chunk size (the evaluation uses 1 MB, §VII).
+pub const DEFAULT_CHUNK_SIZE: u32 = 1024 * 1024;
+
+/// Ciphertext overhead per chunk: the AES-GCM tag.
+pub const CHUNK_OVERHEAD: u64 = 16;
+
+/// Per-chunk cryptographic context: key and nonce (the tag lives with the
+/// chunk ciphertext).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkContext {
+    /// Fresh 128-bit AES key for this chunk.
+    pub key: [u8; 16],
+    /// AES-GCM nonce.
+    pub nonce: [u8; 12],
+}
+
+/// The filenode body (stored encrypted via `metadata::crypto`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Filenode {
+    /// This filenode's UUID.
+    pub uuid: NexusUuid,
+    /// Containing dirnode.
+    pub parent: NexusUuid,
+    /// UUID of the data object holding the chunk ciphertexts.
+    pub data_uuid: NexusUuid,
+    /// Plaintext file size in bytes.
+    pub size: u64,
+    /// Chunk size this file was encrypted with.
+    pub chunk_size: u32,
+    /// Hard-link count.
+    pub nlink: u32,
+    /// One context per chunk, in order.
+    pub chunks: Vec<ChunkContext>,
+}
+
+impl Filenode {
+    /// Creates a filenode for an empty file.
+    pub fn new(uuid: NexusUuid, parent: NexusUuid, data_uuid: NexusUuid, chunk_size: u32) -> Filenode {
+        Filenode {
+            uuid,
+            parent,
+            data_uuid,
+            size: 0,
+            chunk_size: chunk_size.max(1),
+            nlink: 1,
+            chunks: Vec::new(),
+        }
+    }
+
+    /// Number of chunks a `size`-byte file occupies.
+    pub fn chunk_count_for(size: u64, chunk_size: u32) -> u64 {
+        size.div_ceil(chunk_size as u64)
+    }
+
+    /// Byte range of chunk `idx` within the *ciphertext* data object.
+    pub fn ciphertext_range(&self, idx: u64) -> (u64, u64) {
+        let per_chunk = self.chunk_size as u64 + CHUNK_OVERHEAD;
+        let offset = idx * per_chunk;
+        let plain_len = self.plaintext_chunk_len(idx);
+        (offset, plain_len + CHUNK_OVERHEAD)
+    }
+
+    /// Plaintext length of chunk `idx` (the last chunk may be short).
+    pub fn plaintext_chunk_len(&self, idx: u64) -> u64 {
+        let start = idx * self.chunk_size as u64;
+        (self.size - start).min(self.chunk_size as u64)
+    }
+
+    /// Serializes the body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.uuid(&self.uuid)
+            .uuid(&self.parent)
+            .uuid(&self.data_uuid)
+            .u64(self.size)
+            .u32(self.chunk_size)
+            .u32(self.nlink)
+            .u32(self.chunks.len() as u32);
+        for c in &self.chunks {
+            w.raw(&c.key).raw(&c.nonce);
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a body.
+    ///
+    /// # Errors
+    ///
+    /// [`NexusError::Malformed`] on framing or consistency problems.
+    pub fn decode(bytes: &[u8]) -> Result<Filenode> {
+        let mut r = Reader::new(bytes);
+        let uuid = r.uuid()?;
+        let parent = r.uuid()?;
+        let data_uuid = r.uuid()?;
+        let size = r.u64()?;
+        let chunk_size = r.u32()?;
+        let nlink = r.u32()?;
+        let count = r.u32()? as usize;
+        if count > 50_000_000 {
+            return Err(NexusError::Malformed("absurd chunk count".into()));
+        }
+        let mut chunks = Vec::with_capacity(count.min(65536));
+        for _ in 0..count {
+            let key = r.array::<16>()?;
+            let nonce = r.array::<12>()?;
+            chunks.push(ChunkContext { key, nonce });
+        }
+        r.finish()?;
+        if chunk_size == 0 {
+            return Err(NexusError::Malformed("zero chunk size".into()));
+        }
+        if Filenode::chunk_count_for(size, chunk_size) != chunks.len() as u64 {
+            return Err(NexusError::Malformed("chunk count does not match size".into()));
+        }
+        Ok(Filenode { uuid, parent, data_uuid, size, chunk_size, nlink, chunks })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uuid(n: u8) -> NexusUuid {
+        NexusUuid([n; 16])
+    }
+
+    fn node_with(size: u64, chunk_size: u32) -> Filenode {
+        let mut fnode = Filenode::new(uuid(1), uuid(2), uuid(3), chunk_size);
+        fnode.size = size;
+        let n = Filenode::chunk_count_for(size, chunk_size);
+        fnode.chunks = (0..n)
+            .map(|i| ChunkContext { key: [i as u8; 16], nonce: [i as u8; 12] })
+            .collect();
+        fnode
+    }
+
+    #[test]
+    fn chunk_count_math() {
+        assert_eq!(Filenode::chunk_count_for(0, 1024), 0);
+        assert_eq!(Filenode::chunk_count_for(1, 1024), 1);
+        assert_eq!(Filenode::chunk_count_for(1024, 1024), 1);
+        assert_eq!(Filenode::chunk_count_for(1025, 1024), 2);
+    }
+
+    #[test]
+    fn ciphertext_ranges_account_for_tags() {
+        let fnode = node_with(2500, 1024);
+        assert_eq!(fnode.ciphertext_range(0), (0, 1024 + 16));
+        assert_eq!(fnode.ciphertext_range(1), (1040, 1024 + 16));
+        // Final chunk holds 2500 - 2048 = 452 plaintext bytes.
+        assert_eq!(fnode.ciphertext_range(2), (2080, 452 + 16));
+        assert_eq!(fnode.plaintext_chunk_len(2), 452);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let fnode = node_with(5000, 1024);
+        let decoded = Filenode::decode(&fnode.encode()).unwrap();
+        assert_eq!(decoded, fnode);
+    }
+
+    #[test]
+    fn decode_rejects_inconsistent_chunk_count() {
+        let mut fnode = node_with(5000, 1024);
+        fnode.chunks.pop();
+        assert!(Filenode::decode(&fnode.encode()).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_zero_chunk_size() {
+        let fnode = node_with(0, 1024);
+        let mut bytes = fnode.encode();
+        // chunk_size sits after 3 uuids + u64 size.
+        let off = 16 * 3 + 8;
+        bytes[off..off + 4].copy_from_slice(&0u32.to_le_bytes());
+        assert!(Filenode::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_file_has_no_chunks() {
+        let fnode = Filenode::new(uuid(1), uuid(2), uuid(3), 1024);
+        assert_eq!(fnode.size, 0);
+        assert!(fnode.chunks.is_empty());
+        let decoded = Filenode::decode(&fnode.encode()).unwrap();
+        assert_eq!(decoded, fnode);
+    }
+
+    #[test]
+    fn nlink_roundtrips() {
+        let mut fnode = node_with(10, 1024);
+        fnode.nlink = 3;
+        assert_eq!(Filenode::decode(&fnode.encode()).unwrap().nlink, 3);
+    }
+}

@@ -1,0 +1,7 @@
+//! NEXUS metadata structures: the encrypted objects that implement a
+//! virtual hierarchical filesystem on untrusted storage (paper §IV-A).
+
+pub mod crypto;
+pub mod dirnode;
+pub mod filenode;
+pub mod supernode;

@@ -1,0 +1,504 @@
+//! The synchronous rootkey exchange variant (paper §VI-B).
+//!
+//! The asynchronous protocol of [`crate::protocol`] keeps the recipient's
+//! enclave ECDH keypair long-term, so it lacks perfect forward secrecy: an
+//! attacker who later extracts that private key can decrypt every grant
+//! ever wrapped to it. The paper proposes an alternative where **both
+//! parties generate ephemeral ECDH keys per exchange and mutually attest
+//! their enclaves**, at the cost of extra protocol rounds.
+//!
+//! This module implements that variant, still entirely in-band:
+//!
+//! 1. **Request** — the recipient's enclave draws an ephemeral keypair,
+//!    binds the public key into a quote, and stores the signed request.
+//! 2. **Response** — the owner verifies the recipient's quote *and own
+//!    identity*, draws its own ephemeral keypair, binds it into a quote
+//!    (mutual attestation), wraps the rootkey under the ECDH secret, signs,
+//!    and stores the response. The owner's ephemeral secret is dropped.
+//! 3. **Finish** — the recipient verifies the owner's signature and quote,
+//!    derives the secret, recovers the rootkey, seals it locally, and
+//!    drops its ephemeral secret.
+//!
+//! After step 3 neither ephemeral private key exists anywhere, so recorded
+//! traffic can never be decrypted later — forward secrecy, as §VI-B argues.
+
+use nexus_crypto::ed25519::{Signature, VerifyingKey};
+use nexus_crypto::gcm::AesGcm;
+use nexus_crypto::hmac::hkdf;
+use nexus_crypto::x25519;
+use nexus_sgx::{AttestationService, Enclave, EnclaveEnv, Platform, Quote};
+use nexus_storage::StorageBackend;
+
+use crate::enclave::EnclaveState;
+use crate::error::{NexusError, Result};
+use crate::protocol::seal_rootkey;
+use crate::uuid::NexusUuid;
+use crate::volume::{nexus_enclave_image, NexusVolume, SealedRootKey, UserKeys};
+use crate::wire::{Reader, Writer};
+
+const SYNC_TAG: &[u8; 16] = b"NEXUS-SYNC-XCH-1";
+
+/// Storage path of a pending synchronous request.
+pub fn sync_request_path(user: &str) -> String {
+    format!("xchg-sync-req-{user}")
+}
+
+/// Storage path of a synchronous response.
+pub fn sync_response_path(user: &str) -> String {
+    format!("xchg-sync-resp-{user}")
+}
+
+/// Round 1 message: recipient's quoted ephemeral key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncRequest {
+    /// Quote binding the recipient's *ephemeral* ECDH key.
+    pub quote: Quote,
+    /// Recipient's identity signature over the quote.
+    pub signature: Signature,
+}
+
+impl SyncRequest {
+    /// Serializes for in-band transport.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(&self.quote.to_bytes());
+        w.raw(&self.signature.to_bytes());
+        w.into_bytes()
+    }
+
+    /// Parses a request.
+    ///
+    /// # Errors
+    ///
+    /// [`NexusError::Protocol`] on framing problems.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SyncRequest> {
+        let mut r = Reader::new(bytes);
+        let quote = Quote::from_bytes(&r.bytes().map_err(|_| truncated())?)
+            .ok_or_else(|| NexusError::Protocol("sync request quote malformed".into()))?;
+        let signature = Signature::from_bytes(r.raw(64).map_err(|_| truncated())?)
+            .map_err(|_| NexusError::Protocol("bad signature".into()))?;
+        Ok(SyncRequest { quote, signature })
+    }
+}
+
+/// Round 2 message: owner's quoted ephemeral key plus the wrapped rootkey.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncResponse {
+    /// Quote binding the owner's ephemeral ECDH key (mutual attestation).
+    pub quote: Quote,
+    /// AES-GCM nonce of the wrapped payload.
+    pub nonce: [u8; 12],
+    /// `ENC(k, rootkey || volume uuid)`.
+    pub wrapped: Vec<u8>,
+    /// Owner's identity signature over (quote || nonce || wrapped).
+    pub signature: Signature,
+}
+
+impl SyncResponse {
+    fn signed_portion(quote: &Quote, nonce: &[u8; 12], wrapped: &[u8]) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(&quote.to_bytes()).raw(nonce).bytes(wrapped);
+        w.into_bytes()
+    }
+
+    /// Serializes for in-band transport.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(&self.quote.to_bytes())
+            .raw(&self.nonce)
+            .bytes(&self.wrapped)
+            .raw(&self.signature.to_bytes());
+        w.into_bytes()
+    }
+
+    /// Parses a response.
+    ///
+    /// # Errors
+    ///
+    /// [`NexusError::Protocol`] on framing problems.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SyncResponse> {
+        let mut r = Reader::new(bytes);
+        let quote = Quote::from_bytes(&r.bytes().map_err(|_| truncated())?)
+            .ok_or_else(|| NexusError::Protocol("sync response quote malformed".into()))?;
+        let nonce = r.array::<12>().map_err(|_| truncated())?;
+        let wrapped = r.bytes().map_err(|_| truncated())?;
+        let signature = Signature::from_bytes(r.raw(64).map_err(|_| truncated())?)
+            .map_err(|_| NexusError::Protocol("bad signature".into()))?;
+        Ok(SyncResponse { quote, nonce, wrapped, signature })
+    }
+}
+
+fn truncated() -> NexusError {
+    NexusError::Protocol("sync exchange message truncated".into())
+}
+
+fn ephemeral_report(public: &[u8; 32]) -> [u8; 64] {
+    let mut report = [0u8; 64];
+    report[..32].copy_from_slice(public);
+    report[32..48].copy_from_slice(SYNC_TAG);
+    report
+}
+
+fn extract_ephemeral(quote: &Quote) -> Result<[u8; 32]> {
+    if &quote.report_data[32..48] != SYNC_TAG {
+        return Err(NexusError::Protocol("quote is not a sync-exchange quote".into()));
+    }
+    Ok(quote.report_data[..32].try_into().unwrap())
+}
+
+fn wrap_key(shared: &[u8; 32], a: &[u8; 32], b: &[u8; 32]) -> [u8; 32] {
+    let mut info = Vec::with_capacity(64);
+    info.extend_from_slice(a);
+    info.extend_from_slice(b);
+    hkdf(b"nexus-sync-exchange-v1", shared, &info, 32)
+        .try_into()
+        .expect("hkdf length")
+}
+
+/// The recipient's side of one synchronous exchange.
+///
+/// Holds the ephemeral secret inside its own enclave between rounds; the
+/// secret is destroyed when the exchange finishes (or the value is dropped).
+pub struct SyncJoiner {
+    enclave: Enclave<SyncJoinerState>,
+    backend: std::sync::Arc<dyn StorageBackend>,
+    ias: AttestationService,
+}
+
+#[derive(Default)]
+struct SyncJoinerState {
+    ephemeral_secret: Option<[u8; 32]>,
+    ephemeral_public: [u8; 32],
+}
+
+impl std::fmt::Debug for SyncJoiner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SyncJoiner { .. }")
+    }
+}
+
+impl SyncJoiner {
+    /// Creates the joiner's enclave on `platform`.
+    pub fn new(
+        platform: &Platform,
+        backend: std::sync::Arc<dyn StorageBackend>,
+        ias: &AttestationService,
+    ) -> SyncJoiner {
+        let enclave =
+            Enclave::create(platform, &nexus_enclave_image(), SyncJoinerState::default());
+        SyncJoiner { enclave, backend, ias: ias.clone() }
+    }
+
+    /// Round 1: publishes the signed, quoted *ephemeral* key.
+    ///
+    /// # Errors
+    ///
+    /// Storage failures writing the request.
+    pub fn request(&self, user: &UserKeys) -> Result<()> {
+        let quote = self.enclave.ecall(|state, env| {
+            let mut secret = [0u8; 32];
+            env.random_bytes(&mut secret);
+            let public = x25519::x25519_public_key(&secret);
+            state.ephemeral_secret = Some(secret);
+            state.ephemeral_public = public;
+            env.quote(&ephemeral_report(&public))
+        });
+        let signature = user.sign(&quote.to_bytes());
+        let request = SyncRequest { quote, signature };
+        self.backend
+            .put(&sync_request_path(user.name()), &request.to_bytes())
+            .map_err(NexusError::from)
+    }
+
+    /// Round 3: verifies the owner's response (signature + mutual
+    /// attestation), recovers the rootkey, seals it locally, and destroys
+    /// the ephemeral secret.
+    ///
+    /// # Errors
+    ///
+    /// [`NexusError::Protocol`] / [`NexusError::Attestation`] when any
+    /// verification fails or no exchange is in flight.
+    pub fn finish(&self, user: &UserKeys, owner_key: &VerifyingKey) -> Result<SealedRootKey> {
+        let blob = self
+            .backend
+            .get(&sync_response_path(user.name()))
+            .map_err(NexusError::from)?;
+        let response = SyncResponse::from_bytes(&blob)?;
+        owner_key
+            .verify(
+                &SyncResponse::signed_portion(&response.quote, &response.nonce, &response.wrapped),
+                &response.signature,
+            )
+            .map_err(|_| NexusError::Protocol("sync response signature invalid".into()))?;
+        // Mutual attestation: the owner's side must be a genuine NEXUS
+        // enclave too.
+        self.ias
+            .verify_expecting(&response.quote, self.enclave.measurement())
+            .map_err(|e| NexusError::Attestation(e.to_string()))?;
+        let owner_ephemeral = extract_ephemeral(&response.quote)?;
+
+        let sealed = self.enclave.ecall(move |state, env| -> Result<Vec<u8>> {
+            let secret = state
+                .ephemeral_secret
+                .take() // destroyed here: forward secrecy
+                .ok_or_else(|| NexusError::Protocol("no sync exchange in flight".into()))?;
+            let shared = x25519::x25519(&secret, &owner_ephemeral);
+            let key = wrap_key(&shared, &owner_ephemeral, &state.ephemeral_public);
+            let gcm = AesGcm::new_256(&key);
+            let payload = gcm
+                .open(&response.nonce, SYNC_TAG, &response.wrapped)
+                .map_err(|_| NexusError::Protocol("sync rootkey unwrap failed".into()))?;
+            if payload.len() != 48 {
+                return Err(NexusError::Protocol("sync payload length".into()));
+            }
+            let mut rootkey = [0u8; 32];
+            rootkey.copy_from_slice(&payload[..32]);
+            let mut uuid = [0u8; 16];
+            uuid.copy_from_slice(&payload[32..]);
+            Ok(seal_rootkey(env, &rootkey, &NexusUuid(uuid)))
+        })?;
+        // The response is one-shot; remove it from the store.
+        let _ = self.backend.delete(&sync_response_path(user.name()));
+        Ok(SealedRootKey(sealed))
+    }
+}
+
+/// Owner-side ecall: verifies the request and produces the response fields.
+pub(crate) fn respond_sync(
+    state: &mut EnclaveState,
+    env: &EnclaveEnv<'_>,
+    request: &SyncRequest,
+    ias: &AttestationService,
+    expected: nexus_sgx::Measurement,
+) -> Result<(Quote, [u8; 12], Vec<u8>)> {
+    ias.verify_expecting(&request.quote, expected)
+        .map_err(|e| NexusError::Attestation(e.to_string()))?;
+    let peer_ephemeral = extract_ephemeral(&request.quote)?;
+
+    let mounted = state.mounted()?;
+    let rootkey = mounted.rootkey;
+    let volume = mounted.supernode_uuid;
+
+    let mut secret = [0u8; 32];
+    env.random_bytes(&mut secret);
+    let public = x25519::x25519_public_key(&secret);
+    let shared = x25519::x25519(&secret, &peer_ephemeral);
+    // `secret` goes out of scope at the end of this ecall — the owner-side
+    // ephemeral never persists.
+    let key = wrap_key(&shared, &public, &peer_ephemeral);
+
+    let mut nonce = [0u8; 12];
+    env.random_bytes(&mut nonce);
+    let mut payload = Vec::with_capacity(48);
+    payload.extend_from_slice(&rootkey);
+    payload.extend_from_slice(&volume.0);
+    let wrapped = AesGcm::new_256(&key).seal(&nonce, SYNC_TAG, &payload);
+    let quote = env.quote(&ephemeral_report(&public));
+    Ok((quote, nonce, wrapped))
+}
+
+impl NexusVolume {
+    /// Owner side of the synchronous exchange (§VI-B): verifies
+    /// `peer_name`'s pending request, adds them to the user list, and
+    /// stores the mutually-attested response.
+    ///
+    /// # Errors
+    ///
+    /// [`NexusError::Attestation`] / [`NexusError::Protocol`] on any
+    /// verification failure.
+    pub fn grant_access_sync(
+        &self,
+        owner: &UserKeys,
+        peer_name: &str,
+        peer_key: &VerifyingKey,
+    ) -> Result<()> {
+        let blob = self
+            .backend()
+            .get(&sync_request_path(peer_name))
+            .map_err(NexusError::from)?;
+        let request = SyncRequest::from_bytes(&blob)?;
+        peer_key
+            .verify(&request.quote.to_bytes(), &request.signature)
+            .map_err(|_| NexusError::Protocol("request signature does not match peer key".into()))?;
+
+        let ias = self.ias_handle().clone();
+        let expected = self.enclave().measurement();
+        let request2 = request.clone();
+        let (quote, nonce, wrapped) = self
+            .enclave()
+            .ecall(move |state, env| respond_sync(state, env, &request2, &ias, expected))?;
+
+        self.add_user(peer_name, *peer_key)?;
+
+        let signature =
+            owner.sign(&SyncResponse::signed_portion(&quote, &nonce, &wrapped));
+        let response = SyncResponse { quote, nonce, wrapped, signature };
+        self.backend()
+            .put(&sync_response_path(peer_name), &response.to_bytes())
+            .map_err(NexusError::from)?;
+        // The request is consumed.
+        let _ = self.backend().delete(&sync_request_path(peer_name));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enclave::NexusConfig;
+    use nexus_storage::MemBackend;
+    use std::sync::Arc;
+
+    fn setup() -> (AttestationService, Arc<MemBackend>, Platform, Platform, UserKeys, UserKeys) {
+        let ias = AttestationService::new();
+        let owner_machine = Platform::seeded(1);
+        let peer_machine = Platform::seeded(2);
+        ias.register_platform(&owner_machine);
+        ias.register_platform(&peer_machine);
+        (
+            ias,
+            Arc::new(MemBackend::new()),
+            owner_machine,
+            peer_machine,
+            UserKeys::from_seed("owen", &[1; 32]),
+            UserKeys::from_seed("alice", &[2; 32]),
+        )
+    }
+
+    #[test]
+    fn full_synchronous_exchange() {
+        let (ias, backend, owner_machine, peer_machine, owner, alice) = setup();
+        let (volume, _) = NexusVolume::create(
+            &owner_machine,
+            backend.clone(),
+            &ias,
+            &owner,
+            NexusConfig::default(),
+        )
+        .unwrap();
+        volume.authenticate(&owner).unwrap();
+        volume.write_file("hello.txt", b"hi alice").unwrap();
+
+        let joiner = SyncJoiner::new(&peer_machine, backend.clone(), &ias);
+        joiner.request(&alice).unwrap();
+        volume.grant_access_sync(&owner, "alice", &alice.public_key()).unwrap();
+        let sealed = joiner.finish(&alice, &owner.public_key()).unwrap();
+
+        let alice_volume = NexusVolume::mount(
+            &peer_machine,
+            backend.clone(),
+            &ias,
+            &sealed,
+            NexusConfig::default(),
+        )
+        .unwrap();
+        alice_volume.authenticate(&alice).unwrap();
+        // Messages are consumed from the store.
+        assert!(backend.get(&sync_request_path("alice")).is_err());
+        assert!(backend.get(&sync_response_path("alice")).is_err());
+    }
+
+    #[test]
+    fn finish_is_one_shot() {
+        let (ias, backend, owner_machine, peer_machine, owner, alice) = setup();
+        let (volume, _) = NexusVolume::create(
+            &owner_machine,
+            backend.clone(),
+            &ias,
+            &owner,
+            NexusConfig::default(),
+        )
+        .unwrap();
+        volume.authenticate(&owner).unwrap();
+        let joiner = SyncJoiner::new(&peer_machine, backend.clone(), &ias);
+        joiner.request(&alice).unwrap();
+        volume.grant_access_sync(&owner, "alice", &alice.public_key()).unwrap();
+        joiner.finish(&alice, &owner.public_key()).unwrap();
+        // The ephemeral secret was destroyed: a second finish cannot work.
+        let err = joiner.finish(&alice, &owner.public_key()).unwrap_err();
+        assert!(matches!(err, NexusError::NotFound(_) | NexusError::Protocol(_)));
+    }
+
+    #[test]
+    fn owner_rejects_fake_enclave_request() {
+        let (ias, backend, owner_machine, peer_machine, owner, alice) = setup();
+        let (volume, _) = NexusVolume::create(
+            &owner_machine,
+            backend.clone(),
+            &ias,
+            &owner,
+            NexusConfig::default(),
+        )
+        .unwrap();
+        volume.authenticate(&owner).unwrap();
+
+        // Fake enclave (different measurement) produces the request.
+        use nexus_sgx::{Enclave, EnclaveImage};
+        let fake = Enclave::create(&peer_machine, &EnclaveImage::new(b"evil".to_vec()), ());
+        let quote = fake.ecall(|_, env| env.quote(&ephemeral_report(&[9u8; 32])));
+        let signature = alice.sign(&quote.to_bytes());
+        backend
+            .put(
+                &sync_request_path("alice"),
+                &SyncRequest { quote, signature }.to_bytes(),
+            )
+            .unwrap();
+        let err = volume
+            .grant_access_sync(&owner, "alice", &alice.public_key())
+            .unwrap_err();
+        assert!(matches!(err, NexusError::Attestation(_)));
+    }
+
+    #[test]
+    fn recipient_rejects_fake_owner_response() {
+        let (ias, backend, owner_machine, peer_machine, owner, alice) = setup();
+        let (volume, _) = NexusVolume::create(
+            &owner_machine,
+            backend.clone(),
+            &ias,
+            &owner,
+            NexusConfig::default(),
+        )
+        .unwrap();
+        volume.authenticate(&owner).unwrap();
+        let joiner = SyncJoiner::new(&peer_machine, backend.clone(), &ias);
+        joiner.request(&alice).unwrap();
+        volume.grant_access_sync(&owner, "alice", &alice.public_key()).unwrap();
+
+        // Mallory re-signs a doctored response with her own key.
+        let mallory = UserKeys::from_seed("mallory", &[7; 32]);
+        let blob = backend.get(&sync_response_path("alice")).unwrap();
+        let mut response = SyncResponse::from_bytes(&blob).unwrap();
+        response.signature = mallory.sign(&SyncResponse::signed_portion(
+            &response.quote,
+            &response.nonce,
+            &response.wrapped,
+        ));
+        backend
+            .put(&sync_response_path("alice"), &response.to_bytes())
+            .unwrap();
+        // Alice expects OWEN's signature.
+        let err = joiner.finish(&alice, &owner.public_key()).unwrap_err();
+        assert!(matches!(err, NexusError::Protocol(_)));
+    }
+
+    #[test]
+    fn messages_roundtrip() {
+        let (ias, _backend, _om, peer_machine, _owner, alice) = setup();
+        let _ = ias;
+        let joiner_enclave =
+            Enclave::create(&peer_machine, &nexus_enclave_image(), SyncJoinerState::default());
+        let quote = joiner_enclave.ecall(|_, env| env.quote(&ephemeral_report(&[1u8; 32])));
+        let request = SyncRequest { quote: quote.clone(), signature: alice.sign(b"x") };
+        assert_eq!(SyncRequest::from_bytes(&request.to_bytes()).unwrap(), request);
+        let response = SyncResponse {
+            quote,
+            nonce: [3; 12],
+            wrapped: vec![4; 48],
+            signature: alice.sign(b"y"),
+        };
+        assert_eq!(SyncResponse::from_bytes(&response.to_bytes()).unwrap(), response);
+        assert!(SyncRequest::from_bytes(&[1, 2, 3]).is_err());
+        assert!(SyncResponse::from_bytes(&[1, 2, 3]).is_err());
+    }
+}

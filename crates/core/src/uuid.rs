@@ -1,0 +1,92 @@
+//! NEXUS object identifiers.
+//!
+//! Every metadata and data object is named by a 16-byte UUID generated
+//! inside the enclave (paper §IV-A1). UUIDs double as the obfuscated file
+//! names on the untrusted storage service, so the server learns nothing
+//! from the namespace.
+
+/// A 16-byte universally unique identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NexusUuid(pub [u8; 16]);
+
+impl NexusUuid {
+    /// The all-zero UUID, used as the "no parent" sentinel of a volume root.
+    pub const NIL: NexusUuid = NexusUuid([0u8; 16]);
+
+    /// Generates a fresh UUID from `rng` (inside the enclave, the platform
+    /// RNG).
+    pub fn generate(mut fill: impl FnMut(&mut [u8])) -> NexusUuid {
+        let mut bytes = [0u8; 16];
+        fill(&mut bytes);
+        NexusUuid(bytes)
+    }
+
+    /// The obfuscated object name used on the storage service.
+    pub fn object_name(&self) -> String {
+        let mut s = String::with_capacity(32);
+        for b in &self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// Parses an object name back into a UUID.
+    pub fn from_object_name(name: &str) -> Option<NexusUuid> {
+        if name.len() != 32 {
+            return None;
+        }
+        let mut bytes = [0u8; 16];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = u8::from_str_radix(name.get(i * 2..i * 2 + 2)?, 16).ok()?;
+        }
+        Some(NexusUuid(bytes))
+    }
+
+    /// True for the NIL sentinel.
+    pub fn is_nil(&self) -> bool {
+        self.0 == [0u8; 16]
+    }
+}
+
+impl std::fmt::Debug for NexusUuid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Uuid({}..)", &self.object_name()[..8])
+    }
+}
+
+impl std::fmt::Display for NexusUuid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.object_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_name_roundtrip() {
+        let u = NexusUuid([0xab; 16]);
+        let name = u.object_name();
+        assert_eq!(name.len(), 32);
+        assert_eq!(NexusUuid::from_object_name(&name), Some(u));
+    }
+
+    #[test]
+    fn parse_rejects_bad_names() {
+        assert!(NexusUuid::from_object_name("short").is_none());
+        assert!(NexusUuid::from_object_name(&"zz".repeat(16)).is_none());
+    }
+
+    #[test]
+    fn nil_sentinel() {
+        assert!(NexusUuid::NIL.is_nil());
+        assert!(!NexusUuid([1; 16]).is_nil());
+    }
+
+    #[test]
+    fn generate_uses_fill() {
+        let u = NexusUuid::generate(|dest| dest.copy_from_slice(&[7u8; 16]));
+        assert_eq!(u.0, [7u8; 16]);
+    }
+}

@@ -1,0 +1,15 @@
+//! Quick throughput measurement for the AEAD hot path.
+fn main() {
+    use nexus_crypto::gcm::AesGcm;
+    use std::time::Instant;
+    let gcm = AesGcm::new_128(&[7u8; 16]);
+    let data = vec![0xabu8; 8 * 1024 * 1024];
+    let start = Instant::now();
+    let mut total = 0usize;
+    for i in 0..4 {
+        let ct = gcm.seal(&[i as u8; 12], b"", &data);
+        total += ct.len();
+    }
+    let dt = start.elapsed();
+    println!("AES-GCM seal: {:.1} MB/s", total as f64 / 1e6 / dt.as_secs_f64());
+}

@@ -1,0 +1,455 @@
+//! The AES block cipher (FIPS 197), supporting 128- and 256-bit keys.
+//!
+//! This is a straightforward table-free byte-oriented implementation intended
+//! for correctness and auditability rather than raw speed or side-channel
+//! resistance. It is the foundation for the [`crate::gcm`] and
+//! [`crate::gcm_siv`] AEAD modes used throughout NEXUS.
+//!
+//! # Examples
+//!
+//! ```
+//! use nexus_crypto::aes::Aes;
+//!
+//! let key = [0u8; 16];
+//! let aes = Aes::new_128(&key);
+//! let mut block = *b"sixteen byte msg";
+//! let original = block;
+//! aes.encrypt_block(&mut block);
+//! aes.decrypt_block(&mut block);
+//! assert_eq!(block, original);
+//! ```
+
+/// The AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// The inverse AES S-box.
+const INV_SBOX: [u8; 256] = [
+    0x52, 0x09, 0x6a, 0xd5, 0x30, 0x36, 0xa5, 0x38, 0xbf, 0x40, 0xa3, 0x9e, 0x81, 0xf3, 0xd7,
+    0xfb, 0x7c, 0xe3, 0x39, 0x82, 0x9b, 0x2f, 0xff, 0x87, 0x34, 0x8e, 0x43, 0x44, 0xc4, 0xde,
+    0xe9, 0xcb, 0x54, 0x7b, 0x94, 0x32, 0xa6, 0xc2, 0x23, 0x3d, 0xee, 0x4c, 0x95, 0x0b, 0x42,
+    0xfa, 0xc3, 0x4e, 0x08, 0x2e, 0xa1, 0x66, 0x28, 0xd9, 0x24, 0xb2, 0x76, 0x5b, 0xa2, 0x49,
+    0x6d, 0x8b, 0xd1, 0x25, 0x72, 0xf8, 0xf6, 0x64, 0x86, 0x68, 0x98, 0x16, 0xd4, 0xa4, 0x5c,
+    0xcc, 0x5d, 0x65, 0xb6, 0x92, 0x6c, 0x70, 0x48, 0x50, 0xfd, 0xed, 0xb9, 0xda, 0x5e, 0x15,
+    0x46, 0x57, 0xa7, 0x8d, 0x9d, 0x84, 0x90, 0xd8, 0xab, 0x00, 0x8c, 0xbc, 0xd3, 0x0a, 0xf7,
+    0xe4, 0x58, 0x05, 0xb8, 0xb3, 0x45, 0x06, 0xd0, 0x2c, 0x1e, 0x8f, 0xca, 0x3f, 0x0f, 0x02,
+    0xc1, 0xaf, 0xbd, 0x03, 0x01, 0x13, 0x8a, 0x6b, 0x3a, 0x91, 0x11, 0x41, 0x4f, 0x67, 0xdc,
+    0xea, 0x97, 0xf2, 0xcf, 0xce, 0xf0, 0xb4, 0xe6, 0x73, 0x96, 0xac, 0x74, 0x22, 0xe7, 0xad,
+    0x35, 0x85, 0xe2, 0xf9, 0x37, 0xe8, 0x1c, 0x75, 0xdf, 0x6e, 0x47, 0xf1, 0x1a, 0x71, 0x1d,
+    0x29, 0xc5, 0x89, 0x6f, 0xb7, 0x62, 0x0e, 0xaa, 0x18, 0xbe, 0x1b, 0xfc, 0x56, 0x3e, 0x4b,
+    0xc6, 0xd2, 0x79, 0x20, 0x9a, 0xdb, 0xc0, 0xfe, 0x78, 0xcd, 0x5a, 0xf4, 0x1f, 0xdd, 0xa8,
+    0x33, 0x88, 0x07, 0xc7, 0x31, 0xb1, 0x12, 0x10, 0x59, 0x27, 0x80, 0xec, 0x5f, 0x60, 0x51,
+    0x7f, 0xa9, 0x19, 0xb5, 0x4a, 0x0d, 0x2d, 0xe5, 0x7a, 0x9f, 0x93, 0xc9, 0x9c, 0xef, 0xa0,
+    0xe0, 0x3b, 0x4d, 0xae, 0x2a, 0xf5, 0xb0, 0xc8, 0xeb, 0xbb, 0x3c, 0x83, 0x53, 0x99, 0x61,
+    0x17, 0x2b, 0x04, 0x7e, 0xba, 0x77, 0xd6, 0x26, 0xe1, 0x69, 0x14, 0x63, 0x55, 0x21, 0x0c,
+    0x7d,
+];
+
+/// Round constants used by the key schedule.
+const RCON: [u8; 11] = [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// Multiply by `x` in GF(2^8) with the AES reduction polynomial.
+#[inline]
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (if b & 0x80 != 0 { 0x1b } else { 0 })
+}
+
+/// Multiply two elements of GF(2^8).
+#[inline]
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    acc
+}
+
+/// AES key size, selecting the number of rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeySize {
+    /// AES-128 (10 rounds).
+    Aes128,
+    /// AES-256 (14 rounds).
+    Aes256,
+}
+
+impl KeySize {
+    /// Number of 32-bit words in the key.
+    fn nk(self) -> usize {
+        match self {
+            KeySize::Aes128 => 4,
+            KeySize::Aes256 => 8,
+        }
+    }
+
+    /// Number of rounds.
+    fn nr(self) -> usize {
+        match self {
+            KeySize::Aes128 => 10,
+            KeySize::Aes256 => 14,
+        }
+    }
+}
+
+/// Encryption T-tables (SubBytes + ShiftRows + MixColumns fused), built
+/// once per process. `TE[1..4]` are byte rotations of `TE[0]`.
+fn te_tables() -> &'static [[u32; 256]; 4] {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<[[u32; 256]; 4]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut te = [[0u32; 256]; 4];
+        for x in 0..256 {
+            let s = SBOX[x] as u32;
+            let s2 = xtime(SBOX[x]) as u32;
+            let s3 = s2 ^ s;
+            let t0 = (s2 << 24) | (s << 16) | (s << 8) | s3;
+            te[0][x] = t0;
+            te[1][x] = t0.rotate_right(8);
+            te[2][x] = t0.rotate_right(16);
+            te[3][x] = t0.rotate_right(24);
+        }
+        te
+    })
+}
+
+/// An expanded AES key, ready to encrypt or decrypt 16-byte blocks.
+#[derive(Clone)]
+pub struct Aes {
+    /// Expanded round keys, 4 words per round plus the initial whitening key.
+    round_keys: Vec<[u8; 16]>,
+    /// Round keys as big-endian column words, for the T-table fast path.
+    round_keys_u32: Vec<[u32; 4]>,
+    rounds: usize,
+}
+
+impl std::fmt::Debug for Aes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never leak key material through Debug output.
+        f.debug_struct("Aes").field("rounds", &self.rounds).finish()
+    }
+}
+
+impl Aes {
+    /// Expands a key of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len()` does not match `size` (16 bytes for
+    /// [`KeySize::Aes128`], 32 for [`KeySize::Aes256`]).
+    pub fn new(key: &[u8], size: KeySize) -> Aes {
+        assert_eq!(key.len(), size.nk() * 4, "AES key length mismatch");
+        let nk = size.nk();
+        let nr = size.nr();
+        let total_words = 4 * (nr + 1);
+        let mut w = vec![[0u8; 4]; total_words];
+        for (i, word) in w.iter_mut().take(nk).enumerate() {
+            word.copy_from_slice(&key[i * 4..i * 4 + 4]);
+        }
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in temp.iter_mut() {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= RCON[i / nk];
+            } else if nk > 6 && i % nk == 4 {
+                for b in temp.iter_mut() {
+                    *b = SBOX[*b as usize];
+                }
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - nk][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = Vec::with_capacity(nr + 1);
+        let mut round_keys_u32 = Vec::with_capacity(nr + 1);
+        for r in 0..=nr {
+            let mut rk = [0u8; 16];
+            let mut rk32 = [0u32; 4];
+            for c in 0..4 {
+                rk[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+                rk32[c] = u32::from_be_bytes(w[r * 4 + c]);
+            }
+            round_keys.push(rk);
+            round_keys_u32.push(rk32);
+        }
+        Aes { round_keys, round_keys_u32, rounds: nr }
+    }
+
+    /// Expands a 16-byte AES-128 key.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let aes = nexus_crypto::aes::Aes::new_128(&[0u8; 16]);
+    /// let mut block = [0u8; 16];
+    /// aes.encrypt_block(&mut block);
+    /// ```
+    pub fn new_128(key: &[u8; 16]) -> Aes {
+        Aes::new(key, KeySize::Aes128)
+    }
+
+    /// Expands a 32-byte AES-256 key.
+    pub fn new_256(key: &[u8; 32]) -> Aes {
+        Aes::new(key, KeySize::Aes256)
+    }
+
+    /// Encrypts one 16-byte block in place (T-table fast path).
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        let te = te_tables();
+        let rk = &self.round_keys_u32;
+        let mut c = [
+            u32::from_be_bytes(block[0..4].try_into().unwrap()) ^ rk[0][0],
+            u32::from_be_bytes(block[4..8].try_into().unwrap()) ^ rk[0][1],
+            u32::from_be_bytes(block[8..12].try_into().unwrap()) ^ rk[0][2],
+            u32::from_be_bytes(block[12..16].try_into().unwrap()) ^ rk[0][3],
+        ];
+        for k in &rk[1..self.rounds] {
+            let n = [
+                te[0][(c[0] >> 24) as usize]
+                    ^ te[1][((c[1] >> 16) & 0xff) as usize]
+                    ^ te[2][((c[2] >> 8) & 0xff) as usize]
+                    ^ te[3][(c[3] & 0xff) as usize]
+                    ^ k[0],
+                te[0][(c[1] >> 24) as usize]
+                    ^ te[1][((c[2] >> 16) & 0xff) as usize]
+                    ^ te[2][((c[3] >> 8) & 0xff) as usize]
+                    ^ te[3][(c[0] & 0xff) as usize]
+                    ^ k[1],
+                te[0][(c[2] >> 24) as usize]
+                    ^ te[1][((c[3] >> 16) & 0xff) as usize]
+                    ^ te[2][((c[0] >> 8) & 0xff) as usize]
+                    ^ te[3][(c[1] & 0xff) as usize]
+                    ^ k[2],
+                te[0][(c[3] >> 24) as usize]
+                    ^ te[1][((c[0] >> 16) & 0xff) as usize]
+                    ^ te[2][((c[1] >> 8) & 0xff) as usize]
+                    ^ te[3][(c[2] & 0xff) as usize]
+                    ^ k[3],
+            ];
+            c = n;
+        }
+        // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+        let k = &rk[self.rounds];
+        let s = |w: u32, shift: u32| -> u32 { SBOX[((w >> shift) & 0xff) as usize] as u32 };
+        let out = [
+            ((s(c[0], 24) << 24) | (s(c[1], 16) << 16) | (s(c[2], 8) << 8) | s(c[3], 0)) ^ k[0],
+            ((s(c[1], 24) << 24) | (s(c[2], 16) << 16) | (s(c[3], 8) << 8) | s(c[0], 0)) ^ k[1],
+            ((s(c[2], 24) << 24) | (s(c[3], 16) << 16) | (s(c[0], 8) << 8) | s(c[1], 0)) ^ k[2],
+            ((s(c[3], 24) << 24) | (s(c[0], 16) << 16) | (s(c[1], 8) << 8) | s(c[2], 0)) ^ k[3],
+        ];
+        for (i, word) in out.iter().enumerate() {
+            block[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+    }
+
+    /// Reference (table-free) encryption, kept for differential testing.
+    #[doc(hidden)]
+    pub fn encrypt_block_reference(&self, block: &mut [u8; 16]) {
+        add_round_key(block, &self.round_keys[0]);
+        for r in 1..self.rounds {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[r]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[self.rounds]);
+    }
+
+    /// Decrypts one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        add_round_key(block, &self.round_keys[self.rounds]);
+        inv_shift_rows(block);
+        inv_sub_bytes(block);
+        for r in (1..self.rounds).rev() {
+            add_round_key(block, &self.round_keys[r]);
+            inv_mix_columns(block);
+            inv_shift_rows(block);
+            inv_sub_bytes(block);
+        }
+        add_round_key(block, &self.round_keys[0]);
+    }
+}
+
+#[inline]
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk.iter()) {
+        *s ^= k;
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+#[inline]
+fn inv_sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = INV_SBOX[*b as usize];
+    }
+}
+
+// State is column-major: state[4*c + r] is row r, column c.
+#[inline]
+fn shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+#[inline]
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * ((c + r) % 4) + r] = s[4 * c + r];
+        }
+    }
+}
+
+#[inline]
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
+        state[4 * c + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
+    }
+}
+
+#[inline]
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] =
+            gf_mul(col[0], 0x0e) ^ gf_mul(col[1], 0x0b) ^ gf_mul(col[2], 0x0d) ^ gf_mul(col[3], 0x09);
+        state[4 * c + 1] =
+            gf_mul(col[0], 0x09) ^ gf_mul(col[1], 0x0e) ^ gf_mul(col[2], 0x0b) ^ gf_mul(col[3], 0x0d);
+        state[4 * c + 2] =
+            gf_mul(col[0], 0x0d) ^ gf_mul(col[1], 0x09) ^ gf_mul(col[2], 0x0e) ^ gf_mul(col[3], 0x0b);
+        state[4 * c + 3] =
+            gf_mul(col[0], 0x0b) ^ gf_mul(col[1], 0x0d) ^ gf_mul(col[2], 0x09) ^ gf_mul(col[3], 0x0e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::unhex;
+
+    #[test]
+    fn fips197_aes128_vector() {
+        // FIPS 197 Appendix B.
+        let key: [u8; 16] = unhex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let mut block: [u8; 16] = unhex("3243f6a8885a308d313198a2e0370734").try_into().unwrap();
+        let aes = Aes::new_128(&key);
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), unhex("3925841d02dc09fbdc118597196a0b32"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), unhex("3243f6a8885a308d313198a2e0370734"));
+    }
+
+    #[test]
+    fn fips197_aes128_appendix_c1() {
+        let key: [u8; 16] = unhex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let mut block: [u8; 16] = unhex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let aes = Aes::new_128(&key);
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), unhex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+    }
+
+    #[test]
+    fn fips197_aes256_appendix_c3() {
+        let key: [u8; 32] =
+            unhex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .try_into()
+                .unwrap();
+        let mut block: [u8; 16] = unhex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let aes = Aes::new_256(&key);
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), unhex("8ea2b7ca516745bfeafc49904b496089"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), unhex("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_random_keys() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let key: [u8; 32] = rng.gen();
+            let aes = Aes::new_256(&key);
+            let plain: [u8; 16] = rng.gen();
+            let mut block = plain;
+            aes.encrypt_block(&mut block);
+            assert_ne!(block, plain);
+            aes.decrypt_block(&mut block);
+            assert_eq!(block, plain);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "AES key length mismatch")]
+    fn wrong_key_length_panics() {
+        let _ = Aes::new(&[0u8; 17], KeySize::Aes128);
+    }
+
+    #[test]
+    fn ttable_matches_reference_implementation() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let key16: [u8; 16] = rng.gen();
+            let key32: [u8; 32] = rng.gen();
+            let plain: [u8; 16] = rng.gen();
+            for aes in [Aes::new_128(&key16), Aes::new_256(&key32)] {
+                let mut fast = plain;
+                let mut slow = plain;
+                aes.encrypt_block(&mut fast);
+                aes.encrypt_block_reference(&mut slow);
+                assert_eq!(fast, slow);
+            }
+        }
+    }
+
+    #[test]
+    fn gf_mul_matches_xtime() {
+        for b in 0u8..=255 {
+            assert_eq!(gf_mul(b, 2), xtime(b));
+            assert_eq!(gf_mul(b, 1), b);
+            assert_eq!(gf_mul(b, 3), xtime(b) ^ b);
+        }
+    }
+}

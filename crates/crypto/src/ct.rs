@@ -1,0 +1,49 @@
+//! Small constant-time helpers.
+//!
+//! The rest of this crate is correctness-oriented rather than hardened, but
+//! tag and MAC comparisons still use constant-time equality so that the AEAD
+//! APIs do not leak how many tag bytes matched.
+
+/// Compares two byte slices in constant time (with respect to contents).
+///
+/// Returns `false` immediately when lengths differ; length is considered
+/// public information for every use in this workspace.
+///
+/// # Examples
+///
+/// ```
+/// assert!(nexus_crypto::ct::ct_eq(b"abc", b"abc"));
+/// assert!(!nexus_crypto::ct::ct_eq(b"abc", b"abd"));
+/// ```
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ct_eq;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(&[], &[]));
+        assert!(ct_eq(&[1, 2, 3], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn different_contents() {
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2, 4]));
+        assert!(!ct_eq(&[0], &[255]));
+    }
+
+    #[test]
+    fn different_lengths() {
+        assert!(!ct_eq(&[1, 2], &[1, 2, 3]));
+    }
+}

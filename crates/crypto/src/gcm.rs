@@ -1,0 +1,409 @@
+//! AES-GCM authenticated encryption (NIST SP 800-38D).
+//!
+//! NEXUS uses AES-GCM for all bulk metadata and file-chunk encryption: the
+//! protected section of every metadata object and every 1 MB file chunk is
+//! sealed with a fresh key and IV, with the unprotected sections passed as
+//! additional authenticated data.
+//!
+//! # Examples
+//!
+//! ```
+//! use nexus_crypto::gcm::AesGcm;
+//!
+//! let gcm = AesGcm::new_128(&[7u8; 16]);
+//! let sealed = gcm.seal(&[1u8; 12], b"header", b"secret payload");
+//! let opened = gcm.open(&[1u8; 12], b"header", &sealed).unwrap();
+//! assert_eq!(opened, b"secret payload");
+//! ```
+
+use crate::aes::{Aes, KeySize};
+use crate::ct::ct_eq;
+use crate::AeadError;
+
+/// Length in bytes of the GCM authentication tag.
+pub const TAG_LEN: usize = 16;
+/// Length in bytes of the GCM nonce (IV).
+pub const NONCE_LEN: usize = 12;
+
+/// One application of the GHASH shift map (multiplication by `x` in the
+/// bit-reflected representation of SP 800-38D §6.3).
+#[inline]
+fn ghash_shift(v: u128) -> u128 {
+    const R: u128 = 0xe1 << 120;
+    if v & 1 == 1 {
+        (v >> 1) ^ R
+    } else {
+        v >> 1
+    }
+}
+
+/// A GHASH key expanded into Shoup 4-bit tables: `table[p][nib]` is the
+/// field product of H with a nibble placed at bit position `4p` of the
+/// multiplicand, so a full multiplication is 32 lookups and XORs.
+#[derive(Clone)]
+struct GhashKey {
+    table: Box<[[u128; 16]; 32]>,
+}
+
+impl std::fmt::Debug for GhashKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("GhashKey { .. }")
+    }
+}
+
+impl GhashKey {
+    fn new(h: u128) -> GhashKey {
+        // In the bitwise reference, bit i (LSB = 0) of the multiplicand
+        // selects H shifted (127 - i) times.
+        let mut shifted = [0u128; 128];
+        shifted[0] = h;
+        for k in 1..128 {
+            shifted[k] = ghash_shift(shifted[k - 1]);
+        }
+        let mut table = Box::new([[0u128; 16]; 32]);
+        for p in 0..32 {
+            for nib in 0..16usize {
+                let mut acc = 0u128;
+                for b in 0..4 {
+                    if (nib >> b) & 1 == 1 {
+                        acc ^= shifted[127 - (4 * p + b)];
+                    }
+                }
+                table[p][nib] = acc;
+            }
+        }
+        GhashKey { table }
+    }
+
+    /// Field multiplication of `x` by the expanded key.
+    #[inline]
+    fn mul(&self, x: u128) -> u128 {
+        let mut z = 0u128;
+        for p in 0..32 {
+            z ^= self.table[p][((x >> (4 * p)) & 0xf) as usize];
+        }
+        z
+    }
+}
+
+/// Incremental GHASH state.
+#[derive(Debug)]
+struct Ghash<'k> {
+    key: &'k GhashKey,
+    acc: u128,
+}
+
+impl<'k> Ghash<'k> {
+    fn new(key: &'k GhashKey) -> Ghash<'k> {
+        Ghash { key, acc: 0 }
+    }
+
+    /// Absorbs `data`, zero-padding the final partial block.
+    fn update_padded(&mut self, data: &[u8]) {
+        let mut chunks = data.chunks_exact(16);
+        for chunk in &mut chunks {
+            let block: [u8; 16] = chunk.try_into().unwrap();
+            self.acc = self.key.mul(self.acc ^ u128::from_be_bytes(block));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut block = [0u8; 16];
+            block[..rest.len()].copy_from_slice(rest);
+            self.acc = self.key.mul(self.acc ^ u128::from_be_bytes(block));
+        }
+    }
+
+    fn update_block(&mut self, block: &[u8; 16]) {
+        self.acc = self.key.mul(self.acc ^ u128::from_be_bytes(*block));
+    }
+
+    fn finalize(self) -> [u8; 16] {
+        self.acc.to_be_bytes()
+    }
+}
+
+/// An AES-GCM sealing/opening context bound to one key.
+#[derive(Clone)]
+pub struct AesGcm {
+    aes: Aes,
+    /// GHASH subkey H = AES_K(0^128), expanded into lookup tables.
+    h: GhashKey,
+}
+
+impl std::fmt::Debug for AesGcm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AesGcm { .. }")
+    }
+}
+
+impl AesGcm {
+    /// Creates a context from a raw key of 16 or 32 bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is not 16 or 32 bytes long.
+    pub fn new(key: &[u8]) -> AesGcm {
+        let aes = match key.len() {
+            16 => Aes::new(key, KeySize::Aes128),
+            32 => Aes::new(key, KeySize::Aes256),
+            n => panic!("AES-GCM key must be 16 or 32 bytes, got {n}"),
+        };
+        let mut h_block = [0u8; 16];
+        aes.encrypt_block(&mut h_block);
+        AesGcm { aes, h: GhashKey::new(u128::from_be_bytes(h_block)) }
+    }
+
+    /// Creates an AES-128-GCM context.
+    pub fn new_128(key: &[u8; 16]) -> AesGcm {
+        AesGcm::new(key)
+    }
+
+    /// Creates an AES-256-GCM context.
+    pub fn new_256(key: &[u8; 32]) -> AesGcm {
+        AesGcm::new(key)
+    }
+
+    /// Derives the pre-counter block J0 from a 96-bit nonce.
+    fn j0(&self, nonce: &[u8; NONCE_LEN]) -> [u8; 16] {
+        let mut j0 = [0u8; 16];
+        j0[..12].copy_from_slice(nonce);
+        j0[15] = 1;
+        j0
+    }
+
+    /// CTR-mode keystream application starting at counter block `ctr`
+    /// (already incremented past J0).
+    fn ctr_xor(&self, mut ctr: [u8; 16], data: &mut [u8]) {
+        for chunk in data.chunks_mut(16) {
+            inc32(&mut ctr);
+            let mut ks = ctr;
+            self.aes.encrypt_block(&mut ks);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+
+    fn tag(&self, j0: &[u8; 16], aad: &[u8], ciphertext: &[u8]) -> [u8; 16] {
+        let mut ghash = Ghash::new(&self.h);
+        ghash.update_padded(aad);
+        ghash.update_padded(ciphertext);
+        let mut len_block = [0u8; 16];
+        len_block[..8].copy_from_slice(&((aad.len() as u64) * 8).to_be_bytes());
+        len_block[8..].copy_from_slice(&((ciphertext.len() as u64) * 8).to_be_bytes());
+        ghash.update_block(&len_block);
+        let mut tag = ghash.finalize();
+        let mut e_j0 = *j0;
+        self.aes.encrypt_block(&mut e_j0);
+        for (t, e) in tag.iter_mut().zip(e_j0.iter()) {
+            *t ^= e;
+        }
+        tag
+    }
+
+    /// Encrypts `plaintext`, authenticating `aad`, returning the ciphertext
+    /// and a detached 16-byte tag.
+    pub fn seal_detached(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        plaintext: &[u8],
+    ) -> (Vec<u8>, [u8; TAG_LEN]) {
+        let j0 = self.j0(nonce);
+        let mut ct = plaintext.to_vec();
+        self.ctr_xor(j0, &mut ct);
+        let tag = self.tag(&j0, aad, &ct);
+        (ct, tag)
+    }
+
+    /// Encrypts `plaintext` and returns `ciphertext || tag`.
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let (mut ct, tag) = self.seal_detached(nonce, aad, plaintext);
+        ct.extend_from_slice(&tag);
+        ct
+    }
+
+    /// Verifies the detached `tag` and decrypts `ciphertext`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeadError`] when the tag does not match; no plaintext is
+    /// released in that case.
+    pub fn open_detached(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        ciphertext: &[u8],
+        tag: &[u8; TAG_LEN],
+    ) -> Result<Vec<u8>, AeadError> {
+        let j0 = self.j0(nonce);
+        let expected = self.tag(&j0, aad, ciphertext);
+        if !ct_eq(&expected, tag) {
+            return Err(AeadError);
+        }
+        let mut pt = ciphertext.to_vec();
+        self.ctr_xor(j0, &mut pt);
+        Ok(pt)
+    }
+
+    /// Opens a `ciphertext || tag` buffer produced by [`AesGcm::seal`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeadError`] if the buffer is shorter than a tag or the tag
+    /// does not verify.
+    pub fn open(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, AeadError> {
+        if sealed.len() < TAG_LEN {
+            return Err(AeadError);
+        }
+        let (ct, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let tag: [u8; TAG_LEN] = tag.try_into().expect("split length");
+        self.open_detached(nonce, aad, ct, &tag)
+    }
+}
+
+/// Increments the last 32 bits of a counter block (big-endian).
+fn inc32(block: &mut [u8; 16]) {
+    let mut ctr = u32::from_be_bytes(block[12..16].try_into().unwrap());
+    ctr = ctr.wrapping_add(1);
+    block[12..16].copy_from_slice(&ctr.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{hex, unhex};
+
+    fn check(key: &str, iv: &str, pt: &str, aad: &str, ct: &str, tag: &str) {
+        let gcm = AesGcm::new(&unhex(key));
+        let nonce: [u8; 12] = unhex(iv).try_into().unwrap();
+        let (c, t) = gcm.seal_detached(&nonce, &unhex(aad), &unhex(pt));
+        assert_eq!(hex(&c), ct, "ciphertext");
+        assert_eq!(hex(&t), tag, "tag");
+        let p = gcm.open_detached(&nonce, &unhex(aad), &c, &t).unwrap();
+        assert_eq!(hex(&p), pt, "roundtrip");
+    }
+
+    #[test]
+    fn nist_case_1_empty() {
+        check(
+            "00000000000000000000000000000000",
+            "000000000000000000000000",
+            "",
+            "",
+            "",
+            "58e2fccefa7e3061367f1d57a4e7455a",
+        );
+    }
+
+    #[test]
+    fn nist_case_2_one_block() {
+        check(
+            "00000000000000000000000000000000",
+            "000000000000000000000000",
+            "00000000000000000000000000000000",
+            "",
+            "0388dace60b6a392f328c2b971b2fe78",
+            "ab6e47d42cec13bdf53a67b21257bddf",
+        );
+    }
+
+    #[test]
+    fn nist_case_3_four_blocks() {
+        check(
+            "feffe9928665731c6d6a8f9467308308",
+            "cafebabefacedbaddecaf888",
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+            "",
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985",
+            "4d5c2af327cd64a62cf35abd2ba6fab4",
+        );
+    }
+
+    #[test]
+    fn nist_case_4_with_aad() {
+        check(
+            "feffe9928665731c6d6a8f9467308308",
+            "cafebabefacedbaddecaf888",
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+            "feedfacedeadbeeffeedfacedeadbeefabaddad2",
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091",
+            "5bc94fbc3221a5db94fae95ae7121a47",
+        );
+    }
+
+    #[test]
+    fn nist_case_13_aes256_empty() {
+        check(
+            "0000000000000000000000000000000000000000000000000000000000000000",
+            "000000000000000000000000",
+            "",
+            "",
+            "",
+            "530f8afbc74536b9a963b4f1c4cb738b",
+        );
+    }
+
+    #[test]
+    fn nist_case_14_aes256_one_block() {
+        check(
+            "0000000000000000000000000000000000000000000000000000000000000000",
+            "000000000000000000000000",
+            "00000000000000000000000000000000",
+            "",
+            "cea7403d4d606b6e074ec5d3baf39d18",
+            "d0d1c8a799996bf0265b98b5d48ab919",
+        );
+    }
+
+    #[test]
+    fn tamper_detection() {
+        let gcm = AesGcm::new_128(&[9u8; 16]);
+        let nonce = [3u8; 12];
+        let mut sealed = gcm.seal(&nonce, b"aad", b"hello world");
+        sealed[0] ^= 1;
+        assert!(gcm.open(&nonce, b"aad", &sealed).is_err());
+    }
+
+    #[test]
+    fn wrong_aad_rejected() {
+        let gcm = AesGcm::new_128(&[9u8; 16]);
+        let nonce = [3u8; 12];
+        let sealed = gcm.seal(&nonce, b"aad", b"hello world");
+        assert!(gcm.open(&nonce, b"wrong", &sealed).is_err());
+    }
+
+    #[test]
+    fn wrong_nonce_rejected() {
+        let gcm = AesGcm::new_128(&[9u8; 16]);
+        let sealed = gcm.seal(&[3u8; 12], b"", b"hello world");
+        assert!(gcm.open(&[4u8; 12], b"", &sealed).is_err());
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        let gcm = AesGcm::new_128(&[9u8; 16]);
+        assert!(gcm.open(&[0u8; 12], b"", &[0u8; 15]).is_err());
+    }
+
+    #[test]
+    fn seal_open_various_lengths() {
+        let gcm = AesGcm::new_256(&[0xab; 32]);
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 100, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let nonce = [len as u8; 12];
+            let sealed = gcm.seal(&nonce, b"x", &pt);
+            assert_eq!(sealed.len(), len + TAG_LEN);
+            assert_eq!(gcm.open(&nonce, b"x", &sealed).unwrap(), pt);
+        }
+    }
+}

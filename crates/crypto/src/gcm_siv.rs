@@ -1,0 +1,385 @@
+//! AES-GCM-SIV nonce-misuse-resistant AEAD (RFC 8452).
+//!
+//! NEXUS uses AES-GCM-SIV for *key wrapping*: every metadata object carries
+//! its own AES-GCM key, stored wrapped under the volume rootkey. The paper
+//! (§IV-A2) follows Gueron et al. and uses the GCM-SIV construction because a
+//! misuse-resistant AEAD is the safe primitive for wrapping many small keys.
+//!
+//! # Examples
+//!
+//! ```
+//! use nexus_crypto::gcm_siv::AesGcmSiv;
+//!
+//! let siv = AesGcmSiv::new_256(&[3u8; 32]);
+//! let wrapped = siv.seal(&[0u8; 12], b"metadata-uuid", &[0x42; 16]);
+//! assert_eq!(siv.open(&[0u8; 12], b"metadata-uuid", &wrapped).unwrap(), vec![0x42; 16]);
+//! ```
+
+use crate::aes::{Aes, KeySize};
+use crate::ct::ct_eq;
+use crate::AeadError;
+
+/// Length in bytes of the GCM-SIV authentication tag.
+pub const TAG_LEN: usize = 16;
+/// Length in bytes of the GCM-SIV nonce.
+pub const NONCE_LEN: usize = 12;
+
+/// Multiplication in the GHASH field (same convention as `crate::gcm`).
+fn ghash_mul(x: u128, y: u128) -> u128 {
+    const R: u128 = 0xe1 << 120;
+    let mut z = 0u128;
+    let mut v = y;
+    for i in (0..128).rev() {
+        if (x >> i) & 1 == 1 {
+            z ^= v;
+        }
+        if v & 1 == 1 {
+            v = (v >> 1) ^ R;
+        } else {
+            v >>= 1;
+        }
+    }
+    z
+}
+
+/// Multiplies a GHASH field element by `x` (RFC 8452 appendix A, `mulX_GHASH`).
+fn mul_x_ghash(v: u128) -> u128 {
+    const R: u128 = 0xe1 << 120;
+    if v & 1 == 1 {
+        (v >> 1) ^ R
+    } else {
+        v >> 1
+    }
+}
+
+fn byte_reverse(b: &[u8; 16]) -> [u8; 16] {
+    let mut out = *b;
+    out.reverse();
+    out
+}
+
+/// POLYVAL (RFC 8452 §3) implemented via the GHASH equivalence in appendix A:
+/// `POLYVAL(H, X_1..X_n) = ByteReverse(GHASH(mulX_GHASH(ByteReverse(H)), ByteReverse(X_1)..))`.
+#[derive(Debug, Clone)]
+struct Polyval {
+    h: u128,
+    acc: u128,
+}
+
+impl Polyval {
+    fn new(h: &[u8; 16]) -> Polyval {
+        let h_ghash = mul_x_ghash(u128::from_be_bytes(byte_reverse(h)));
+        Polyval { h: h_ghash, acc: 0 }
+    }
+
+    /// Absorbs `data` in 16-byte blocks, zero-padding the final partial one.
+    fn update_padded(&mut self, data: &[u8]) {
+        for chunk in data.chunks(16) {
+            let mut block = [0u8; 16];
+            block[..chunk.len()].copy_from_slice(chunk);
+            self.update_block(&block);
+        }
+    }
+
+    fn update_block(&mut self, block: &[u8; 16]) {
+        let x = u128::from_be_bytes(byte_reverse(block));
+        self.acc = ghash_mul(self.acc ^ x, self.h);
+    }
+
+    fn finalize(self) -> [u8; 16] {
+        byte_reverse(&self.acc.to_be_bytes())
+    }
+}
+
+/// An AES-GCM-SIV sealing/opening context bound to one key-generating key.
+#[derive(Clone)]
+pub struct AesGcmSiv {
+    key_generating_key: Vec<u8>,
+}
+
+impl std::fmt::Debug for AesGcmSiv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AesGcmSiv { .. }")
+    }
+}
+
+impl AesGcmSiv {
+    /// Creates a context from a 16- or 32-byte key-generating key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is not 16 or 32 bytes.
+    pub fn new(key: &[u8]) -> AesGcmSiv {
+        assert!(
+            key.len() == 16 || key.len() == 32,
+            "AES-GCM-SIV key must be 16 or 32 bytes, got {}",
+            key.len()
+        );
+        AesGcmSiv { key_generating_key: key.to_vec() }
+    }
+
+    /// Creates an AES-128-GCM-SIV context.
+    pub fn new_128(key: &[u8; 16]) -> AesGcmSiv {
+        AesGcmSiv::new(key)
+    }
+
+    /// Creates an AES-256-GCM-SIV context.
+    pub fn new_256(key: &[u8; 32]) -> AesGcmSiv {
+        AesGcmSiv::new(key)
+    }
+
+    /// Per-nonce key derivation (RFC 8452 §4).
+    fn derive_keys(&self, nonce: &[u8; NONCE_LEN]) -> ([u8; 16], Vec<u8>) {
+        let kgk = match self.key_generating_key.len() {
+            16 => Aes::new(&self.key_generating_key, KeySize::Aes128),
+            _ => Aes::new(&self.key_generating_key, KeySize::Aes256),
+        };
+        let half = |counter: u32| -> [u8; 8] {
+            let mut block = [0u8; 16];
+            block[..4].copy_from_slice(&counter.to_le_bytes());
+            block[4..].copy_from_slice(nonce);
+            kgk.encrypt_block(&mut block);
+            block[..8].try_into().expect("8-byte half")
+        };
+        let mut auth_key = [0u8; 16];
+        auth_key[..8].copy_from_slice(&half(0));
+        auth_key[8..].copy_from_slice(&half(1));
+        let enc_key_len = self.key_generating_key.len();
+        let mut enc_key = Vec::with_capacity(enc_key_len);
+        enc_key.extend_from_slice(&half(2));
+        enc_key.extend_from_slice(&half(3));
+        if enc_key_len == 32 {
+            enc_key.extend_from_slice(&half(4));
+            enc_key.extend_from_slice(&half(5));
+        }
+        (auth_key, enc_key)
+    }
+
+    fn polyval_tag(
+        auth_key: &[u8; 16],
+        enc: &Aes,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        plaintext: &[u8],
+    ) -> [u8; 16] {
+        let mut pv = Polyval::new(auth_key);
+        pv.update_padded(aad);
+        pv.update_padded(plaintext);
+        let mut len_block = [0u8; 16];
+        len_block[..8].copy_from_slice(&((aad.len() as u64) * 8).to_le_bytes());
+        len_block[8..].copy_from_slice(&((plaintext.len() as u64) * 8).to_le_bytes());
+        pv.update_block(&len_block);
+        let mut s = pv.finalize();
+        for (b, n) in s.iter_mut().zip(nonce.iter()) {
+            *b ^= n;
+        }
+        s[15] &= 0x7f;
+        enc.encrypt_block(&mut s);
+        s
+    }
+
+    /// AES-CTR with the GCM-SIV convention: 32-bit little-endian counter in
+    /// the first four bytes.
+    fn ctr_xor(enc: &Aes, tag: &[u8; 16], data: &mut [u8]) {
+        let mut block = *tag;
+        block[15] |= 0x80;
+        let mut counter = u32::from_le_bytes(block[..4].try_into().unwrap());
+        for chunk in data.chunks_mut(16) {
+            let mut ks = block;
+            ks[..4].copy_from_slice(&counter.to_le_bytes());
+            enc.encrypt_block(&mut ks);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            counter = counter.wrapping_add(1);
+        }
+    }
+
+    /// Encrypts `plaintext`, returning the ciphertext and detached tag.
+    pub fn seal_detached(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        plaintext: &[u8],
+    ) -> (Vec<u8>, [u8; TAG_LEN]) {
+        let (auth_key, enc_key) = self.derive_keys(nonce);
+        let enc = match enc_key.len() {
+            16 => Aes::new(&enc_key, KeySize::Aes128),
+            _ => Aes::new(&enc_key, KeySize::Aes256),
+        };
+        let tag = Self::polyval_tag(&auth_key, &enc, nonce, aad, plaintext);
+        let mut ct = plaintext.to_vec();
+        Self::ctr_xor(&enc, &tag, &mut ct);
+        (ct, tag)
+    }
+
+    /// Encrypts `plaintext` and returns `ciphertext || tag`.
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let (mut ct, tag) = self.seal_detached(nonce, aad, plaintext);
+        ct.extend_from_slice(&tag);
+        ct
+    }
+
+    /// Verifies and decrypts a detached-tag ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeadError`] when the tag does not verify.
+    pub fn open_detached(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        ciphertext: &[u8],
+        tag: &[u8; TAG_LEN],
+    ) -> Result<Vec<u8>, AeadError> {
+        let (auth_key, enc_key) = self.derive_keys(nonce);
+        let enc = match enc_key.len() {
+            16 => Aes::new(&enc_key, KeySize::Aes128),
+            _ => Aes::new(&enc_key, KeySize::Aes256),
+        };
+        let mut pt = ciphertext.to_vec();
+        Self::ctr_xor(&enc, tag, &mut pt);
+        let expected = Self::polyval_tag(&auth_key, &enc, nonce, aad, &pt);
+        if !ct_eq(&expected, tag) {
+            return Err(AeadError);
+        }
+        Ok(pt)
+    }
+
+    /// Opens a `ciphertext || tag` buffer produced by [`AesGcmSiv::seal`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeadError`] if the buffer is too short or the tag fails.
+    pub fn open(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, AeadError> {
+        if sealed.len() < TAG_LEN {
+            return Err(AeadError);
+        }
+        let (ct, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let tag: [u8; TAG_LEN] = tag.try_into().expect("split length");
+        self.open_detached(nonce, aad, ct, &tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{hex, unhex};
+
+    fn check(key: &str, nonce: &str, pt: &str, aad: &str, expect_ct_and_tag: &str) {
+        let siv = AesGcmSiv::new(&unhex(key));
+        let n: [u8; 12] = unhex(nonce).try_into().unwrap();
+        let sealed = siv.seal(&n, &unhex(aad), &unhex(pt));
+        assert_eq!(hex(&sealed), expect_ct_and_tag);
+        let opened = siv.open(&n, &unhex(aad), &sealed).unwrap();
+        assert_eq!(hex(&opened), pt);
+    }
+
+    // Vectors from RFC 8452 appendix C.1 (AES-128-GCM-SIV).
+    #[test]
+    fn rfc8452_aes128_empty() {
+        check(
+            "01000000000000000000000000000000",
+            "030000000000000000000000",
+            "",
+            "",
+            "dc20e2d83f25705bb49e439eca56de25",
+        );
+    }
+
+    #[test]
+    fn rfc8452_aes128_8_bytes() {
+        check(
+            "01000000000000000000000000000000",
+            "030000000000000000000000",
+            "0100000000000000",
+            "",
+            "b5d839330ac7b786578782fff6013b815b287c22493a364c",
+        );
+    }
+
+    #[test]
+    fn rfc8452_aes128_12_bytes() {
+        check(
+            "01000000000000000000000000000000",
+            "030000000000000000000000",
+            "010000000000000000000000",
+            "",
+            "7323ea61d05932260047d942a4978db357391a0bc4fdec8b0d106639",
+        );
+    }
+
+    #[test]
+    fn rfc8452_aes128_16_bytes() {
+        check(
+            "01000000000000000000000000000000",
+            "030000000000000000000000",
+            "01000000000000000000000000000000",
+            "",
+            "743f7c8077ab25f8624e2e948579cf77303aaf90f6fe21199c6068577437a0c4",
+        );
+    }
+
+    // Vectors from RFC 8452 appendix C.2 (AES-256-GCM-SIV).
+    #[test]
+    fn rfc8452_aes256_empty() {
+        check(
+            "0100000000000000000000000000000000000000000000000000000000000000",
+            "030000000000000000000000",
+            "",
+            "",
+            "07f5f4169bbf55a8400cd47ea6fd400f",
+        );
+    }
+
+    #[test]
+    fn rfc8452_aes256_8_bytes() {
+        check(
+            "0100000000000000000000000000000000000000000000000000000000000000",
+            "030000000000000000000000",
+            "0100000000000000",
+            "",
+            "c2ef328e5c71c83b843122130f7364b761e0b97427e3df28",
+        );
+    }
+
+    #[test]
+    fn nonce_misuse_same_inputs_same_output() {
+        // SIV is deterministic for identical (key, nonce, aad, pt).
+        let siv = AesGcmSiv::new_256(&[1u8; 32]);
+        let a = siv.seal(&[2u8; 12], b"aad", b"payload");
+        let b = siv.seal(&[2u8; 12], b"aad", b"payload");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tamper_detection() {
+        let siv = AesGcmSiv::new_256(&[1u8; 32]);
+        let mut sealed = siv.seal(&[2u8; 12], b"aad", b"payload");
+        let last = sealed.len() - 1;
+        sealed[last] ^= 0x80;
+        assert!(siv.open(&[2u8; 12], b"aad", &sealed).is_err());
+    }
+
+    #[test]
+    fn wrong_aad_rejected() {
+        let siv = AesGcmSiv::new_128(&[1u8; 16]);
+        let sealed = siv.seal(&[2u8; 12], b"aad", b"payload");
+        assert!(siv.open(&[2u8; 12], b"other", &sealed).is_err());
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let siv = AesGcmSiv::new_256(&[0x55; 32]);
+        for len in [0usize, 1, 15, 16, 17, 47, 64, 300] {
+            let pt: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            let sealed = siv.seal(&[9u8; 12], b"ctx", &pt);
+            assert_eq!(siv.open(&[9u8; 12], b"ctx", &sealed).unwrap(), pt, "len={len}");
+        }
+    }
+}

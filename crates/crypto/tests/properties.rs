@@ -1,0 +1,148 @@
+//! Property-based tests for the cryptographic substrate: roundtrips,
+//! tamper-rejection, and algebraic identities over arbitrary inputs.
+
+use proptest::prelude::*;
+
+use nexus_crypto::ed25519::SigningKey;
+use nexus_crypto::gcm::AesGcm;
+use nexus_crypto::gcm_siv::AesGcmSiv;
+use nexus_crypto::hmac::{hkdf, hmac_sha256};
+use nexus_crypto::sha2::{Sha256, Sha512};
+use nexus_crypto::x25519;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn gcm_roundtrips_any_input(
+        key in prop::array::uniform32(any::<u8>()),
+        nonce in prop::array::uniform12(any::<u8>()),
+        aad in prop::collection::vec(any::<u8>(), 0..128),
+        plaintext in prop::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let gcm = AesGcm::new_256(&key);
+        let sealed = gcm.seal(&nonce, &aad, &plaintext);
+        prop_assert_eq!(gcm.open(&nonce, &aad, &sealed).unwrap(), plaintext);
+    }
+
+    #[test]
+    fn gcm_rejects_any_single_bitflip(
+        key in prop::array::uniform32(any::<u8>()),
+        nonce in prop::array::uniform12(any::<u8>()),
+        plaintext in prop::collection::vec(any::<u8>(), 1..256),
+        flip_byte in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let gcm = AesGcm::new_256(&key);
+        let mut sealed = gcm.seal(&nonce, b"aad", &plaintext);
+        let idx = flip_byte.index(sealed.len());
+        sealed[idx] ^= 1 << flip_bit;
+        prop_assert!(gcm.open(&nonce, b"aad", &sealed).is_err());
+    }
+
+    #[test]
+    fn gcm_siv_roundtrips_and_is_deterministic(
+        key in prop::array::uniform32(any::<u8>()),
+        nonce in prop::array::uniform12(any::<u8>()),
+        plaintext in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let siv = AesGcmSiv::new_256(&key);
+        let a = siv.seal(&nonce, b"ctx", &plaintext);
+        let b = siv.seal(&nonce, b"ctx", &plaintext);
+        prop_assert_eq!(&a, &b, "SIV is deterministic");
+        prop_assert_eq!(siv.open(&nonce, b"ctx", &a).unwrap(), plaintext);
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in prop::collection::vec(any::<u8>(), 0..4096),
+        splits in prop::collection::vec(any::<prop::sample::Index>(), 0..5),
+    ) {
+        let mut points: Vec<usize> = splits.iter().map(|i| i.index(data.len() + 1)).collect();
+        points.sort_unstable();
+        let mut h = Sha256::new();
+        let mut prev = 0usize;
+        for p in points {
+            h.update(&data[prev..p]);
+            prev = p;
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn sha512_incremental_equals_oneshot(
+        data in prop::collection::vec(any::<u8>(), 0..4096),
+        split in any::<prop::sample::Index>(),
+    ) {
+        let p = split.index(data.len() + 1);
+        let mut h = Sha512::new();
+        h.update(&data[..p]);
+        h.update(&data[p..]);
+        prop_assert_eq!(h.finalize().to_vec(), Sha512::digest(&data).to_vec());
+    }
+
+    #[test]
+    fn x25519_diffie_hellman_commutes(
+        a in prop::array::uniform32(any::<u8>()),
+        b in prop::array::uniform32(any::<u8>()),
+    ) {
+        let pub_a = x25519::x25519_public_key(&a);
+        let pub_b = x25519::x25519_public_key(&b);
+        prop_assert_eq!(x25519::x25519(&a, &pub_b), x25519::x25519(&b, &pub_a));
+    }
+
+    #[test]
+    fn ed25519_signs_and_verifies_any_message(
+        seed in prop::array::uniform32(any::<u8>()),
+        msg in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let key = SigningKey::from_seed(&seed);
+        let sig = key.sign(&msg);
+        prop_assert!(key.verifying_key().verify(&msg, &sig).is_ok());
+        // Any other message fails (unless identical).
+        let mut other = msg.clone();
+        other.push(0);
+        prop_assert!(key.verifying_key().verify(&other, &sig).is_err());
+    }
+
+    #[test]
+    fn ed25519_signature_tamper_rejected(
+        seed in prop::array::uniform32(any::<u8>()),
+        msg in prop::collection::vec(any::<u8>(), 0..64),
+        flip_byte in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let key = SigningKey::from_seed(&seed);
+        let mut sig = key.sign(&msg).to_bytes();
+        let idx = flip_byte.index(sig.len());
+        sig[idx] ^= 1 << flip_bit;
+        let sig = nexus_crypto::ed25519::Signature::from_bytes(&sig).unwrap();
+        prop_assert!(key.verifying_key().verify(&msg, &sig).is_err());
+    }
+
+    #[test]
+    fn hmac_is_deterministic_and_key_sensitive(
+        key in prop::collection::vec(any::<u8>(), 0..96),
+        msg in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let a = hmac_sha256(&key, &msg);
+        let b = hmac_sha256(&key, &msg);
+        prop_assert_eq!(a, b);
+        let mut other_key = key.clone();
+        other_key.push(1);
+        prop_assert_ne!(hmac_sha256(&other_key, &msg), a);
+    }
+
+    #[test]
+    fn hkdf_output_lengths_are_exact(
+        ikm in prop::collection::vec(any::<u8>(), 1..64),
+        len in 1usize..200,
+    ) {
+        let okm = hkdf(b"salt", &ikm, b"info", len);
+        prop_assert_eq!(okm.len(), len);
+        // Prefix property: shorter outputs are prefixes of longer ones.
+        let longer = hkdf(b"salt", &ikm, b"info", len + 13);
+        prop_assert_eq!(&longer[..len], &okm[..]);
+    }
+}

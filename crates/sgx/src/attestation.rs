@@ -1,0 +1,232 @@
+//! A simulated Intel Attestation Service (IAS).
+//!
+//! Real deployments upload quotes to Intel, which validates the platform's
+//! provisioned key and returns a signed verdict. The simulator keeps a
+//! registry of genuine platforms (their attestation public keys) and
+//! supports revocation, so tests can model both fake platforms and
+//! compromised ones.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use nexus_crypto::ed25519::VerifyingKey;
+use parking_lot::RwLock;
+
+use crate::enclave::Measurement;
+use crate::platform::{Platform, PlatformId};
+use crate::quote::Quote;
+
+/// Why quote verification failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttestError {
+    /// The platform is not known to the attestation service (not genuine
+    /// SGX hardware).
+    UnknownPlatform,
+    /// The platform's attestation key has been revoked.
+    RevokedPlatform,
+    /// The quote signature does not verify.
+    BadSignature,
+    /// The quote is for a different enclave than expected.
+    WrongEnclave,
+}
+
+impl std::fmt::Display for AttestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttestError::UnknownPlatform => f.write_str("platform not provisioned"),
+            AttestError::RevokedPlatform => f.write_str("platform attestation key revoked"),
+            AttestError::BadSignature => f.write_str("quote signature invalid"),
+            AttestError::WrongEnclave => f.write_str("quote is for an unexpected enclave"),
+        }
+    }
+}
+
+impl std::error::Error for AttestError {}
+
+struct Registry {
+    platforms: HashMap<PlatformId, VerifyingKey>,
+    revoked: HashMap<PlatformId, ()>,
+}
+
+/// The attestation service; cheap to clone and share.
+///
+/// # Examples
+///
+/// ```
+/// use nexus_sgx::{AttestationService, Enclave, EnclaveImage, Platform};
+///
+/// let ias = AttestationService::new();
+/// let platform = Platform::new();
+/// ias.register_platform(&platform);
+/// let enclave = Enclave::create(&platform, &EnclaveImage::new(b"app".to_vec()), ());
+/// let quote = enclave.ecall(|_, env| env.quote(&[0u8; 64]));
+/// ias.verify(&quote).unwrap();
+/// ```
+#[derive(Clone)]
+pub struct AttestationService {
+    registry: Arc<RwLock<Registry>>,
+}
+
+impl std::fmt::Debug for AttestationService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let reg = self.registry.read();
+        f.debug_struct("AttestationService")
+            .field("platforms", &reg.platforms.len())
+            .field("revoked", &reg.revoked.len())
+            .finish()
+    }
+}
+
+impl Default for AttestationService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AttestationService {
+    /// Creates an empty service.
+    pub fn new() -> AttestationService {
+        AttestationService {
+            registry: Arc::new(RwLock::new(Registry {
+                platforms: HashMap::new(),
+                revoked: HashMap::new(),
+            })),
+        }
+    }
+
+    /// Provisions a platform: records its attestation public key, as Intel
+    /// does at manufacturing time.
+    pub fn register_platform(&self, platform: &Platform) {
+        self.registry
+            .write()
+            .platforms
+            .insert(platform.id(), platform.attestation_public_key());
+    }
+
+    /// Provisions a platform from its published record (id + attestation
+    /// public key) — how a persisted provisioning database is reloaded.
+    pub fn register_platform_key(&self, id: PlatformId, key: VerifyingKey) {
+        self.registry.write().platforms.insert(id, key);
+    }
+
+    /// Marks a platform's attestation key as revoked.
+    pub fn revoke_platform(&self, id: PlatformId) {
+        self.registry.write().revoked.insert(id, ());
+    }
+
+    /// Verifies a quote came from a genuine, non-revoked platform.
+    ///
+    /// # Errors
+    ///
+    /// See [`AttestError`].
+    pub fn verify(&self, quote: &Quote) -> Result<(), AttestError> {
+        let reg = self.registry.read();
+        if reg.revoked.contains_key(&quote.platform_id) {
+            return Err(AttestError::RevokedPlatform);
+        }
+        let key = reg
+            .platforms
+            .get(&quote.platform_id)
+            .ok_or(AttestError::UnknownPlatform)?;
+        let msg = Quote::signed_message(quote.measurement, quote.platform_id, &quote.report_data);
+        key.verify(&msg, &quote.signature)
+            .map_err(|_| AttestError::BadSignature)
+    }
+
+    /// Verifies a quote and additionally checks it identifies the expected
+    /// enclave build.
+    ///
+    /// # Errors
+    ///
+    /// See [`AttestError`]; adds [`AttestError::WrongEnclave`] on identity
+    /// mismatch.
+    pub fn verify_expecting(
+        &self,
+        quote: &Quote,
+        expected: Measurement,
+    ) -> Result<(), AttestError> {
+        self.verify(quote)?;
+        if quote.measurement != expected {
+            return Err(AttestError::WrongEnclave);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enclave::{Enclave, EnclaveImage};
+
+    fn setup() -> (AttestationService, Platform, Enclave<()>) {
+        let ias = AttestationService::new();
+        let platform = Platform::seeded(11);
+        ias.register_platform(&platform);
+        let enclave = Enclave::create(&platform, &EnclaveImage::new(b"app".to_vec()), ());
+        (ias, platform, enclave)
+    }
+
+    #[test]
+    fn valid_quote_verifies() {
+        let (ias, _, enclave) = setup();
+        let quote = enclave.ecall(|_, env| env.quote(&[1u8; 64]));
+        ias.verify(&quote).unwrap();
+        ias.verify_expecting(&quote, enclave.measurement()).unwrap();
+    }
+
+    #[test]
+    fn unknown_platform_rejected() {
+        let ias = AttestationService::new();
+        let platform = Platform::seeded(12);
+        let enclave = Enclave::create(&platform, &EnclaveImage::new(b"app".to_vec()), ());
+        let quote = enclave.ecall(|_, env| env.quote(&[1u8; 64]));
+        assert_eq!(ias.verify(&quote), Err(AttestError::UnknownPlatform));
+    }
+
+    #[test]
+    fn revoked_platform_rejected() {
+        let (ias, platform, enclave) = setup();
+        ias.revoke_platform(platform.id());
+        let quote = enclave.ecall(|_, env| env.quote(&[1u8; 64]));
+        assert_eq!(ias.verify(&quote), Err(AttestError::RevokedPlatform));
+    }
+
+    #[test]
+    fn forged_report_data_rejected() {
+        let (ias, _, enclave) = setup();
+        let mut quote = enclave.ecall(|_, env| env.quote(&[1u8; 64]));
+        quote.report_data[0] ^= 1;
+        assert_eq!(ias.verify(&quote), Err(AttestError::BadSignature));
+    }
+
+    #[test]
+    fn forged_measurement_rejected() {
+        let (ias, _, enclave) = setup();
+        let mut quote = enclave.ecall(|_, env| env.quote(&[1u8; 64]));
+        quote.measurement.0[0] ^= 1;
+        assert_eq!(ias.verify(&quote), Err(AttestError::BadSignature));
+    }
+
+    #[test]
+    fn wrong_enclave_detected() {
+        let (ias, platform, _) = setup();
+        let other = Enclave::create(&platform, &EnclaveImage::new(b"other".to_vec()), ());
+        let quote = other.ecall(|_, env| env.quote(&[1u8; 64]));
+        let expected = EnclaveImage::new(b"app".to_vec()).measurement();
+        assert_eq!(
+            ias.verify_expecting(&quote, expected),
+            Err(AttestError::WrongEnclave)
+        );
+    }
+
+    #[test]
+    fn quote_replay_across_platforms_rejected() {
+        // A quote pinned to platform A cannot be replayed claiming platform B.
+        let (ias, _, enclave) = setup();
+        let other_platform = Platform::seeded(99);
+        ias.register_platform(&other_platform);
+        let mut quote = enclave.ecall(|_, env| env.quote(&[1u8; 64]));
+        quote.platform_id = other_platform.id();
+        assert_eq!(ias.verify(&quote), Err(AttestError::BadSignature));
+    }
+}

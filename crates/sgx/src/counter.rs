@@ -1,0 +1,133 @@
+//! Monotonic counters (SGX platform services).
+//!
+//! SGX exposes hardware-backed monotonic counters that enclaves can use to
+//! detect state rollback; crucially, the hardware values **survive enclave
+//! and machine restarts**. NEXUS's freshness manifest (paper §VI-C) anchors
+//! its version to one. The simulator therefore supports an optional backing
+//! file, so a persisted [`crate::Platform`] keeps its counters across
+//! processes just like real hardware keeps them across reboots.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use parking_lot::Mutex;
+
+#[derive(Debug, Default)]
+struct CounterState {
+    values: HashMap<u64, u64>,
+    backing: Option<PathBuf>,
+}
+
+impl CounterState {
+    fn flush(&self) {
+        let Some(path) = &self.backing else { return };
+        let mut out = Vec::with_capacity(self.values.len() * 16);
+        let mut entries: Vec<(&u64, &u64)> = self.values.iter().collect();
+        entries.sort();
+        for (id, value) in entries {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&value.to_le_bytes());
+        }
+        // Counter durability is best-effort in the simulator; real hardware
+        // cannot fail here, so errors are ignored rather than surfaced.
+        let _ = std::fs::write(path, out);
+    }
+}
+
+/// A set of named monotonic counters; values never decrease.
+#[derive(Debug, Default)]
+pub struct MonotonicCounters {
+    state: Mutex<CounterState>,
+}
+
+impl MonotonicCounters {
+    /// Creates an empty, in-memory counter set.
+    pub fn new() -> MonotonicCounters {
+        MonotonicCounters::default()
+    }
+
+    /// Opens a counter set backed by `path`, loading any persisted values
+    /// (hardware counters survive restarts).
+    pub fn persistent(path: impl Into<PathBuf>) -> MonotonicCounters {
+        let path = path.into();
+        let mut values = HashMap::new();
+        if let Ok(bytes) = std::fs::read(&path) {
+            for record in bytes.chunks_exact(16) {
+                let id = u64::from_le_bytes(record[..8].try_into().unwrap());
+                let value = u64::from_le_bytes(record[8..].try_into().unwrap());
+                values.insert(id, value);
+            }
+        }
+        MonotonicCounters { state: Mutex::new(CounterState { values, backing: Some(path) }) }
+    }
+
+    /// Reads counter `id` (zero if never incremented).
+    pub fn read(&self, id: u64) -> u64 {
+        *self.state.lock().values.get(&id).unwrap_or(&0)
+    }
+
+    /// Increments counter `id`, returning the new value.
+    pub fn increment(&self, id: u64) -> u64 {
+        let mut state = self.state.lock();
+        let entry = state.values.entry(id).or_insert(0);
+        *entry += 1;
+        let value = *entry;
+        state.flush();
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero() {
+        let c = MonotonicCounters::new();
+        assert_eq!(c.read(1), 0);
+    }
+
+    #[test]
+    fn increment_is_monotonic() {
+        let c = MonotonicCounters::new();
+        let mut last = 0;
+        for _ in 0..10 {
+            let v = c.increment(5);
+            assert!(v > last);
+            last = v;
+        }
+        assert_eq!(c.read(5), 10);
+    }
+
+    #[test]
+    fn persistent_counters_survive_reopen() {
+        let path = std::env::temp_dir().join(format!(
+            "nexus-counters-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let c = MonotonicCounters::persistent(&path);
+            c.increment(7);
+            c.increment(7);
+            c.increment(9);
+        }
+        let c = MonotonicCounters::persistent(&path);
+        assert_eq!(c.read(7), 2);
+        assert_eq!(c.read(9), 1);
+        assert_eq!(c.read(1), 0);
+        assert_eq!(c.increment(7), 3);
+    }
+
+    #[test]
+    fn counters_are_independent() {
+        let c = MonotonicCounters::new();
+        c.increment(1);
+        c.increment(1);
+        c.increment(2);
+        assert_eq!(c.read(1), 2);
+        assert_eq!(c.read(2), 1);
+        assert_eq!(c.read(3), 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Enclave Page Cache accounting.
+//!
+//! Real SGX hardware reserves a fixed region of protected physical memory
+//! (about 96 MB usable on the paper's hardware); enclaves that exceed it pay
+//! heavy paging costs. The simulator tracks allocations so NEXUS can assert
+//! its enclave working set stays within the budget, as the paper argues its
+//! 512 KB enclave easily does (§V).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// EPC sizing for a platform.
+#[derive(Debug, Clone, Copy)]
+pub struct EpcConfig {
+    /// Usable EPC bytes. Defaults to the 96 MB the paper cites.
+    pub capacity: usize,
+}
+
+impl Default for EpcConfig {
+    fn default() -> Self {
+        EpcConfig { capacity: 96 * 1024 * 1024 }
+    }
+}
+
+/// Tracks one enclave's EPC usage.
+#[derive(Debug, Default)]
+pub struct EpcUsage {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl EpcUsage {
+    /// Creates a zeroed tracker.
+    pub fn new() -> EpcUsage {
+        EpcUsage::default()
+    }
+
+    /// Records an allocation of `bytes` inside the enclave.
+    pub fn alloc(&self, bytes: usize) {
+        let now = self.current.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Records a release of `bytes`.
+    pub fn free(&self, bytes: usize) {
+        let mut cur = self.current.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self.current.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Bytes currently allocated.
+    pub fn current(&self) -> usize {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark.
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_capacity_matches_paper() {
+        assert_eq!(EpcConfig::default().capacity, 96 * 1024 * 1024);
+    }
+
+    #[test]
+    fn alloc_free_tracks_current_and_peak() {
+        let u = EpcUsage::new();
+        u.alloc(100);
+        u.alloc(50);
+        assert_eq!(u.current(), 150);
+        u.free(120);
+        assert_eq!(u.current(), 30);
+        assert_eq!(u.peak(), 150);
+    }
+
+    #[test]
+    fn free_saturates_at_zero() {
+        let u = EpcUsage::new();
+        u.alloc(10);
+        u.free(100);
+        assert_eq!(u.current(), 0);
+    }
+}

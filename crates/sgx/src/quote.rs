@@ -1,0 +1,124 @@
+//! Quotes: signed statements of enclave identity (SGX remote attestation).
+//!
+//! A [`Quote`] binds 64 bytes of report data (in NEXUS, an enclave-held ECDH
+//! public key plus context) to the enclave's measurement and platform,
+//! signed by the platform's quoting enclave with its provisioned attestation
+//! key. Verification goes through the [`crate::attestation`] service, which
+//! plays the role of the Intel Attestation Service.
+
+use nexus_crypto::ed25519::Signature;
+
+use crate::enclave::Measurement;
+use crate::platform::{Platform, PlatformId};
+
+/// Length of the caller-supplied data embedded in a quote.
+pub const REPORT_DATA_LEN: usize = 64;
+
+/// A quote produced by the (simulated) quoting enclave.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quote {
+    /// Identity of the quoted enclave.
+    pub measurement: Measurement,
+    /// Platform the enclave runs on.
+    pub platform_id: PlatformId,
+    /// Caller-chosen data bound into the quote.
+    pub report_data: [u8; REPORT_DATA_LEN],
+    /// Signature by the platform's attestation key.
+    pub signature: Signature,
+}
+
+impl Quote {
+    pub(crate) fn generate(
+        platform: &Platform,
+        measurement: Measurement,
+        report_data: &[u8; REPORT_DATA_LEN],
+    ) -> Quote {
+        let msg = Self::signed_message(measurement, platform.id(), report_data);
+        let signature = platform.inner.attestation_key.sign(&msg);
+        Quote {
+            measurement,
+            platform_id: platform.id(),
+            report_data: *report_data,
+            signature,
+        }
+    }
+
+    pub(crate) fn signed_message(
+        measurement: Measurement,
+        platform_id: PlatformId,
+        report_data: &[u8; REPORT_DATA_LEN],
+    ) -> Vec<u8> {
+        let mut msg = Vec::with_capacity(8 + 32 + 16 + REPORT_DATA_LEN);
+        msg.extend_from_slice(b"SGXQUOTE");
+        msg.extend_from_slice(&measurement.0);
+        msg.extend_from_slice(&platform_id.0);
+        msg.extend_from_slice(report_data);
+        msg
+    }
+
+    /// Serializes the quote for in-band transport over the storage service.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + 16 + REPORT_DATA_LEN + 64);
+        out.extend_from_slice(&self.measurement.0);
+        out.extend_from_slice(&self.platform_id.0);
+        out.extend_from_slice(&self.report_data);
+        out.extend_from_slice(&self.signature.to_bytes());
+        out
+    }
+
+    /// Parses a quote serialized by [`Quote::to_bytes`].
+    ///
+    /// Returns `None` on framing errors (signature validity is checked by
+    /// the attestation service, not here).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Quote> {
+        if bytes.len() != 32 + 16 + REPORT_DATA_LEN + 64 {
+            return None;
+        }
+        let mut measurement = [0u8; 32];
+        measurement.copy_from_slice(&bytes[..32]);
+        let mut platform_id = [0u8; 16];
+        platform_id.copy_from_slice(&bytes[32..48]);
+        let mut report_data = [0u8; REPORT_DATA_LEN];
+        report_data.copy_from_slice(&bytes[48..48 + REPORT_DATA_LEN]);
+        let signature = Signature::from_bytes(&bytes[48 + REPORT_DATA_LEN..]).ok()?;
+        Some(Quote {
+            measurement: Measurement(measurement),
+            platform_id: PlatformId(platform_id),
+            report_data,
+            signature,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enclave::{Enclave, EnclaveImage};
+
+    #[test]
+    fn quote_roundtrips_through_bytes() {
+        let platform = Platform::seeded(3);
+        let e = Enclave::create(&platform, &EnclaveImage::new(b"q".to_vec()), ());
+        let quote = e.ecall(|_, env| env.quote(&[7u8; 64]));
+        let parsed = Quote::from_bytes(&quote.to_bytes()).unwrap();
+        assert_eq!(parsed, quote);
+    }
+
+    #[test]
+    fn from_bytes_rejects_wrong_length() {
+        assert!(Quote::from_bytes(&[0u8; 10]).is_none());
+        assert!(Quote::from_bytes(&[0u8; 32 + 16 + 64 + 64 + 1]).is_none());
+    }
+
+    #[test]
+    fn quote_carries_report_data() {
+        let platform = Platform::seeded(3);
+        let e = Enclave::create(&platform, &EnclaveImage::new(b"q".to_vec()), ());
+        let mut data = [0u8; 64];
+        data[..5].copy_from_slice(b"hello");
+        let quote = e.ecall(|_, env| env.quote(&data));
+        assert_eq!(&quote.report_data[..5], b"hello");
+        assert_eq!(quote.measurement, e.measurement());
+        assert_eq!(quote.platform_id, platform.id());
+    }
+}

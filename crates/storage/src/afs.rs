@@ -1,0 +1,513 @@
+//! A simulated AFS-like distributed filesystem.
+//!
+//! Models the properties of OpenAFS that drive the paper's evaluation:
+//!
+//! - **Whole-file caching with callbacks**: a client that fetched an object
+//!   holds a *callback promise*; until another client updates the object,
+//!   re-reads are served locally. Updates break other clients' callbacks.
+//! - **Open-to-close semantics**: NEXUS writes whole objects, which the
+//!   client pushes to the server synchronously (the flush at `close()`).
+//! - **Server-side advisory locks** (`flock`), which NEXUS takes around
+//!   metadata updates (§V-A).
+//! - **A latency model on a virtual clock**: every RPC advances the shared
+//!   [`SimClock`] by an RTT plus a bandwidth term, so benchmark harnesses
+//!   measure simulated network time without sleeping.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::backend::{IoStats, ObjectStat, StorageBackend, StorageError};
+use crate::clock::{LatencyModel, SimClock};
+use crate::mem::MemBackend;
+
+/// The shared AFS file server.
+///
+/// Clone handles refer to the same server state. Server contents are plain
+/// objects; from the server's point of view NEXUS data is opaque ciphertext.
+#[derive(Debug, Clone, Default)]
+pub struct AfsServer {
+    store: MemBackend,
+    /// path → clients holding a valid callback promise.
+    callbacks: Arc<Mutex<HashMap<String, HashSet<u64>>>>,
+    next_client_id: Arc<AtomicU64>,
+}
+
+impl AfsServer {
+    /// Creates an empty server.
+    pub fn new() -> AfsServer {
+        AfsServer::default()
+    }
+
+    /// Direct access to the server's object store (the attacker's view; also
+    /// used by adversarial wrappers).
+    pub fn raw_store(&self) -> &MemBackend {
+        &self.store
+    }
+
+    /// Registers a new client and returns its id.
+    fn register_client(&self) -> u64 {
+        self.next_client_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn grant_callback(&self, path: &str, client: u64) {
+        self.callbacks
+            .lock()
+            .entry(path.to_string())
+            .or_default()
+            .insert(client);
+    }
+
+    fn has_callback(&self, path: &str, client: u64) -> bool {
+        self.callbacks
+            .lock()
+            .get(path)
+            .map(|s| s.contains(&client))
+            .unwrap_or(false)
+    }
+
+    /// Breaks every callback on `path` except the updating client's.
+    fn break_callbacks(&self, path: &str, except: u64) {
+        if let Some(holders) = self.callbacks.lock().get_mut(path) {
+            holders.retain(|&c| c == except);
+        }
+    }
+
+    /// Server-visible view: paths and sizes of all stored objects.
+    pub fn object_inventory(&self) -> Vec<(String, u64)> {
+        self.store
+            .list("")
+            .into_iter()
+            .map(|p| {
+                let size = self.store.stat(&p).map(|s| s.size).unwrap_or(0);
+                (p, size)
+            })
+            .collect()
+    }
+}
+
+/// Per-client accounting, including the virtual time this client added to
+/// the clock.
+#[derive(Debug, Default)]
+struct ClientAccounting {
+    stats: IoStats,
+    simulated_nanos: u64,
+}
+
+/// An AFS client with a whole-file cache.
+///
+/// Implements [`StorageBackend`]; NEXUS stacks directly on top of it.
+pub struct AfsClient {
+    id: u64,
+    server: AfsServer,
+    clock: SimClock,
+    latency: LatencyModel,
+    cache: Mutex<HashMap<String, Arc<Vec<u8>>>>,
+    /// Status (FetchStatus) cache: real AFS caches attribute information
+    /// under the same callback promises as data, so repeated `stat`s of an
+    /// unchanged object are local.
+    status_cache: Mutex<HashMap<String, ObjectStat>>,
+    accounting: Mutex<ClientAccounting>,
+}
+
+impl std::fmt::Debug for AfsClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AfsClient").field("id", &self.id).finish()
+    }
+}
+
+impl AfsClient {
+    /// Connects a new client to `server` using the given clock and latency
+    /// model.
+    pub fn connect(server: &AfsServer, clock: SimClock, latency: LatencyModel) -> AfsClient {
+        AfsClient {
+            id: server.register_client(),
+            server: server.clone(),
+            clock,
+            latency,
+            cache: Mutex::new(HashMap::new()),
+            status_cache: Mutex::new(HashMap::new()),
+            accounting: Mutex::new(ClientAccounting::default()),
+        }
+    }
+
+    /// This client's server-assigned id (also its lock owner id).
+    pub fn client_id(&self) -> u64 {
+        self.id
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Drops all locally cached file contents (the evaluation flushes the
+    /// AFS cache before each run, §VII-A).
+    pub fn flush_cache(&self) {
+        self.cache.lock().clear();
+        self.status_cache.lock().clear();
+    }
+
+    fn charge(&self, cost: Duration) {
+        self.clock.advance(cost);
+        self.accounting.lock().simulated_nanos += cost.as_nanos() as u64;
+    }
+
+    fn charge_rpc(&self, bytes: usize) {
+        let cost = self.latency.rpc_cost(bytes);
+        self.charge(cost);
+        self.accounting.lock().stats.remote_rpcs += 1;
+    }
+
+    fn charge_cache_hit(&self) {
+        self.charge(self.latency.cache_hit);
+        self.accounting.lock().stats.cache_hits += 1;
+    }
+
+    fn cache_valid(&self, path: &str) -> Option<Arc<Vec<u8>>> {
+        if !self.server.has_callback(path, self.id) {
+            self.cache.lock().remove(path);
+            self.status_cache.lock().remove(path);
+            return None;
+        }
+        self.cache.lock().get(path).cloned()
+    }
+
+    fn status_valid(&self, path: &str) -> Option<ObjectStat> {
+        if !self.server.has_callback(path, self.id) {
+            self.cache.lock().remove(path);
+            self.status_cache.lock().remove(path);
+            return None;
+        }
+        self.status_cache.lock().get(path).copied()
+    }
+
+    fn remember_status(&self, path: &str) {
+        if let Ok(stat) = self.server.store.stat(path) {
+            self.status_cache.lock().insert(path.to_string(), stat);
+        }
+    }
+
+    /// Server-side rename (`RXAFS_Rename`): one RPC, no data transfer.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::NotFound`] when the source does not exist.
+    pub fn rename_object(&self, from: &str, to: &str) -> Result<(), StorageError> {
+        let (data, _) = self.server.store.get_arc(from)?;
+        self.server.store.put(to, &data)?;
+        self.server.store.delete(from)?;
+        self.server.break_callbacks(from, u64::MAX);
+        self.server.break_callbacks(to, self.id);
+        self.server.grant_callback(to, self.id);
+        let mut cache = self.cache.lock();
+        if let Some(entry) = cache.remove(from) {
+            cache.insert(to.to_string(), entry);
+        }
+        drop(cache);
+        let mut status = self.status_cache.lock();
+        status.remove(from);
+        drop(status);
+        self.remember_status(to);
+        self.charge_rpc(0);
+        self.accounting.lock().stats.writes += 1;
+        Ok(())
+    }
+}
+
+impl StorageBackend for AfsClient {
+    fn put(&self, path: &str, data: &[u8]) -> Result<(), StorageError> {
+        self.server.store.put(path, data)?;
+        self.server.break_callbacks(path, self.id);
+        self.server.grant_callback(path, self.id);
+        self.cache
+            .lock()
+            .insert(path.to_string(), Arc::new(data.to_vec()));
+        self.remember_status(path);
+        self.charge_rpc(data.len());
+        let mut acc = self.accounting.lock();
+        acc.stats.writes += 1;
+        acc.stats.bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    fn get(&self, path: &str) -> Result<Vec<u8>, StorageError> {
+        if let Some(data) = self.cache_valid(path) {
+            self.charge_cache_hit();
+            let mut acc = self.accounting.lock();
+            acc.stats.reads += 1;
+            acc.stats.bytes_read += data.len() as u64;
+            return Ok(data.as_ref().clone());
+        }
+        let (data, _version) = self.server.store.get_arc(path)?;
+        self.server.grant_callback(path, self.id);
+        self.cache.lock().insert(path.to_string(), data.clone());
+        self.remember_status(path);
+        self.charge_rpc(data.len());
+        let mut acc = self.accounting.lock();
+        acc.stats.reads += 1;
+        acc.stats.bytes_read += data.len() as u64;
+        Ok(data.as_ref().clone())
+    }
+
+    fn get_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>, StorageError> {
+        if let Some(data) = self.cache_valid(path) {
+            let size = data.len() as u64;
+            if offset + len > size {
+                return Err(StorageError::BadRange {
+                    path: path.to_string(),
+                    offset,
+                    len,
+                    size,
+                });
+            }
+            self.charge_cache_hit();
+            let mut acc = self.accounting.lock();
+            acc.stats.reads += 1;
+            acc.stats.bytes_read += len;
+            return Ok(data[offset as usize..(offset + len) as usize].to_vec());
+        }
+        let out = self.server.store.get_range(path, offset, len)?;
+        self.charge_rpc(out.len());
+        let mut acc = self.accounting.lock();
+        acc.stats.reads += 1;
+        acc.stats.bytes_read += len;
+        Ok(out)
+    }
+
+    fn delete(&self, path: &str) -> Result<(), StorageError> {
+        self.server.store.delete(path)?;
+        self.server.break_callbacks(path, u64::MAX);
+        self.cache.lock().remove(path);
+        self.status_cache.lock().remove(path);
+        self.charge_rpc(0);
+        self.accounting.lock().stats.deletes += 1;
+        Ok(())
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        if self.status_valid(path).is_some() {
+            self.charge_cache_hit();
+            return true;
+        }
+        self.charge_rpc(0);
+        let exists = self.server.store.exists(path);
+        if exists {
+            self.server.grant_callback(path, self.id);
+            self.remember_status(path);
+        }
+        exists
+    }
+
+    fn stat(&self, path: &str) -> Result<ObjectStat, StorageError> {
+        if let Some(stat) = self.status_valid(path) {
+            self.charge_cache_hit();
+            return Ok(stat);
+        }
+        self.charge_rpc(0);
+        let stat = self.server.store.stat(path)?;
+        self.server.grant_callback(path, self.id);
+        self.status_cache.lock().insert(path.to_string(), stat);
+        Ok(stat)
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        let names = self.server.store.list(prefix);
+        self.charge_rpc(names.iter().map(|n| n.len() + 16).sum());
+        names
+    }
+
+    fn lock(&self, path: &str, owner: u64) -> Result<(), StorageError> {
+        // The lock owner namespace is per-server; scope by client id so two
+        // clients using the same nominal owner value do not collide.
+        let scoped = self.id.wrapping_mul(1_000_003).wrapping_add(owner);
+        self.charge(self.latency.rpc_rtt + self.latency.lock_overhead);
+        let mut acc = self.accounting.lock();
+        acc.stats.locks += 1;
+        acc.stats.remote_rpcs += 1;
+        drop(acc);
+        self.server.store.lock(path, scoped)
+    }
+
+    fn unlock(&self, path: &str, owner: u64) {
+        let scoped = self.id.wrapping_mul(1_000_003).wrapping_add(owner);
+        // Lock releases piggyback on the following store RPC in AFS, so
+        // only a token cost is charged.
+        self.charge(self.latency.cache_hit);
+        self.server.store.unlock(path, scoped);
+    }
+
+    fn stats(&self) -> IoStats {
+        self.accounting.lock().stats
+    }
+
+    fn simulated_time(&self) -> Duration {
+        Duration::from_nanos(self.accounting.lock().simulated_nanos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (AfsServer, AfsClient, AfsClient) {
+        let server = AfsServer::new();
+        let clock = SimClock::new();
+        let a = AfsClient::connect(&server, clock.clone(), LatencyModel::default());
+        let b = AfsClient::connect(&server, clock, LatencyModel::default());
+        (server, a, b)
+    }
+
+    #[test]
+    fn put_then_get_roundtrip() {
+        let (_, a, _) = setup();
+        a.put("f", b"data").unwrap();
+        assert_eq!(a.get("f").unwrap(), b"data");
+    }
+
+    #[test]
+    fn second_read_is_cache_hit() {
+        let (_, a, _) = setup();
+        a.put("f", &vec![7u8; 1024]).unwrap();
+        a.flush_cache();
+        a.get("f").unwrap();
+        let before = a.stats();
+        a.get("f").unwrap();
+        let after = a.stats();
+        assert_eq!(after.cache_hits - before.cache_hits, 1);
+        assert_eq!(after.remote_rpcs, before.remote_rpcs);
+    }
+
+    #[test]
+    fn writes_break_other_clients_callbacks() {
+        let (_, a, b) = setup();
+        a.put("f", b"v1").unwrap();
+        b.get("f").unwrap(); // b now caches v1
+        a.put("f", b"v2").unwrap(); // breaks b's callback
+        assert_eq!(b.get("f").unwrap(), b"v2");
+        let stats = b.stats();
+        assert_eq!(stats.cache_hits, 0, "b had to refetch");
+    }
+
+    #[test]
+    fn clock_advances_with_size() {
+        let server = AfsServer::new();
+        let clock = SimClock::new();
+        let a = AfsClient::connect(&server, clock.clone(), LatencyModel::default());
+        a.put("small", &[0u8; 10]).unwrap();
+        let t1 = clock.now();
+        a.put("big", &vec![0u8; 10 * 1024 * 1024]).unwrap();
+        let t2 = clock.now();
+        assert!(t2 - t1 > t1, "10 MB write should dwarf a 10 B write");
+    }
+
+    #[test]
+    fn flushed_cache_forces_refetch() {
+        let (_, a, _) = setup();
+        a.put("f", b"x").unwrap();
+        a.flush_cache();
+        let before = a.stats().remote_rpcs;
+        a.get("f").unwrap();
+        assert_eq!(a.stats().remote_rpcs, before + 1);
+    }
+
+    #[test]
+    fn locks_are_exclusive_across_clients() {
+        let (_, a, b) = setup();
+        a.lock("meta", 0).unwrap();
+        assert!(matches!(b.lock("meta", 0), Err(StorageError::LockContended(_))));
+        a.unlock("meta", 0);
+        b.lock("meta", 0).unwrap();
+    }
+
+    #[test]
+    fn get_range_served_from_cache_when_valid() {
+        let (_, a, _) = setup();
+        a.put("f", b"0123456789").unwrap();
+        let before = a.stats().remote_rpcs;
+        assert_eq!(a.get_range("f", 2, 3).unwrap(), b"234");
+        assert_eq!(a.stats().remote_rpcs, before, "served locally");
+    }
+
+    #[test]
+    fn server_sees_objects() {
+        let (server, a, _) = setup();
+        a.put("u1", b"abc").unwrap();
+        a.put("u2", b"defg").unwrap();
+        let mut inv = server.object_inventory();
+        inv.sort();
+        assert_eq!(inv, vec![("u1".to_string(), 3), ("u2".to_string(), 4)]);
+    }
+
+    #[test]
+    fn delete_propagates() {
+        let (_, a, b) = setup();
+        a.put("f", b"x").unwrap();
+        b.get("f").unwrap();
+        a.delete("f").unwrap();
+        assert!(matches!(b.get("f"), Err(StorageError::NotFound(_))));
+    }
+
+    #[test]
+    fn rename_is_one_metadata_rpc() {
+        let (_, a, _) = setup();
+        a.put("big", &vec![1u8; 5 * 1024 * 1024]).unwrap();
+        let t0 = a.simulated_time();
+        let rpcs0 = a.stats().remote_rpcs;
+        a.rename_object("big", "renamed").unwrap();
+        assert_eq!(a.stats().remote_rpcs, rpcs0 + 1);
+        // No data transfer: well under a millisecond-scale RPC budget.
+        assert!(a.simulated_time() - t0 < Duration::from_millis(5));
+        assert_eq!(a.get("renamed").unwrap().len(), 5 * 1024 * 1024);
+        assert!(a.get("big").is_err());
+    }
+
+    #[test]
+    fn status_cache_avoids_repeat_stat_rpcs() {
+        let (_, a, _) = setup();
+        a.put("s", b"x").unwrap();
+        a.flush_cache();
+        let rpcs0 = a.stats().remote_rpcs;
+        a.stat("s").unwrap(); // one RPC re-establishes the callback
+        a.stat("s").unwrap();
+        a.stat("s").unwrap();
+        assert_eq!(a.stats().remote_rpcs, rpcs0 + 1);
+    }
+
+    #[test]
+    fn concurrent_clients_from_threads() {
+        let server = AfsServer::new();
+        let clock = SimClock::new();
+        let mk = || AfsClient::connect(&server, clock.clone(), LatencyModel::instant());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let client = mk();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        client.put(&format!("t{t}-f{i}"), &[t as u8; 64]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let reader = mk();
+        for t in 0..4 {
+            for i in 0..50 {
+                assert_eq!(reader.get(&format!("t{t}-f{i}")).unwrap(), vec![t as u8; 64]);
+            }
+        }
+    }
+
+    #[test]
+    fn simulated_time_accumulates_per_client() {
+        let (_, a, b) = setup();
+        a.put("f", &vec![1u8; 4096]).unwrap();
+        assert!(a.simulated_time() > Duration::ZERO);
+        assert_eq!(b.simulated_time(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,184 @@
+//! The generic "file access API" NEXUS stacks on.
+//!
+//! The paper's portability claim (§IV) is that NEXUS runs over *any* storage
+//! service exposing plain file operations, because all NEXUS state lives in
+//! self-contained objects named by UUID. [`StorageBackend`] is that minimal
+//! surface: whole-object get/put plus ranged reads, deletion, listing, and
+//! advisory locks (the `flock()` the OpenAFS prototype uses for metadata
+//! consistency, §V-A).
+
+use std::time::Duration;
+
+/// Errors surfaced by storage backends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The object does not exist.
+    NotFound(String),
+    /// The object exists but the requested range is out of bounds.
+    BadRange { path: String, offset: u64, len: u64, size: u64 },
+    /// An OS-level I/O failure (DirBackend).
+    Io(String),
+    /// The lock is held by another client.
+    LockContended(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::NotFound(p) => write!(f, "object not found: {p}"),
+            StorageError::BadRange { path, offset, len, size } => {
+                write!(f, "bad range {offset}+{len} for {path} of size {size}")
+            }
+            StorageError::Io(msg) => write!(f, "storage i/o error: {msg}"),
+            StorageError::LockContended(p) => write!(f, "lock contended: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Object metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectStat {
+    /// Size in bytes.
+    pub size: u64,
+    /// Server-side version (increments on every put); 0 for backends that
+    /// do not track versions.
+    pub version: u64,
+}
+
+/// I/O statistics accumulated by a backend.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Number of get/get_range calls served.
+    pub reads: u64,
+    /// Number of put calls served.
+    pub writes: u64,
+    /// Number of delete calls served.
+    pub deletes: u64,
+    /// Number of lock/unlock round trips.
+    pub locks: u64,
+    /// Total payload bytes read.
+    pub bytes_read: u64,
+    /// Total payload bytes written.
+    pub bytes_written: u64,
+    /// RPCs that actually crossed the (simulated) network.
+    pub remote_rpcs: u64,
+    /// Requests served from a local cache.
+    pub cache_hits: u64,
+}
+
+impl IoStats {
+    /// Difference between two cumulative snapshots.
+    pub fn delta_since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            deletes: self.deletes - earlier.deletes,
+            locks: self.locks - earlier.locks,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            remote_rpcs: self.remote_rpcs - earlier.remote_rpcs,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+        }
+    }
+}
+
+/// A storage service exposing a plain file-access API.
+///
+/// Implementations must be safe to share across threads; NEXUS issues
+/// concurrent requests from the filesystem layer and the enclave's ocalls.
+pub trait StorageBackend: Send + Sync {
+    /// Stores the full contents of `path`, replacing any existing object.
+    ///
+    /// # Errors
+    ///
+    /// Backend-dependent I/O failures.
+    fn put(&self, path: &str, data: &[u8]) -> Result<(), StorageError>;
+
+    /// Reads the full contents of `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::NotFound`] if the object does not exist.
+    fn get(&self, path: &str) -> Result<Vec<u8>, StorageError>;
+
+    /// Reads `len` bytes starting at `offset`.
+    ///
+    /// The default implementation fetches the whole object; chunked backends
+    /// override this to transfer less.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::NotFound`] or [`StorageError::BadRange`].
+    fn get_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>, StorageError> {
+        let data = self.get(path)?;
+        let size = data.len() as u64;
+        if offset + len > size {
+            return Err(StorageError::BadRange { path: path.to_string(), offset, len, size });
+        }
+        Ok(data[offset as usize..(offset + len) as usize].to_vec())
+    }
+
+    /// Removes `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::NotFound`] if the object does not exist.
+    fn delete(&self, path: &str) -> Result<(), StorageError>;
+
+    /// True if `path` exists.
+    fn exists(&self, path: &str) -> bool;
+
+    /// Object metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::NotFound`] if the object does not exist.
+    fn stat(&self, path: &str) -> Result<ObjectStat, StorageError>;
+
+    /// Lists every object whose path starts with `prefix`, sorted.
+    fn list(&self, prefix: &str) -> Vec<String>;
+
+    /// Acquires the advisory lock on `path` (`flock`). Creates the lock
+    /// record if needed; objects need not exist to be lockable.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::LockContended`] if another client holds it.
+    fn lock(&self, path: &str, owner: u64) -> Result<(), StorageError>;
+
+    /// Releases the advisory lock on `path` if held by `owner`.
+    fn unlock(&self, path: &str, owner: u64);
+
+    /// Cumulative I/O statistics.
+    fn stats(&self) -> IoStats;
+
+    /// Virtual time spent in this backend, if it models latency.
+    fn simulated_time(&self) -> Duration {
+        Duration::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_delta() {
+        let a = IoStats { reads: 10, writes: 5, bytes_read: 100, ..Default::default() };
+        let b = IoStats { reads: 4, writes: 2, bytes_read: 30, ..Default::default() };
+        let d = a.delta_since(&b);
+        assert_eq!(d.reads, 6);
+        assert_eq!(d.writes, 3);
+        assert_eq!(d.bytes_read, 70);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = StorageError::NotFound("abc".into());
+        assert!(e.to_string().contains("abc"));
+        let e = StorageError::BadRange { path: "p".into(), offset: 1, len: 2, size: 1 };
+        assert!(e.to_string().contains("bad range"));
+    }
+}

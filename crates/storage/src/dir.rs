@@ -1,0 +1,206 @@
+//! A storage backend over a real local directory.
+//!
+//! Persists NEXUS objects as ordinary files, the way the OpenAFS prototype
+//! used "a normal AFS directory as the metadata backing store" (§VII).
+//! Object paths map to file names with `/` encoded, keeping the namespace
+//! flat exactly like UUID-named NEXUS objects.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::backend::{IoStats, ObjectStat, StorageBackend, StorageError};
+
+/// A backend writing objects into a directory on the local filesystem.
+#[derive(Debug, Clone)]
+pub struct DirBackend {
+    root: PathBuf,
+    state: Arc<Mutex<DirState>>,
+}
+
+#[derive(Debug, Default)]
+struct DirState {
+    locks: HashMap<String, u64>,
+    versions: HashMap<String, u64>,
+    stats: IoStats,
+}
+
+fn io_err(e: std::io::Error) -> StorageError {
+    StorageError::Io(e.to_string())
+}
+
+impl DirBackend {
+    /// Opens (creating if needed) a backend rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Io`] when the directory cannot be created.
+    pub fn open(root: impl AsRef<Path>) -> Result<DirBackend, StorageError> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root).map_err(io_err)?;
+        Ok(DirBackend { root, state: Arc::new(Mutex::new(DirState::default())) })
+    }
+
+    fn file_for(&self, path: &str) -> PathBuf {
+        // Encode path separators so the namespace stays flat.
+        self.root.join(path.replace('/', "%2F"))
+    }
+
+    fn name_from_file(file_name: &str) -> String {
+        file_name.replace("%2F", "/")
+    }
+}
+
+impl StorageBackend for DirBackend {
+    fn put(&self, path: &str, data: &[u8]) -> Result<(), StorageError> {
+        std::fs::write(self.file_for(path), data).map_err(io_err)?;
+        let mut st = self.state.lock();
+        *st.versions.entry(path.to_string()).or_insert(0) += 1;
+        st.stats.writes += 1;
+        st.stats.bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    fn get(&self, path: &str) -> Result<Vec<u8>, StorageError> {
+        let file = self.file_for(path);
+        if !file.exists() {
+            return Err(StorageError::NotFound(path.to_string()));
+        }
+        let data = std::fs::read(file).map_err(io_err)?;
+        let mut st = self.state.lock();
+        st.stats.reads += 1;
+        st.stats.bytes_read += data.len() as u64;
+        Ok(data)
+    }
+
+    fn delete(&self, path: &str) -> Result<(), StorageError> {
+        let file = self.file_for(path);
+        if !file.exists() {
+            return Err(StorageError::NotFound(path.to_string()));
+        }
+        std::fs::remove_file(file).map_err(io_err)?;
+        let mut st = self.state.lock();
+        st.versions.remove(path);
+        st.stats.deletes += 1;
+        Ok(())
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.file_for(path).exists()
+    }
+
+    fn stat(&self, path: &str) -> Result<ObjectStat, StorageError> {
+        let file = self.file_for(path);
+        let meta = std::fs::metadata(&file)
+            .map_err(|_| StorageError::NotFound(path.to_string()))?;
+        let version = *self.state.lock().versions.get(path).unwrap_or(&0);
+        Ok(ObjectStat { size: meta.len(), version })
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        let mut out: Vec<String> = std::fs::read_dir(&self.root)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter_map(|e| e.file_name().into_string().ok())
+                    .map(|n| Self::name_from_file(&n))
+                    .filter(|n| n.starts_with(prefix))
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.sort();
+        out
+    }
+
+    fn lock(&self, path: &str, owner: u64) -> Result<(), StorageError> {
+        let mut st = self.state.lock();
+        match st.locks.get(path) {
+            Some(&holder) if holder != owner => Err(StorageError::LockContended(path.into())),
+            _ => {
+                st.locks.insert(path.to_string(), owner);
+                st.stats.locks += 1;
+                Ok(())
+            }
+        }
+    }
+
+    fn unlock(&self, path: &str, owner: u64) {
+        let mut st = self.state.lock();
+        if st.locks.get(path) == Some(&owner) {
+            st.locks.remove(path);
+        }
+    }
+
+    fn stats(&self) -> IoStats {
+        self.state.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "nexus-dirbackend-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_on_disk() {
+        let backend = DirBackend::open(tmp()).unwrap();
+        backend.put("uuid-1", b"payload").unwrap();
+        assert_eq!(backend.get("uuid-1").unwrap(), b"payload");
+        assert_eq!(backend.stat("uuid-1").unwrap().size, 7);
+        backend.delete("uuid-1").unwrap();
+        assert!(!backend.exists("uuid-1"));
+    }
+
+    #[test]
+    fn slashes_are_encoded() {
+        let backend = DirBackend::open(tmp()).unwrap();
+        backend.put("meta/deep/uuid", b"x").unwrap();
+        assert_eq!(backend.list("meta/"), vec!["meta/deep/uuid".to_string()]);
+        assert_eq!(backend.get("meta/deep/uuid").unwrap(), b"x");
+    }
+
+    #[test]
+    fn missing_object_errors() {
+        let backend = DirBackend::open(tmp()).unwrap();
+        assert!(matches!(backend.get("nope"), Err(StorageError::NotFound(_))));
+        assert!(backend.delete("nope").is_err());
+        assert!(backend.stat("nope").is_err());
+    }
+
+    #[test]
+    fn get_range_via_trait_default() {
+        let backend = DirBackend::open(tmp()).unwrap();
+        backend.put("r", b"0123456789").unwrap();
+        assert_eq!(backend.get_range("r", 3, 4).unwrap(), b"3456");
+        assert!(backend.get_range("r", 8, 5).is_err());
+    }
+
+    #[test]
+    fn stat_versions_track_puts_within_process() {
+        let backend = DirBackend::open(tmp()).unwrap();
+        backend.put("v", b"1").unwrap();
+        backend.put("v", b"2").unwrap();
+        assert_eq!(backend.stat("v").unwrap().version, 2);
+        assert_eq!(backend.stat("v").unwrap().size, 1);
+    }
+
+    #[test]
+    fn locks_behave_like_mem() {
+        let backend = DirBackend::open(tmp()).unwrap();
+        backend.lock("f", 1).unwrap();
+        assert!(backend.lock("f", 2).is_err());
+        backend.unlock("f", 1);
+        backend.lock("f", 2).unwrap();
+    }
+}

@@ -1,0 +1,260 @@
+//! An in-memory storage backend.
+//!
+//! The simplest [`StorageBackend`]: a versioned object map with advisory
+//! locks. Used directly in unit tests and as the server-side store of the
+//! AFS simulator.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::backend::{IoStats, ObjectStat, StorageBackend, StorageError};
+
+#[derive(Debug, Clone)]
+struct Object {
+    data: Arc<Vec<u8>>,
+    version: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    objects: BTreeMap<String, Object>,
+    locks: HashMap<String, u64>,
+    stats: IoStats,
+}
+
+/// A thread-safe in-memory object store; cheap to clone and share.
+///
+/// # Examples
+///
+/// ```
+/// use nexus_storage::{MemBackend, StorageBackend};
+///
+/// let store = MemBackend::new();
+/// store.put("abc", b"hello").unwrap();
+/// assert_eq!(store.get("abc").unwrap(), b"hello");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MemBackend {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl MemBackend {
+    /// Creates an empty store.
+    pub fn new() -> MemBackend {
+        MemBackend::default()
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.inner.read().objects.len()
+    }
+
+    /// True when no objects are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total payload bytes stored.
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.read().objects.values().map(|o| o.data.len() as u64).sum()
+    }
+
+    pub(crate) fn get_arc(&self, path: &str) -> Result<(Arc<Vec<u8>>, u64), StorageError> {
+        let mut inner = self.inner.write();
+        match inner.objects.get(path) {
+            Some(obj) => {
+                let (data, version) = (obj.data.clone(), obj.version);
+                inner.stats.reads += 1;
+                inner.stats.bytes_read += data.len() as u64;
+                Ok((data, version))
+            }
+            None => Err(StorageError::NotFound(path.to_string())),
+        }
+    }
+
+}
+
+impl StorageBackend for MemBackend {
+    fn put(&self, path: &str, data: &[u8]) -> Result<(), StorageError> {
+        let mut inner = self.inner.write();
+        let version = inner.objects.get(path).map(|o| o.version + 1).unwrap_or(1);
+        inner
+            .objects
+            .insert(path.to_string(), Object { data: Arc::new(data.to_vec()), version });
+        inner.stats.writes += 1;
+        inner.stats.bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    fn get(&self, path: &str) -> Result<Vec<u8>, StorageError> {
+        self.get_arc(path).map(|(data, _)| data.as_ref().clone())
+    }
+
+    fn get_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>, StorageError> {
+        let mut inner = self.inner.write();
+        let obj = inner
+            .objects
+            .get(path)
+            .ok_or_else(|| StorageError::NotFound(path.to_string()))?;
+        let size = obj.data.len() as u64;
+        if offset + len > size {
+            return Err(StorageError::BadRange { path: path.to_string(), offset, len, size });
+        }
+        let out = obj.data[offset as usize..(offset + len) as usize].to_vec();
+        inner.stats.reads += 1;
+        inner.stats.bytes_read += len;
+        Ok(out)
+    }
+
+    fn delete(&self, path: &str) -> Result<(), StorageError> {
+        let mut inner = self.inner.write();
+        if inner.objects.remove(path).is_none() {
+            return Err(StorageError::NotFound(path.to_string()));
+        }
+        inner.stats.deletes += 1;
+        Ok(())
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.inner.read().objects.contains_key(path)
+    }
+
+    fn stat(&self, path: &str) -> Result<ObjectStat, StorageError> {
+        let inner = self.inner.read();
+        inner
+            .objects
+            .get(path)
+            .map(|o| ObjectStat { size: o.data.len() as u64, version: o.version })
+            .ok_or_else(|| StorageError::NotFound(path.to_string()))
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        self.inner
+            .read()
+            .objects
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    fn lock(&self, path: &str, owner: u64) -> Result<(), StorageError> {
+        let mut inner = self.inner.write();
+        match inner.locks.get(path) {
+            Some(&holder) if holder != owner => {
+                Err(StorageError::LockContended(path.to_string()))
+            }
+            _ => {
+                inner.locks.insert(path.to_string(), owner);
+                inner.stats.locks += 1;
+                Ok(())
+            }
+        }
+    }
+
+    fn unlock(&self, path: &str, owner: u64) {
+        let mut inner = self.inner.write();
+        if inner.locks.get(path) == Some(&owner) {
+            inner.locks.remove(path);
+        }
+    }
+
+    fn stats(&self) -> IoStats {
+        self.inner.read().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = MemBackend::new();
+        store.put("a", b"one").unwrap();
+        assert_eq!(store.get("a").unwrap(), b"one");
+        assert!(store.exists("a"));
+        assert!(!store.exists("b"));
+    }
+
+    #[test]
+    fn get_missing_is_not_found() {
+        let store = MemBackend::new();
+        assert_eq!(store.get("x"), Err(StorageError::NotFound("x".into())));
+    }
+
+    #[test]
+    fn versions_increment_on_put() {
+        let store = MemBackend::new();
+        store.put("a", b"1").unwrap();
+        store.put("a", b"2").unwrap();
+        assert_eq!(store.stat("a").unwrap().version, 2);
+    }
+
+    #[test]
+    fn get_range_bounds() {
+        let store = MemBackend::new();
+        store.put("a", b"hello world").unwrap();
+        assert_eq!(store.get_range("a", 6, 5).unwrap(), b"world");
+        assert!(matches!(
+            store.get_range("a", 8, 10),
+            Err(StorageError::BadRange { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_removes() {
+        let store = MemBackend::new();
+        store.put("a", b"1").unwrap();
+        store.delete("a").unwrap();
+        assert!(!store.exists("a"));
+        assert!(store.delete("a").is_err());
+    }
+
+    #[test]
+    fn list_filters_by_prefix_sorted() {
+        let store = MemBackend::new();
+        store.put("meta/2", b"").unwrap();
+        store.put("meta/1", b"").unwrap();
+        store.put("data/1", b"").unwrap();
+        assert_eq!(store.list("meta/"), vec!["meta/1".to_string(), "meta/2".to_string()]);
+        assert_eq!(store.list("").len(), 3);
+    }
+
+    #[test]
+    fn locks_are_exclusive_but_reentrant_per_owner() {
+        let store = MemBackend::new();
+        store.lock("a", 1).unwrap();
+        store.lock("a", 1).unwrap();
+        assert_eq!(store.lock("a", 2), Err(StorageError::LockContended("a".into())));
+        store.unlock("a", 2); // no-op: not the holder
+        assert!(store.lock("a", 2).is_err());
+        store.unlock("a", 1);
+        store.lock("a", 2).unwrap();
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let store = MemBackend::new();
+        store.put("a", b"12345").unwrap();
+        store.get("a").unwrap();
+        store.get_range("a", 0, 2).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.reads, 2);
+        assert_eq!(stats.bytes_written, 5);
+        assert_eq!(stats.bytes_read, 7);
+    }
+
+    #[test]
+    fn size_helpers() {
+        let store = MemBackend::new();
+        assert!(store.is_empty());
+        store.put("a", b"123").unwrap();
+        store.put("b", b"4567").unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.total_bytes(), 7);
+    }
+}

@@ -1,0 +1,311 @@
+//! Linux application simulations (paper Table III + Fig. 6).
+//!
+//! The paper measures `tar -x`, `du`, `grep`, `tar -c`, `cp`, and `mv` over
+//! three characteristic workloads. Each utility reduces to a well-defined
+//! sequence of filesystem calls, which this module issues against a
+//! [`BenchFs`] so the identical "application" runs over NEXUS and the
+//! OpenAFS baseline.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::bench_fs::{measure, BenchFs, Result, Sample};
+
+/// One of the paper's characteristic workloads (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadProfile {
+    /// Short code (LFSD / MFMD / SFLD).
+    pub code: &'static str,
+    /// Long name as in the paper.
+    pub description: &'static str,
+    /// Number of files.
+    pub files: usize,
+    /// Bytes per file at scale 1.0.
+    pub file_size: u64,
+}
+
+/// Large Files and Small Directory: 32 files, 3.2 GB total.
+pub const LFSD: WorkloadProfile = WorkloadProfile {
+    code: "LFSD",
+    description: "large-file-small-dir",
+    files: 32,
+    file_size: 100 * 1024 * 1024,
+};
+
+/// Medium Files and Medium Directory: 256 files, 2.5 GB total.
+pub const MFMD: WorkloadProfile = WorkloadProfile {
+    code: "MFMD",
+    description: "medium-file-medium-dir",
+    files: 256,
+    file_size: 10 * 1024 * 1024,
+};
+
+/// Small Files and Large Directory: 1024 files, 10 MB total.
+pub const SFLD: WorkloadProfile = WorkloadProfile {
+    code: "SFLD",
+    description: "small-file-large-dir",
+    files: 1024,
+    file_size: 10 * 1024,
+};
+
+/// The archive contents a run works with: (name, contents) pairs.
+#[derive(Debug, Clone)]
+pub struct Archive {
+    /// Directory the workload lives in.
+    pub root: String,
+    /// File names (relative to root) and their sizes.
+    pub files: Vec<(String, u64)>,
+    /// Profile scale factor applied.
+    pub scale: f64,
+}
+
+impl Archive {
+    /// Materializes the file list for `profile` at `scale` (sizes scale,
+    /// counts do not — counts drive the metadata costs Fig. 6 is about).
+    pub fn for_profile(profile: &WorkloadProfile, scale: f64) -> Archive {
+        let files = (0..profile.files)
+            .map(|i| {
+                let size = ((profile.file_size as f64 * scale) as u64).max(64);
+                (format!("doc{i:05}.txt"), size)
+            })
+            .collect();
+        Archive { root: profile.description.to_string(), files, scale }
+    }
+
+    /// Total plaintext bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.iter().map(|(_, s)| s).sum()
+    }
+}
+
+/// Deterministic printable file contents, with occasional search hits for
+/// `grep`.
+pub fn app_file_contents(size: u64, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(size as usize);
+    const WORDS: &[&str] = &["storage", "enclave", "secure", "policy", "javascript", "volume"];
+    while (out.len() as u64) < size {
+        let w = WORDS[rng.gen_range(0..WORDS.len())];
+        out.extend_from_slice(w.as_bytes());
+        out.push(b' ');
+    }
+    out.truncate(size as usize);
+    out
+}
+
+/// `tar -x`: extract the archive — create the directory then write every
+/// file.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn tar_extract(fs: &dyn BenchFs, archive: &Archive) -> Result<Sample> {
+    measure(fs, || {
+        fs.mkdir_all(&archive.root)?;
+        for (i, (name, size)) in archive.files.iter().enumerate() {
+            let data = app_file_contents(*size, i as u64);
+            fs.write_file(&format!("{}/{name}", archive.root), &data)?;
+        }
+        Ok(())
+    })
+}
+
+/// `du`: walk the tree and stat every file's size.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn du(fs: &dyn BenchFs, root: &str) -> Result<(u64, Sample)> {
+    let mut total = 0u64;
+    let sample = measure(fs, || {
+        let mut stack = vec![root.to_string()];
+        while let Some(dir) = stack.pop() {
+            let subdirs = fs.list_subdirs(&dir)?;
+            for entry in fs.list_dir(&dir)? {
+                let path = format!("{dir}/{entry}");
+                if subdirs.contains(&entry) {
+                    stack.push(path);
+                } else {
+                    total += fs.stat_size(&path)?;
+                }
+            }
+        }
+        Ok(())
+    })?;
+    Ok((total, sample))
+}
+
+/// `grep -r term`: read every file and count matches.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn grep(fs: &dyn BenchFs, root: &str, term: &str) -> Result<(usize, Sample)> {
+    let mut hits = 0usize;
+    let needle = term.as_bytes();
+    let sample = measure(fs, || {
+        let mut stack = vec![root.to_string()];
+        while let Some(dir) = stack.pop() {
+            let subdirs = fs.list_subdirs(&dir)?;
+            for entry in fs.list_dir(&dir)? {
+                let path = format!("{dir}/{entry}");
+                if subdirs.contains(&entry) {
+                    stack.push(path);
+                } else {
+                    let data = fs.read_file(&path)?;
+                    hits += data
+                        .windows(needle.len().max(1))
+                        .filter(|w| *w == needle)
+                        .count();
+                }
+            }
+        }
+        Ok(())
+    })?;
+    Ok((hits, sample))
+}
+
+/// `tar -c`: read every file and write one archive blob.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn tar_create(fs: &dyn BenchFs, root: &str, out_path: &str) -> Result<Sample> {
+    measure(fs, || {
+        let mut blob: Vec<u8> = Vec::new();
+        let mut stack = vec![root.to_string()];
+        while let Some(dir) = stack.pop() {
+            let subdirs = fs.list_subdirs(&dir)?;
+            for entry in fs.list_dir(&dir)? {
+                let path = format!("{dir}/{entry}");
+                if subdirs.contains(&entry) {
+                    stack.push(path);
+                } else {
+                    let data = fs.read_file(&path)?;
+                    blob.extend_from_slice(path.as_bytes());
+                    blob.extend_from_slice(&(data.len() as u64).to_le_bytes());
+                    blob.extend_from_slice(&data);
+                }
+            }
+        }
+        fs.write_file(out_path, &blob)
+    })
+}
+
+/// `cp`: duplicate one file.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn cp(fs: &dyn BenchFs, src: &str, dst: &str) -> Result<Sample> {
+    measure(fs, || {
+        let data = fs.read_file(src)?;
+        fs.write_file(dst, &data)
+    })
+}
+
+/// `mv`: rename one file.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn mv(fs: &dyn BenchFs, from: &str, to: &str) -> Result<Sample> {
+    measure(fs, || fs.rename(from, to))
+}
+
+/// Latency of all six applications on one workload (one Fig. 6 panel row).
+#[derive(Debug, Clone, Copy)]
+pub struct AppRun {
+    /// tar -x.
+    pub tar_x: Sample,
+    /// du.
+    pub du: Sample,
+    /// grep.
+    pub grep: Sample,
+    /// tar -c.
+    pub tar_c: Sample,
+    /// cp.
+    pub cp: Sample,
+    /// mv.
+    pub mv: Sample,
+}
+
+/// Runs the full application suite over `profile` at `scale`.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn run_app_suite(fs: &dyn BenchFs, profile: &WorkloadProfile, scale: f64) -> Result<AppRun> {
+    let archive = Archive::for_profile(profile, scale);
+    let root = archive.root.clone();
+    let tar_x = tar_extract(fs, &archive)?;
+    fs.flush_caches();
+    let (_, du_s) = du(fs, &root)?;
+    fs.flush_caches();
+    let (_, grep_s) = grep(fs, &root, "javascript")?;
+    fs.flush_caches();
+    let tar_c = tar_create(fs, &root, &format!("{root}.tar"))?;
+    let first = format!("{root}/{}", archive.files[0].0);
+    let cp_s = cp(fs, &first, &format!("{root}/copy.bin"))?;
+    let mv_s = mv(fs, &format!("{root}/copy.bin"), &format!("{root}/moved.bin"))?;
+    Ok(AppRun { tar_x, du: du_s, grep: grep_s, tar_c, cp: cp_s, mv: mv_s })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::TestRig;
+
+    #[test]
+    fn profiles_match_paper() {
+        assert_eq!(LFSD.files, 32);
+        assert_eq!(LFSD.file_size * LFSD.files as u64, 3_355_443_200); // 3.2 GiB
+        assert_eq!(MFMD.files, 256);
+        assert_eq!(SFLD.files, 1024);
+        assert_eq!(SFLD.file_size * SFLD.files as u64, 10 * 1024 * 1024); // 10 MiB
+    }
+
+    #[test]
+    fn full_suite_runs_on_both_systems() {
+        let rig = TestRig::fast();
+        let profile = WorkloadProfile { files: 6, file_size: 4096, ..SFLD };
+        for fs in [&rig.nexus_fs() as &dyn BenchFs, &rig.plain_afs()] {
+            let run = run_app_suite(fs, &profile, 1.0).unwrap();
+            assert!(run.tar_x.real > std::time::Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn du_counts_all_bytes() {
+        let rig = TestRig::fast();
+        let fs = rig.nexus_fs();
+        let profile = WorkloadProfile { files: 5, file_size: 1000, ..SFLD };
+        let archive = Archive::for_profile(&profile, 1.0);
+        tar_extract(&fs, &archive).unwrap();
+        let (total, _) = du(&fs, &archive.root).unwrap();
+        assert_eq!(total, 5000);
+    }
+
+    #[test]
+    fn grep_finds_planted_terms() {
+        let rig = TestRig::fast();
+        let fs = rig.plain_afs();
+        let profile = WorkloadProfile { files: 3, file_size: 10_000, ..SFLD };
+        let archive = Archive::for_profile(&profile, 1.0);
+        tar_extract(&fs, &archive).unwrap();
+        let (hits, _) = grep(&fs, &archive.root, "javascript").unwrap();
+        assert!(hits > 0, "the word bank plants the term");
+    }
+
+    #[test]
+    fn tar_create_produces_archive_of_all_contents() {
+        let rig = TestRig::fast();
+        let fs = rig.nexus_fs();
+        let profile = WorkloadProfile { files: 4, file_size: 500, ..SFLD };
+        let archive = Archive::for_profile(&profile, 1.0);
+        tar_extract(&fs, &archive).unwrap();
+        tar_create(&fs, &archive.root, "out.tar").unwrap();
+        let blob = fs.read_file("out.tar").unwrap();
+        assert!(blob.len() as u64 > archive.total_bytes());
+    }
+}

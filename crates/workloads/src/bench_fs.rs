@@ -1,0 +1,400 @@
+//! The benchmarking filesystem abstraction.
+//!
+//! Every workload in this crate drives a [`BenchFs`], so the same code runs
+//! against both systems the paper compares:
+//!
+//! - [`NexusFs`] — a mounted NEXUS volume over a simulated AFS client;
+//! - [`PlainAfs`] — the unmodified-OpenAFS baseline: the same simulated AFS
+//!   client with plaintext objects and no enclave.
+//!
+//! Timing has two components, mirroring the paper's breakdown (§VII-A):
+//! **simulated I/O time** accumulated on the virtual clock by the storage
+//! substrate (RPC round trips + transfer), and **enclave time** measured as
+//! real compute spent inside ecalls (zero for the baseline).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nexus_core::{NexusError, NexusVolume};
+use nexus_storage::afs::AfsClient;
+use nexus_storage::{StorageBackend, StorageError};
+
+/// Workload-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadError(pub String);
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "workload error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+impl From<NexusError> for WorkloadError {
+    fn from(e: NexusError) -> Self {
+        WorkloadError(e.to_string())
+    }
+}
+
+impl From<StorageError> for WorkloadError {
+    fn from(e: StorageError) -> Self {
+        WorkloadError(e.to_string())
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, WorkloadError>;
+
+/// A cumulative timing snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FsClock {
+    /// Virtual network/storage time.
+    pub sim_io: Duration,
+    /// Real compute time inside the enclave (zero for baselines).
+    pub enclave: Duration,
+}
+
+/// One measured workload sample.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sample {
+    /// Virtual network/storage time consumed.
+    pub sim_io: Duration,
+    /// Enclave compute time consumed.
+    pub enclave: Duration,
+    /// Real wall-clock time of the workload body.
+    pub real: Duration,
+}
+
+impl Sample {
+    /// The headline latency: simulated I/O plus real compute.
+    ///
+    /// The baseline has no enclave component, so its total is `sim_io` plus
+    /// the (negligible) untrusted compute; for NEXUS the enclave term adds
+    /// the cryptographic work, exactly the two columns the paper reports.
+    pub fn total(&self) -> Duration {
+        self.sim_io + self.enclave
+    }
+
+    /// Adds another sample (for accumulating multi-phase workloads).
+    pub fn add(&mut self, other: Sample) {
+        self.sim_io += other.sim_io;
+        self.enclave += other.enclave;
+        self.real += other.real;
+    }
+
+    /// Divides by `n` runs.
+    pub fn mean_of(mut self, n: u32) -> Sample {
+        self.sim_io /= n;
+        self.enclave /= n;
+        self.real /= n;
+        self
+    }
+}
+
+/// Filesystem surface the workloads need.
+pub trait BenchFs {
+    /// Human-readable system name ("nexus" / "openafs").
+    fn name(&self) -> &str;
+
+    /// Creates a directory (parents included).
+    fn mkdir_all(&self, path: &str) -> Result<()>;
+
+    /// Writes (replaces) a whole file.
+    fn write_file(&self, path: &str, data: &[u8]) -> Result<()>;
+
+    /// Reads a whole file.
+    fn read_file(&self, path: &str) -> Result<Vec<u8>>;
+
+    /// Reads `len` bytes at `offset`.
+    fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>>;
+
+    /// Removes a file.
+    fn remove(&self, path: &str) -> Result<()>;
+
+    /// Renames a file.
+    fn rename(&self, from: &str, to: &str) -> Result<()>;
+
+    /// Lists the names in a directory (files and subdirectories).
+    fn list_dir(&self, path: &str) -> Result<Vec<String>>;
+
+    /// Subdirectory names in a directory.
+    fn list_subdirs(&self, path: &str) -> Result<Vec<String>>;
+
+    /// File size without reading contents.
+    fn stat_size(&self, path: &str) -> Result<u64>;
+
+    /// Drops client-side caches (the evaluation flushes the AFS cache
+    /// before each run).
+    fn flush_caches(&self);
+
+    /// Cumulative timing counters.
+    fn clock(&self) -> FsClock;
+}
+
+/// Runs `body` against `fs` and returns the consumed time deltas.
+pub fn measure<F: FnOnce() -> Result<()>>(fs: &dyn BenchFs, body: F) -> Result<Sample> {
+    let before = fs.clock();
+    let started = Instant::now();
+    body()?;
+    let real = started.elapsed();
+    let after = fs.clock();
+    Ok(Sample {
+        sim_io: after.sim_io - before.sim_io,
+        enclave: after.enclave - before.enclave,
+        real,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// NEXUS adapter.
+// ---------------------------------------------------------------------------
+
+/// A NEXUS volume as a benchmark filesystem.
+pub struct NexusFs {
+    volume: NexusVolume,
+    afs: Arc<AfsClient>,
+}
+
+impl NexusFs {
+    /// Wraps a mounted, authenticated volume running over `afs`.
+    pub fn new(volume: NexusVolume, afs: Arc<AfsClient>) -> NexusFs {
+        NexusFs { volume, afs }
+    }
+
+    /// The wrapped volume.
+    pub fn volume(&self) -> &NexusVolume {
+        &self.volume
+    }
+}
+
+impl BenchFs for NexusFs {
+    fn name(&self) -> &str {
+        "nexus"
+    }
+
+    fn mkdir_all(&self, path: &str) -> Result<()> {
+        Ok(self.volume.mkdir_all(path)?)
+    }
+
+    fn write_file(&self, path: &str, data: &[u8]) -> Result<()> {
+        Ok(self.volume.write_file(path, data)?)
+    }
+
+    fn read_file(&self, path: &str) -> Result<Vec<u8>> {
+        Ok(self.volume.read_file(path)?)
+    }
+
+    fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        Ok(self.volume.read_range(path, offset, len)?)
+    }
+
+    fn remove(&self, path: &str) -> Result<()> {
+        Ok(self.volume.remove(path)?)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        Ok(self.volume.rename(from, to)?)
+    }
+
+    fn list_dir(&self, path: &str) -> Result<Vec<String>> {
+        Ok(self.volume.list_dir(path)?.into_iter().map(|r| r.name).collect())
+    }
+
+    fn list_subdirs(&self, path: &str) -> Result<Vec<String>> {
+        Ok(self
+            .volume
+            .list_dir(path)?
+            .into_iter()
+            .filter(|r| r.kind == nexus_core::FileType::Directory)
+            .map(|r| r.name)
+            .collect())
+    }
+
+    fn stat_size(&self, path: &str) -> Result<u64> {
+        Ok(self.volume.lookup(path)?.size)
+    }
+
+    fn flush_caches(&self) {
+        self.afs.flush_cache();
+    }
+
+    fn clock(&self) -> FsClock {
+        FsClock {
+            sim_io: self.afs.simulated_time(),
+            enclave: self.volume.enclave().stats().enclave_time(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plain-AFS (unmodified OpenAFS) baseline adapter.
+// ---------------------------------------------------------------------------
+
+/// The OpenAFS baseline: plaintext objects straight on the AFS client.
+///
+/// Files map to objects `f:<path>`, directories to marker objects
+/// `d:<path>/`; every operation is the single whole-file RPC the real
+/// client would issue (with its cache and callbacks intact).
+pub struct PlainAfs {
+    afs: Arc<AfsClient>,
+}
+
+impl PlainAfs {
+    /// Wraps an AFS client.
+    pub fn new(afs: Arc<AfsClient>) -> PlainAfs {
+        PlainAfs { afs }
+    }
+
+    fn file_obj(path: &str) -> String {
+        format!("f:{path}")
+    }
+
+    fn dir_obj(path: &str) -> String {
+        format!("d:{path}/")
+    }
+}
+
+impl BenchFs for PlainAfs {
+    fn name(&self) -> &str {
+        "openafs"
+    }
+
+    fn mkdir_all(&self, path: &str) -> Result<()> {
+        let mut cur = String::new();
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            if !cur.is_empty() {
+                cur.push('/');
+            }
+            cur.push_str(comp);
+            self.afs.put(&Self::dir_obj(&cur), b"")?;
+        }
+        Ok(())
+    }
+
+    fn write_file(&self, path: &str, data: &[u8]) -> Result<()> {
+        Ok(self.afs.put(&Self::file_obj(path), data)?)
+    }
+
+    fn read_file(&self, path: &str) -> Result<Vec<u8>> {
+        Ok(self.afs.get(&Self::file_obj(path))?)
+    }
+
+    fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        Ok(self.afs.get_range(&Self::file_obj(path), offset, len)?)
+    }
+
+    fn remove(&self, path: &str) -> Result<()> {
+        Ok(self.afs.delete(&Self::file_obj(path))?)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        Ok(self
+            .afs
+            .rename_object(&Self::file_obj(from), &Self::file_obj(to))?)
+    }
+
+    fn list_dir(&self, path: &str) -> Result<Vec<String>> {
+        let prefix_f = Self::file_obj(&format!("{path}/"));
+        let prefix_d = Self::dir_obj(path);
+        let mut out = Vec::new();
+        for name in self.afs.list(&prefix_f) {
+            let rest = &name[prefix_f.len()..];
+            if !rest.contains('/') {
+                out.push(rest.to_string());
+            }
+        }
+        for name in self.afs.list(&prefix_d) {
+            let rest = &name[prefix_d.len()..];
+            if !rest.is_empty() && !rest[..rest.len() - 1].contains('/') && rest.ends_with('/') {
+                out.push(rest[..rest.len() - 1].to_string());
+            }
+        }
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    fn list_subdirs(&self, path: &str) -> Result<Vec<String>> {
+        let prefix_d = Self::dir_obj(path);
+        let mut out = Vec::new();
+        for name in self.afs.list(&prefix_d) {
+            let rest = &name[prefix_d.len()..];
+            if rest.ends_with('/') && !rest[..rest.len() - 1].contains('/') {
+                out.push(rest[..rest.len() - 1].to_string());
+            }
+        }
+        Ok(out)
+    }
+
+    fn stat_size(&self, path: &str) -> Result<u64> {
+        Ok(self.afs.stat(&Self::file_obj(path))?.size)
+    }
+
+    fn flush_caches(&self) {
+        self.afs.flush_cache();
+    }
+
+    fn clock(&self) -> FsClock {
+        FsClock { sim_io: self.afs.simulated_time(), enclave: Duration::ZERO }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::TestRig;
+
+    #[test]
+    fn plain_afs_roundtrip() {
+        let rig = TestRig::fast();
+        let fs = rig.plain_afs();
+        fs.mkdir_all("a/b").unwrap();
+        fs.write_file("a/b/f.txt", b"hi").unwrap();
+        assert_eq!(fs.read_file("a/b/f.txt").unwrap(), b"hi");
+        assert_eq!(fs.stat_size("a/b/f.txt").unwrap(), 2);
+        assert_eq!(fs.list_dir("a/b").unwrap(), vec!["f.txt"]);
+        assert_eq!(fs.list_subdirs("a").unwrap(), vec!["b"]);
+        fs.rename("a/b/f.txt", "a/b/g.txt").unwrap();
+        assert_eq!(fs.list_dir("a/b").unwrap(), vec!["g.txt"]);
+        fs.remove("a/b/g.txt").unwrap();
+        assert!(fs.read_file("a/b/g.txt").is_err());
+    }
+
+    #[test]
+    fn nexus_fs_roundtrip() {
+        let rig = TestRig::fast();
+        let fs = rig.nexus_fs();
+        fs.mkdir_all("a/b").unwrap();
+        fs.write_file("a/b/f.txt", b"hi").unwrap();
+        assert_eq!(fs.read_file("a/b/f.txt").unwrap(), b"hi");
+        assert_eq!(fs.list_dir("a/b").unwrap(), vec!["f.txt"]);
+        assert_eq!(fs.list_subdirs("a").unwrap(), vec!["b"]);
+    }
+
+    #[test]
+    fn measure_reports_deltas() {
+        let rig = TestRig::default_latency();
+        let fs = rig.plain_afs();
+        let sample = measure(&fs, || {
+            fs.write_file("x", &vec![0u8; 100_000])?;
+            Ok(())
+        })
+        .unwrap();
+        assert!(sample.sim_io > Duration::ZERO);
+        assert_eq!(sample.enclave, Duration::ZERO);
+    }
+
+    #[test]
+    fn nexus_reports_enclave_time() {
+        let rig = TestRig::default_latency();
+        let fs = rig.nexus_fs();
+        let sample = measure(&fs, || {
+            fs.write_file("x", &vec![0u8; 100_000])?;
+            Ok(())
+        })
+        .unwrap();
+        assert!(sample.enclave > Duration::ZERO);
+        assert!(sample.sim_io > Duration::ZERO);
+    }
+}

@@ -1,0 +1,118 @@
+//! File I/O microbenchmark (paper Table 5a).
+//!
+//! Writes a single file of a given size and reads it back after flushing
+//! the client cache, so both directions cross the (simulated) network —
+//! exactly the paper's python read/write utility with a flushed AFS cache.
+
+use rand::{Rng, SeedableRng};
+
+use crate::bench_fs::{measure, BenchFs, Result, Sample};
+
+/// Result of one file I/O run.
+#[derive(Debug, Clone, Copy)]
+pub struct FileIoResult {
+    /// File size exercised.
+    pub size: u64,
+    /// Cost of writing (and flushing) the file.
+    pub write: Sample,
+    /// Cost of a cold read of the file.
+    pub read: Sample,
+}
+
+impl FileIoResult {
+    /// Combined write+read sample (the paper's single latency number).
+    pub fn combined(&self) -> Sample {
+        let mut s = self.write;
+        s.add(self.read);
+        s
+    }
+}
+
+/// Deterministic pseudo-random file contents.
+pub fn file_contents(size: usize, seed: u64) -> Vec<u8> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut data = vec![0u8; size];
+    rng.fill(&mut data[..]);
+    data
+}
+
+/// Runs the write+read cycle for one file size.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn run_file_io(fs: &dyn BenchFs, size: u64) -> Result<FileIoResult> {
+    let data = file_contents(size as usize, size);
+    let path = format!("bench-file-{size}");
+    let write = measure(fs, || fs.write_file(&path, &data))?;
+    fs.flush_caches();
+    let read = measure(fs, || {
+        let got = fs.read_file(&path)?;
+        assert_eq!(got.len(), data.len(), "short read");
+        Ok(())
+    })?;
+    fs.remove(&path)?;
+    Ok(FileIoResult { size, write, read })
+}
+
+/// Directory-operations microbenchmark (paper Table 5b): creates `n` empty
+/// files in one flat directory, then deletes them all.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn run_dir_ops(fs: &dyn BenchFs, n: usize) -> Result<Sample> {
+    fs.mkdir_all("flat")?;
+    let create = measure(fs, || {
+        for i in 0..n {
+            fs.write_file(&format!("flat/f{i:05}"), b"")?;
+        }
+        Ok(())
+    })?;
+    let delete = measure(fs, || {
+        for i in 0..n {
+            fs.remove(&format!("flat/f{i:05}"))?;
+        }
+        Ok(())
+    })?;
+    let mut total = create;
+    total.add(delete);
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::TestRig;
+
+    #[test]
+    fn file_io_roundtrips_on_both_systems() {
+        let rig = TestRig::fast();
+        for fs in [&rig.nexus_fs() as &dyn BenchFs, &rig.plain_afs()] {
+            let r = run_file_io(fs, 64 * 1024).unwrap();
+            assert_eq!(r.size, 64 * 1024);
+        }
+    }
+
+    #[test]
+    fn nexus_slower_than_afs_on_dir_ops() {
+        // The paper's core observation: metadata-intensive operations cost
+        // NEXUS several RPCs where AFS pays one.
+        let rig = TestRig::default_latency();
+        let nexus = rig.nexus_fs();
+        let afs = rig.plain_afs();
+        let n = 64;
+        let nexus_t = run_dir_ops(&nexus, n).unwrap().sim_io;
+        let afs_t = run_dir_ops(&afs, n).unwrap().sim_io;
+        assert!(
+            nexus_t > afs_t,
+            "nexus {nexus_t:?} should exceed afs {afs_t:?} on directory ops"
+        );
+    }
+
+    #[test]
+    fn contents_are_deterministic() {
+        assert_eq!(file_contents(100, 5), file_contents(100, 5));
+        assert_ne!(file_contents(100, 5), file_contents(100, 6));
+    }
+}

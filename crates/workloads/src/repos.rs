@@ -1,0 +1,207 @@
+//! Synthetic source-tree generation (paper Fig. 5c).
+//!
+//! The paper clones redis (618 files), julia (1096), and nodejs (19912 —
+//! depth up to 13, top directories of 1458/762/783 entries). Real clones
+//! are unavailable offline, so this module generates deterministic trees
+//! with exactly those published shape parameters; clone cost in the
+//! evaluation is file/directory creation volume and hierarchy shape, which
+//! these reproduce.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::bench_fs::{measure, BenchFs, Result, Sample};
+
+/// Shape parameters of one repository.
+#[derive(Debug, Clone)]
+pub struct RepoProfile {
+    /// Repository name.
+    pub name: &'static str,
+    /// Total number of files.
+    pub files: usize,
+    /// Maximum directory depth.
+    pub max_depth: usize,
+    /// Sizes (entry counts) of the largest directories, placed first.
+    pub big_dirs: &'static [usize],
+    /// Mean file size in bytes.
+    pub mean_file_size: usize,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+/// The redis profile (618 files). Mean file size reflects a real clone's
+/// working tree *plus* its share of `.git` pack data (~45 MB total).
+pub const REDIS: RepoProfile = RepoProfile {
+    name: "redis",
+    files: 618,
+    max_depth: 6,
+    big_dirs: &[120, 80],
+    mean_file_size: 72 * 1024,
+    seed: 0xED15,
+};
+
+/// The julia profile (1096 files).
+pub const JULIA: RepoProfile = RepoProfile {
+    name: "julia",
+    files: 1096,
+    max_depth: 8,
+    big_dirs: &[200, 150],
+    mean_file_size: 53 * 1024,
+    seed: 0x10_11A,
+};
+
+/// The nodejs profile (19912 files, depth 13, top dirs 1458/762/783).
+pub const NODEJS: RepoProfile = RepoProfile {
+    name: "nodejs",
+    files: 19912,
+    max_depth: 13,
+    big_dirs: &[1458, 783, 762],
+    mean_file_size: 45 * 1024,
+    seed: 0x480DE,
+};
+
+/// One file in a generated tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeFile {
+    /// Path relative to the repo root.
+    pub path: String,
+    /// File size in bytes.
+    pub size: usize,
+}
+
+/// A generated source tree: directories (parents before children) and files.
+#[derive(Debug, Clone, Default)]
+pub struct Tree {
+    /// Directories in creation order.
+    pub dirs: Vec<String>,
+    /// Files with sizes.
+    pub files: Vec<TreeFile>,
+}
+
+impl Tree {
+    /// Total plaintext bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.files.iter().map(|f| f.size as u64).sum()
+    }
+}
+
+/// Generates the tree for `profile`, optionally scaling file sizes by
+/// `size_scale` (file *counts* are never scaled — they drive the metadata
+/// costs the figure is about).
+pub fn generate_tree(profile: &RepoProfile, size_scale: f64) -> Tree {
+    let mut rng = StdRng::seed_from_u64(profile.seed);
+    let mut tree = Tree::default();
+
+    // Directory skeleton: a chain establishing max depth, plus a fanout of
+    // package-style directories at shallow depths.
+    let root = profile.name.to_string();
+    tree.dirs.push(root.clone());
+    let mut chain = root.clone();
+    for d in 0..profile.max_depth.saturating_sub(1) {
+        chain = format!("{chain}/deep{d}");
+        tree.dirs.push(chain.clone());
+    }
+    let mut normal_dirs = vec![root.clone(), chain];
+    let extra_dirs = (profile.files / 24).max(2);
+    for i in 0..extra_dirs {
+        let parent = normal_dirs[rng.gen_range(0..normal_dirs.len().min(8))].clone();
+        let dir = format!("{parent}/pkg{i:04}");
+        tree.dirs.push(dir.clone());
+        normal_dirs.push(dir);
+    }
+
+    // Big directories get their published entry counts.
+    let mut remaining = profile.files;
+    for (i, &count) in profile.big_dirs.iter().enumerate() {
+        let dir = format!("{root}/big{i}");
+        tree.dirs.push(dir.clone());
+        let take = count.min(remaining);
+        for j in 0..take {
+            let size = file_size(&mut rng, profile.mean_file_size, size_scale);
+            tree.files.push(TreeFile { path: format!("{dir}/file{j:05}.c"), size });
+        }
+        remaining -= take;
+    }
+
+    // The rest spread across normal directories.
+    let mut i = 0usize;
+    while remaining > 0 {
+        let dir = &normal_dirs[rng.gen_range(0..normal_dirs.len())];
+        let size = file_size(&mut rng, profile.mean_file_size, size_scale);
+        tree.files.push(TreeFile { path: format!("{dir}/src{i:06}.c"), size });
+        i += 1;
+        remaining -= 1;
+    }
+    tree
+}
+
+fn file_size(rng: &mut StdRng, mean: usize, scale: f64) -> usize {
+    // Skewed small-file distribution typical of source trees.
+    let factor: f64 = rng.gen_range(0.1..3.0f64).powi(2);
+    ((mean as f64 * factor * scale / 3.0) as usize).max(16)
+}
+
+/// Replays a clone: creates every directory and writes every file.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn clone_repo(fs: &dyn BenchFs, tree: &Tree) -> Result<Sample> {
+    measure(fs, || {
+        for dir in &tree.dirs {
+            fs.mkdir_all(dir)?;
+        }
+        for file in &tree.files {
+            let data = vec![0x2a; file.size];
+            fs.write_file(&file.path, &data)?;
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::TestRig;
+
+    #[test]
+    fn profiles_have_published_file_counts() {
+        for (profile, count) in [(&REDIS, 618), (&JULIA, 1096), (&NODEJS, 19912)] {
+            let tree = generate_tree(profile, 0.01);
+            assert_eq!(tree.files.len(), count, "{}", profile.name);
+        }
+    }
+
+    #[test]
+    fn nodejs_has_depth_13_and_big_dirs() {
+        let tree = generate_tree(&NODEJS, 0.01);
+        let max_depth = tree
+            .dirs
+            .iter()
+            .map(|d| d.split('/').count())
+            .max()
+            .unwrap();
+        assert!(max_depth >= 13, "depth {max_depth}");
+        let big0 = tree.files.iter().filter(|f| f.path.starts_with("nodejs/big0/")).count();
+        assert_eq!(big0, 1458);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_tree(&REDIS, 0.1);
+        let b = generate_tree(&REDIS, 0.1);
+        assert_eq!(a.files, b.files);
+        assert_eq!(a.dirs, b.dirs);
+    }
+
+    #[test]
+    fn clone_replays_on_nexus() {
+        let rig = TestRig::fast();
+        let fs = rig.nexus_fs();
+        let small = RepoProfile { files: 25, big_dirs: &[10], ..REDIS };
+        let tree = generate_tree(&small, 0.05);
+        clone_repo(&fs, &tree).unwrap();
+        // Spot-check one big-dir file landed.
+        assert!(fs.read_file(&tree.files[0].path).is_ok());
+    }
+}
