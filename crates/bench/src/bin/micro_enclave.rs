@@ -1,0 +1,55 @@
+//! Micro-benchmarks for the SGX-simulator and metadata layers: ecall
+//! transition overhead, sealing, quoting, and the three-section metadata
+//! format — the per-operation fixed costs behind the paper's "enclave
+//! runtime" column. Successor to the former criterion bench; runs on the
+//! in-repo timing harness (hermetic build policy).
+
+use nexus_bench::{micro, rule};
+use nexus_core::metadata::crypto::{open_object, seal_object, ObjectKind, Preamble};
+use nexus_core::NexusUuid;
+use nexus_sgx::{AttestationService, Enclave, EnclaveImage, Platform, SealPolicy};
+
+fn main() {
+    rule(78);
+    println!("micro_enclave — SGX simulator + metadata format");
+    println!("pure compute, no simulated I/O; median of 5 batched samples after calibration");
+    rule(78);
+
+    let platform = Platform::seeded(1);
+    let enclave = Enclave::create(&platform, &EnclaveImage::new(b"bench".to_vec()), 0u64);
+    micro("ecall transition (empty)", None, || enclave.ecall(|state, _| *state));
+
+    let enclave = Enclave::create(&platform, &EnclaveImage::new(b"bench".to_vec()), ());
+    micro("sgx seal 48B (rootkey)", None, || {
+        enclave.ecall(|_, env| env.seal(SealPolicy::MrEnclave, &[0u8; 48], b"aad"))
+    });
+    let sealed = enclave.ecall(|_, env| env.seal(SealPolicy::MrEnclave, &[0u8; 48], b"aad"));
+    micro("sgx unseal 48B", None, || {
+        enclave.ecall(|_, env| env.unseal(&sealed, b"aad").unwrap())
+    });
+
+    let ias = AttestationService::new();
+    ias.register_platform(&platform);
+    micro("quote generation", None, || enclave.ecall(|_, env| env.quote(&[5u8; 64])));
+    let quote = enclave.ecall(|_, env| env.quote(&[5u8; 64]));
+    micro("quote verification", None, || ias.verify(&quote).unwrap());
+
+    let rootkey = [0x11u8; 32];
+    let preamble = Preamble {
+        kind: ObjectKind::Dirnode,
+        uuid: NexusUuid([1; 16]),
+        parent: NexusUuid([2; 16]),
+        version: 7,
+    };
+    // A dirnode-main-sized body (128-entry bucket ≈ 5 KB).
+    let body = vec![0x3cu8; 5 * 1024];
+    let mut counter = 0u8;
+    micro("metadata seal 5KB", Some(body.len() as u64), || {
+        counter = counter.wrapping_add(1);
+        seal_object(&rootkey, &preamble, &body, |dest| dest.fill(counter))
+    });
+    let blob = seal_object(&rootkey, &preamble, &body, |dest| dest.fill(9));
+    micro("metadata open 5KB", Some(body.len() as u64), || open_object(&rootkey, &blob).unwrap());
+
+    rule(78);
+}

@@ -16,13 +16,16 @@
 //! | `ablation_caches` | §V-B — metadata cache on/off |
 //! | `ablation_chunks` | §VI-A — chunk-size sweep |
 //!
+//! | `micro_crypto` | substrate micro-benchmarks (AES-GCM, SHA-256, ed25519, x25519) |
+//! | `micro_enclave` | substrate micro-benchmarks (ecall, seal, quote, metadata format) |
+//!
 //! Every binary prints the measured (simulated-I/O + enclave) numbers next
 //! to the values the paper reports; the reproduction targets the *shape*
 //! (who wins, by roughly what factor), not the absolute numbers of the
-//! authors' 2019 testbed. Criterion micro-benchmarks for the cryptographic
-//! and enclave substrates live under `benches/`.
+//! authors' 2019 testbed. The `micro_*` binaries use the in-repo [`micro`]
+//! timing harness (hermetic build policy: no criterion).
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use nexus_workloads::Sample;
 
@@ -76,6 +79,62 @@ fn arg_value(name: &str) -> Option<String> {
         .cloned()
 }
 
+/// Measures one operation: calibrates a batch size so each sample runs
+/// for at least ~5 ms, takes five batched samples, and returns the median
+/// per-iteration time. Deterministic-enough for the tables we print; this
+/// intentionally trades criterion's statistics for a zero-dependency
+/// harness.
+pub fn measure_micro<R>(mut f: impl FnMut() -> R) -> Duration {
+    let mut iters: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = t.elapsed();
+        if elapsed >= Duration::from_millis(5) || iters >= 1 << 22 {
+            break;
+        }
+        iters = if elapsed < Duration::from_micros(50) { iters * 8 } else { iters * 2 };
+    }
+    let mut samples: Vec<Duration> = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            t.elapsed() / iters as u32
+        })
+        .collect();
+    samples.sort();
+    samples[2]
+}
+
+/// Runs [`measure_micro`] and prints one aligned table row; when `bytes`
+/// is given, a MiB/s throughput column is appended.
+pub fn micro<R>(name: &str, bytes: Option<u64>, f: impl FnMut() -> R) {
+    let per_iter = measure_micro(f);
+    match bytes {
+        Some(n) => {
+            let mibps = n as f64 / per_iter.as_secs_f64().max(1e-12) / (1024.0 * 1024.0);
+            println!("{name:<32} {:>12}   {mibps:>10.1} MiB/s", nanos(per_iter));
+        }
+        None => println!("{name:<32} {:>12}", nanos(per_iter)),
+    }
+}
+
+/// Formats a per-iteration duration at ns/µs/ms precision.
+pub fn nanos(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} \u{b5}s", ns as f64 / 1e3)
+    } else {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    }
+}
+
 /// Prints a horizontal rule sized to `width`.
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
@@ -102,6 +161,19 @@ mod tests {
         assert_eq!(secs(Duration::from_millis(5)), "5.0ms");
         assert_eq!(secs(Duration::from_secs_f64(2.346)), "2.35s");
         assert_eq!(secs(Duration::from_secs(150)), "150s");
+    }
+
+    #[test]
+    fn nanos_formats_ranges() {
+        assert_eq!(nanos(Duration::from_nanos(512)), "512 ns");
+        assert_eq!(nanos(Duration::from_nanos(2_500)), "2.50 \u{b5}s");
+        assert_eq!(nanos(Duration::from_micros(3_141)), "3.14 ms");
+    }
+
+    #[test]
+    fn measure_micro_returns_positive_time() {
+        let d = measure_micro(|| std::hint::black_box(1u64 + 1));
+        assert!(d > Duration::ZERO);
     }
 
     #[test]

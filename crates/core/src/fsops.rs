@@ -406,7 +406,31 @@ pub(crate) fn fs_hardlink(
     Ok(())
 }
 
+/// True when `to` lies strictly inside the subtree rooted at `from`.
+///
+/// Both slices must come from [`split_path`], which *normalizes* the
+/// paths: empty components and `.` are dropped and `..` is rejected
+/// outright, so `a/./b`, `a//b`, and `a/b` all compare equal here. The
+/// comparison is therefore immune to dot- and slash-padding tricks.
+/// Symlinks cannot smuggle a path into a subtree either: NEXUS traversal
+/// never follows symlinks (a symlink component fails resolution with
+/// `NotADirectory`), so the lexical component check is exact, not merely
+/// heuristic.
+fn is_inside_subtree(from_comps: &[&str], to_comps: &[&str]) -> bool {
+    to_comps.len() > from_comps.len() && to_comps[..from_comps.len()] == from_comps[..]
+}
+
 /// `nexus_fs_rename`: moves `from` to `to` (both full paths).
+///
+/// Error precedence (documented POSIX alignment, pinned by
+/// `tests/fs_model.rs::rename_error_precedence_is_documented`):
+/// 1. malformed paths (`..`) — `InvalidName`;
+/// 2. moving a directory into its own subtree — `InvalidName` (EINVAL);
+/// 3. source parent resolution — `NotFound` / `NotADirectory`;
+/// 4. missing source — `NotFound` (the source must exist before the
+///    destination is even classified, as on Linux `rename(2)`);
+/// 5. destination parent resolution — `NotFound` / `NotADirectory`;
+/// 6. existing destination — `AlreadyExists`.
 pub(crate) fn fs_rename(
     state: &mut EnclaveState,
     io: &MetaIo<'_>,
@@ -414,10 +438,10 @@ pub(crate) fn fs_rename(
     to: &str,
 ) -> Result<()> {
     // Moving a directory into its own subtree would orphan it (POSIX
-    // EINVAL); reject by component-prefix comparison before any I/O.
+    // EINVAL); reject on *normalized* components before any I/O.
     let from_comps = split_path(from)?;
     let to_comps = split_path(to)?;
-    if to_comps.len() > from_comps.len() && to_comps[..from_comps.len()] == from_comps[..] {
+    if is_inside_subtree(&from_comps, &to_comps) {
         return Err(NexusError::InvalidName(format!(
             "cannot move {from:?} into its own subtree {to:?}"
         )));
@@ -659,6 +683,28 @@ mod tests {
         assert!(validate_name("").is_err());
         assert!(validate_name("a/b").is_err());
         assert!(validate_name(".").is_err());
+    }
+
+    #[test]
+    fn subtree_guard_compares_normalized_components() {
+        let check = |from: &str, to: &str| {
+            is_inside_subtree(&split_path(from).unwrap(), &split_path(to).unwrap())
+        };
+        assert!(check("a", "a/b"));
+        assert!(check("a/b", "a/b/c/d"));
+        // Dot- and slash-padded spellings of the same subtree still match.
+        assert!(check("a", "a/./b"));
+        assert!(check("a", ".//a/b"));
+        assert!(check("./a", "a/b"));
+        assert!(check("a//", "a/b"));
+        // Siblings and ancestors are not "inside".
+        assert!(!check("a", "a"));
+        assert!(!check("a", "./a"));
+        assert!(!check("a/b", "a"));
+        assert!(!check("a", "ab/c"));
+        // The root contains everything.
+        assert!(check("", "a"));
+        assert!(check(".", "a/b"));
     }
 
     #[test]

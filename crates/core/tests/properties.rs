@@ -1,8 +1,6 @@
 //! Property-based tests for the metadata layer: the wire format and sealed
 //! object format must never panic on attacker-supplied bytes, and all
-//! structures must roundtrip.
-
-use proptest::prelude::*;
+//! structures must roundtrip. Runs on the in-repo `nexus-testkit` harness.
 
 use nexus_core::metadata::crypto::{open_object, seal_object, ObjectKind, Preamble};
 use nexus_core::metadata::dirnode::{Bucket, DirEntry, EntryKind};
@@ -10,155 +8,226 @@ use nexus_core::metadata::filenode::{ChunkContext, Filenode};
 use nexus_core::metadata::supernode::Supernode;
 use nexus_core::wire::{Reader, Writer};
 use nexus_core::NexusUuid;
+use nexus_testkit::{shrink, tk_assert, tk_assert_eq, Gen, Runner};
 
-fn uuid_strategy() -> impl Strategy<Value = NexusUuid> {
-    prop::array::uniform16(any::<u8>()).prop_map(NexusUuid)
+const CASES: u32 = 96;
+
+const NAME_CHARS: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'A', 'B', 'Z', '0', '1', '9', '.', '_', '-',
+];
+
+fn gen_uuid(g: &mut Gen) -> NexusUuid {
+    NexusUuid(g.bytes::<16>())
 }
 
-fn name_strategy() -> impl Strategy<Value = String> {
-    "[a-zA-Z0-9._-]{1,24}"
+fn gen_name(g: &mut Gen) -> String {
+    g.string(NAME_CHARS, 1, 24)
 }
 
-fn entry_strategy() -> impl Strategy<Value = DirEntry> {
-    (
-        name_strategy(),
-        uuid_strategy(),
-        prop_oneof![
-            Just(EntryKind::Directory),
-            Just(EntryKind::File),
-            name_strategy().prop_map(EntryKind::Symlink),
-        ],
-    )
-        .prop_map(|(name, uuid, kind)| DirEntry { name, uuid, kind })
+fn gen_entry(g: &mut Gen) -> DirEntry {
+    let kind = match g.usize_below(3) {
+        0 => EntryKind::Directory,
+        1 => EntryKind::File,
+        _ => EntryKind::Symlink(gen_name(g)),
+    };
+    DirEntry { name: gen_name(g), uuid: gen_uuid(g), kind }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+#[test]
+fn reader_never_panics_on_garbage() {
+    Runner::new("reader_never_panics_on_garbage").cases(CASES).run(
+        |g| g.byte_vec(0, 256),
+        |v| shrink::bytes(v),
+        |bytes| {
+            let mut r = Reader::new(bytes);
+            // Exercise every read type; all may error, none may panic.
+            let _ = r.u8();
+            let _ = r.u16();
+            let _ = r.u32();
+            let _ = r.u64();
+            let _ = r.bytes();
+            let _ = r.string();
+            let _ = r.uuid();
+            let _ = r.finish();
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn reader_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
-        let mut r = Reader::new(&bytes);
-        // Exercise every read type; all may error, none may panic.
-        let _ = r.u8();
-        let _ = r.u16();
-        let _ = r.u32();
-        let _ = r.u64();
-        let _ = r.bytes();
-        let _ = r.string();
-        let _ = r.uuid();
-        let _ = r.finish();
-    }
-
-    #[test]
-    fn open_object_never_panics_on_garbage(
-        bytes in prop::collection::vec(any::<u8>(), 0..512),
-        rootkey in prop::array::uniform32(any::<u8>()),
-    ) {
-        // Any result is fine; panicking or accepting garbage is not.
-        if let Ok((_, body)) = open_object(&rootkey, &bytes) {
-            // Forging an authentic object without the rootkey is impossible.
-            panic!("garbage accepted as authentic metadata: {body:?}");
-        }
-    }
-
-    #[test]
-    fn sealed_objects_roundtrip(
-        rootkey in prop::array::uniform32(any::<u8>()),
-        uuid in uuid_strategy(),
-        parent in uuid_strategy(),
-        version in any::<u64>(),
-        body in prop::collection::vec(any::<u8>(), 0..1024),
-        seed in any::<u64>(),
-    ) {
-        let preamble = Preamble { kind: ObjectKind::Filenode, uuid, parent, version };
-        let mut counter = seed;
-        let blob = seal_object(&rootkey, &preamble, &body, |dest| {
-            for b in dest.iter_mut() {
-                counter = counter.wrapping_mul(6364136223846793005).wrapping_add(1);
-                *b = (counter >> 33) as u8;
+#[test]
+fn open_object_never_panics_on_garbage() {
+    Runner::new("open_object_never_panics_on_garbage").cases(CASES).run(
+        |g| (g.byte_vec(0, 512), g.bytes::<32>()),
+        |(bytes, key)| shrink::bytes(bytes).into_iter().map(|b| (b, *key)).collect(),
+        |(bytes, rootkey)| {
+            // Any result is fine; panicking or accepting garbage is not.
+            if let Ok((_, body)) = open_object(rootkey, bytes) {
+                // Forging an authentic object without the rootkey is
+                // impossible.
+                return Err(format!("garbage accepted as authentic metadata: {body:?}"));
             }
-        });
-        let (decoded, opened_body) = open_object(&rootkey, &blob).unwrap();
-        prop_assert_eq!(decoded, preamble);
-        prop_assert_eq!(opened_body, body);
-        // The wrong rootkey never opens it.
-        let mut wrong = rootkey;
-        wrong[0] ^= 1;
-        prop_assert!(open_object(&wrong, &blob).is_err());
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn bucket_roundtrips(entries in prop::collection::vec(entry_strategy(), 0..40)) {
-        let mut unique = entries;
-        unique.sort_by(|a, b| a.name.cmp(&b.name));
-        unique.dedup_by(|a, b| a.name == b.name);
-        let bucket = Bucket { entries: unique };
-        prop_assert_eq!(Bucket::decode(&bucket.encode()).unwrap(), bucket);
-    }
+#[test]
+fn sealed_objects_roundtrip() {
+    Runner::new("sealed_objects_roundtrip").cases(CASES).run(
+        |g| {
+            (
+                g.bytes::<32>(),
+                gen_uuid(g),
+                gen_uuid(g),
+                g.u64(),
+                g.byte_vec(0, 1024),
+                g.u64(),
+            )
+        },
+        shrink::none,
+        |(rootkey, uuid, parent, version, body, seed)| {
+            let preamble =
+                Preamble { kind: ObjectKind::Filenode, uuid: *uuid, parent: *parent, version: *version };
+            let mut counter = *seed;
+            let blob = seal_object(rootkey, &preamble, body, |dest| {
+                for b in dest.iter_mut() {
+                    counter = counter.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    *b = (counter >> 33) as u8;
+                }
+            });
+            let (decoded, opened_body) = open_object(rootkey, &blob).unwrap();
+            tk_assert_eq!(decoded, preamble);
+            tk_assert_eq!(opened_body, *body);
+            // The wrong rootkey never opens it.
+            let mut wrong = *rootkey;
+            wrong[0] ^= 1;
+            tk_assert!(open_object(&wrong, &blob).is_err());
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn bucket_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
-        let _ = Bucket::decode(&bytes);
-    }
+#[test]
+fn bucket_roundtrips() {
+    Runner::new("bucket_roundtrips").cases(CASES).run(
+        |g| g.vec(0, 40, gen_entry),
+        |v| shrink::vec(v),
+        |entries| {
+            let mut unique = entries.clone();
+            unique.sort_by(|a, b| a.name.cmp(&b.name));
+            unique.dedup_by(|a, b| a.name == b.name);
+            let bucket = Bucket { entries: unique };
+            tk_assert_eq!(Bucket::decode(&bucket.encode()).unwrap(), bucket);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn filenode_roundtrips(
-        uuid in uuid_strategy(),
-        parent in uuid_strategy(),
-        data_uuid in uuid_strategy(),
-        chunk_size in 1u32..1_000_000,
-        nlink in 1u32..5,
-        size in 0u64..10_000_000,
-    ) {
-        let mut fnode = Filenode::new(uuid, parent, data_uuid, chunk_size);
-        fnode.size = size;
-        fnode.nlink = nlink;
-        fnode.chunks = (0..Filenode::chunk_count_for(size, chunk_size))
-            .map(|i| ChunkContext { key: [(i % 251) as u8; 16], nonce: [(i % 13) as u8; 12] })
-            .collect();
-        // Filenode bodies stay bounded in tests: skip absurd chunk counts.
-        prop_assume!(fnode.chunks.len() < 100_000);
-        prop_assert_eq!(Filenode::decode(&fnode.encode()).unwrap(), fnode);
-    }
+#[test]
+fn bucket_decode_never_panics() {
+    Runner::new("bucket_decode_never_panics").cases(CASES).run(
+        |g| g.byte_vec(0, 256),
+        |v| shrink::bytes(v),
+        |bytes| {
+            let _ = Bucket::decode(bytes);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn filenode_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
-        let _ = Filenode::decode(&bytes);
-    }
-
-    #[test]
-    fn supernode_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
-        let _ = Supernode::decode(&bytes);
-    }
-
-    #[test]
-    fn writer_reader_mixed_sequences(
-        values in prop::collection::vec(
-            prop_oneof![
-                any::<u8>().prop_map(|v| (0u8, v as u64)),
-                any::<u32>().prop_map(|v| (1u8, v as u64)),
-                any::<u64>().prop_map(|v| (2u8, v)),
-            ],
-            0..32,
-        ),
-    ) {
-        let mut w = Writer::new();
-        for (tag, v) in &values {
-            match tag {
-                0 => { w.u8(*v as u8); }
-                1 => { w.u32(*v as u32); }
-                _ => { w.u64(*v); }
+#[test]
+fn filenode_roundtrips() {
+    Runner::new("filenode_roundtrips").cases(CASES).run(
+        |g| {
+            (
+                gen_uuid(g),
+                gen_uuid(g),
+                gen_uuid(g),
+                1 + g.u32() % 1_000_000,      // chunk_size
+                1 + g.u32() % 4,              // nlink
+                g.u64() % 10_000_000,         // size
+            )
+        },
+        shrink::none,
+        |(uuid, parent, data_uuid, chunk_size, nlink, size)| {
+            let mut fnode = Filenode::new(*uuid, *parent, *data_uuid, *chunk_size);
+            fnode.size = *size;
+            fnode.nlink = *nlink;
+            fnode.chunks = (0..Filenode::chunk_count_for(*size, *chunk_size))
+                .map(|i| ChunkContext { key: [(i % 251) as u8; 16], nonce: [(i % 13) as u8; 12] })
+                .collect();
+            // Filenode bodies stay bounded in tests: skip absurd chunk
+            // counts rather than encode megabytes of contexts.
+            if fnode.chunks.len() >= 100_000 {
+                return Ok(());
             }
-        }
-        let buf = w.into_bytes();
-        let mut r = Reader::new(&buf);
-        for (tag, v) in &values {
-            match tag {
-                0 => prop_assert_eq!(r.u8().unwrap() as u64, *v),
-                1 => prop_assert_eq!(r.u32().unwrap() as u64, *v),
-                _ => prop_assert_eq!(r.u64().unwrap(), *v),
+            tk_assert_eq!(Filenode::decode(&fnode.encode()).unwrap(), fnode);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn filenode_decode_never_panics() {
+    Runner::new("filenode_decode_never_panics").cases(CASES).run(
+        |g| g.byte_vec(0, 256),
+        |v| shrink::bytes(v),
+        |bytes| {
+            let _ = Filenode::decode(bytes);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn supernode_decode_never_panics() {
+    Runner::new("supernode_decode_never_panics").cases(CASES).run(
+        |g| g.byte_vec(0, 512),
+        |v| shrink::bytes(v),
+        |bytes| {
+            let _ = Supernode::decode(bytes);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn writer_reader_mixed_sequences() {
+    Runner::new("writer_reader_mixed_sequences").cases(CASES).run(
+        |g| {
+            g.vec(0, 32, |g| match g.usize_below(3) {
+                0 => (0u8, u64::from(g.u8())),
+                1 => (1u8, u64::from(g.u32())),
+                _ => (2u8, g.u64()),
+            })
+        },
+        |v| shrink::vec(v),
+        |values| {
+            let mut w = Writer::new();
+            for (tag, v) in values {
+                match tag {
+                    0 => {
+                        w.u8(*v as u8);
+                    }
+                    1 => {
+                        w.u32(*v as u32);
+                    }
+                    _ => {
+                        w.u64(*v);
+                    }
+                }
             }
-        }
-        r.finish().unwrap();
-    }
+            let buf = w.into_bytes();
+            let mut r = Reader::new(&buf);
+            for (tag, v) in values {
+                match tag {
+                    0 => tk_assert_eq!(u64::from(r.u8().unwrap()), *v),
+                    1 => tk_assert_eq!(u64::from(r.u32().unwrap()), *v),
+                    _ => tk_assert_eq!(r.u64().unwrap(), *v),
+                }
+            }
+            r.finish().unwrap();
+            Ok(())
+        },
+    );
 }

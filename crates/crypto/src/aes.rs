@@ -406,12 +406,12 @@ mod tests {
 
     #[test]
     fn encrypt_decrypt_roundtrip_random_keys() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        use crate::rng::{SecureRandom, SeededRandom};
+        let mut rng = SeededRandom::new(7);
         for _ in 0..50 {
-            let key: [u8; 32] = rng.gen();
+            let key: [u8; 32] = rng.bytes();
             let aes = Aes::new_256(&key);
-            let plain: [u8; 16] = rng.gen();
+            let plain: [u8; 16] = rng.bytes();
             let mut block = plain;
             aes.encrypt_block(&mut block);
             assert_ne!(block, plain);
@@ -428,12 +428,12 @@ mod tests {
 
     #[test]
     fn ttable_matches_reference_implementation() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        use crate::rng::{SecureRandom, SeededRandom};
+        let mut rng = SeededRandom::new(99);
         for _ in 0..200 {
-            let key16: [u8; 16] = rng.gen();
-            let key32: [u8; 32] = rng.gen();
-            let plain: [u8; 16] = rng.gen();
+            let key16: [u8; 16] = rng.bytes();
+            let key32: [u8; 32] = rng.bytes();
+            let plain: [u8; 16] = rng.bytes();
             for aes in [Aes::new_128(&key16), Aes::new_256(&key32)] {
                 let mut fast = plain;
                 let mut slow = plain;

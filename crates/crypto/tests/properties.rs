@@ -1,7 +1,6 @@
 //! Property-based tests for the cryptographic substrate: roundtrips,
 //! tamper-rejection, and algebraic identities over arbitrary inputs.
-
-use proptest::prelude::*;
+//! Runs on the in-repo `nexus-testkit` harness (hermetic build policy).
 
 use nexus_crypto::ed25519::SigningKey;
 use nexus_crypto::gcm::AesGcm;
@@ -9,140 +8,185 @@ use nexus_crypto::gcm_siv::AesGcmSiv;
 use nexus_crypto::hmac::{hkdf, hmac_sha256};
 use nexus_crypto::sha2::{Sha256, Sha512};
 use nexus_crypto::x25519;
+use nexus_testkit::{shrink, tk_assert, tk_assert_eq, tk_assert_ne, Runner};
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+const CASES: u32 = 64;
 
-    #[test]
-    fn gcm_roundtrips_any_input(
-        key in prop::array::uniform32(any::<u8>()),
-        nonce in prop::array::uniform12(any::<u8>()),
-        aad in prop::collection::vec(any::<u8>(), 0..128),
-        plaintext in prop::collection::vec(any::<u8>(), 0..2048),
-    ) {
-        let gcm = AesGcm::new_256(&key);
-        let sealed = gcm.seal(&nonce, &aad, &plaintext);
-        prop_assert_eq!(gcm.open(&nonce, &aad, &sealed).unwrap(), plaintext);
-    }
+#[test]
+fn gcm_roundtrips_any_input() {
+    Runner::new("gcm_roundtrips_any_input").cases(CASES).run(
+        |g| (g.bytes::<32>(), g.bytes::<12>(), g.byte_vec(0, 128), g.byte_vec(0, 2048)),
+        |(key, nonce, aad, pt)| {
+            shrink::bytes(pt).into_iter().map(|pt| (*key, *nonce, aad.clone(), pt)).collect()
+        },
+        |(key, nonce, aad, plaintext)| {
+            let gcm = AesGcm::new_256(key);
+            let sealed = gcm.seal(nonce, aad, plaintext);
+            tk_assert_eq!(gcm.open(nonce, aad, &sealed).unwrap(), *plaintext);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn gcm_rejects_any_single_bitflip(
-        key in prop::array::uniform32(any::<u8>()),
-        nonce in prop::array::uniform12(any::<u8>()),
-        plaintext in prop::collection::vec(any::<u8>(), 1..256),
-        flip_byte in any::<prop::sample::Index>(),
-        flip_bit in 0u8..8,
-    ) {
-        let gcm = AesGcm::new_256(&key);
-        let mut sealed = gcm.seal(&nonce, b"aad", &plaintext);
-        let idx = flip_byte.index(sealed.len());
-        sealed[idx] ^= 1 << flip_bit;
-        prop_assert!(gcm.open(&nonce, b"aad", &sealed).is_err());
-    }
+#[test]
+fn gcm_rejects_any_single_bitflip() {
+    Runner::new("gcm_rejects_any_single_bitflip").cases(CASES).run(
+        |g| {
+            let pt = g.byte_vec(1, 256);
+            let flip_byte = g.u64();
+            let flip_bit = g.u8() % 8;
+            (g.bytes::<32>(), g.bytes::<12>(), pt, flip_byte, flip_bit)
+        },
+        shrink::none,
+        |(key, nonce, plaintext, flip_byte, flip_bit)| {
+            let gcm = AesGcm::new_256(key);
+            let mut sealed = gcm.seal(nonce, b"aad", plaintext);
+            let idx = (*flip_byte % sealed.len() as u64) as usize;
+            sealed[idx] ^= 1 << flip_bit;
+            tk_assert!(gcm.open(nonce, b"aad", &sealed).is_err());
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn gcm_siv_roundtrips_and_is_deterministic(
-        key in prop::array::uniform32(any::<u8>()),
-        nonce in prop::array::uniform12(any::<u8>()),
-        plaintext in prop::collection::vec(any::<u8>(), 0..512),
-    ) {
-        let siv = AesGcmSiv::new_256(&key);
-        let a = siv.seal(&nonce, b"ctx", &plaintext);
-        let b = siv.seal(&nonce, b"ctx", &plaintext);
-        prop_assert_eq!(&a, &b, "SIV is deterministic");
-        prop_assert_eq!(siv.open(&nonce, b"ctx", &a).unwrap(), plaintext);
-    }
+#[test]
+fn gcm_siv_roundtrips_and_is_deterministic() {
+    Runner::new("gcm_siv_roundtrips_and_is_deterministic").cases(CASES).run(
+        |g| (g.bytes::<32>(), g.bytes::<12>(), g.byte_vec(0, 512)),
+        shrink::none,
+        |(key, nonce, plaintext)| {
+            let siv = AesGcmSiv::new_256(key);
+            let a = siv.seal(nonce, b"ctx", plaintext);
+            let b = siv.seal(nonce, b"ctx", plaintext);
+            tk_assert_eq!(&a, &b, "SIV is deterministic");
+            tk_assert_eq!(siv.open(nonce, b"ctx", &a).unwrap(), *plaintext);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn sha256_incremental_equals_oneshot(
-        data in prop::collection::vec(any::<u8>(), 0..4096),
-        splits in prop::collection::vec(any::<prop::sample::Index>(), 0..5),
-    ) {
-        let mut points: Vec<usize> = splits.iter().map(|i| i.index(data.len() + 1)).collect();
-        points.sort_unstable();
-        let mut h = Sha256::new();
-        let mut prev = 0usize;
-        for p in points {
-            h.update(&data[prev..p]);
-            prev = p;
-        }
-        h.update(&data[prev..]);
-        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
-    }
+#[test]
+fn sha256_incremental_equals_oneshot() {
+    Runner::new("sha256_incremental_equals_oneshot").cases(CASES).run(
+        |g| {
+            let data = g.byte_vec(0, 4096);
+            let splits = g.vec(0, 5, |g| g.index(data.len() + 1));
+            (data, splits)
+        },
+        shrink::none,
+        |(data, splits)| {
+            let mut points = splits.clone();
+            points.sort_unstable();
+            let mut h = Sha256::new();
+            let mut prev = 0usize;
+            for p in points {
+                h.update(&data[prev..p]);
+                prev = p;
+            }
+            h.update(&data[prev..]);
+            tk_assert_eq!(h.finalize(), Sha256::digest(data));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn sha512_incremental_equals_oneshot(
-        data in prop::collection::vec(any::<u8>(), 0..4096),
-        split in any::<prop::sample::Index>(),
-    ) {
-        let p = split.index(data.len() + 1);
-        let mut h = Sha512::new();
-        h.update(&data[..p]);
-        h.update(&data[p..]);
-        prop_assert_eq!(h.finalize().to_vec(), Sha512::digest(&data).to_vec());
-    }
+#[test]
+fn sha512_incremental_equals_oneshot() {
+    Runner::new("sha512_incremental_equals_oneshot").cases(CASES).run(
+        |g| {
+            let data = g.byte_vec(0, 4096);
+            let split = g.index(data.len() + 1);
+            (data, split)
+        },
+        shrink::none,
+        |(data, split)| {
+            let mut h = Sha512::new();
+            h.update(&data[..*split]);
+            h.update(&data[*split..]);
+            tk_assert_eq!(h.finalize().to_vec(), Sha512::digest(data).to_vec());
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn x25519_diffie_hellman_commutes(
-        a in prop::array::uniform32(any::<u8>()),
-        b in prop::array::uniform32(any::<u8>()),
-    ) {
-        let pub_a = x25519::x25519_public_key(&a);
-        let pub_b = x25519::x25519_public_key(&b);
-        prop_assert_eq!(x25519::x25519(&a, &pub_b), x25519::x25519(&b, &pub_a));
-    }
+#[test]
+fn x25519_diffie_hellman_commutes() {
+    Runner::new("x25519_diffie_hellman_commutes").cases(CASES).run(
+        |g| (g.bytes::<32>(), g.bytes::<32>()),
+        shrink::none,
+        |(a, b)| {
+            let pub_a = x25519::x25519_public_key(a);
+            let pub_b = x25519::x25519_public_key(b);
+            tk_assert_eq!(x25519::x25519(a, &pub_b), x25519::x25519(b, &pub_a));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn ed25519_signs_and_verifies_any_message(
-        seed in prop::array::uniform32(any::<u8>()),
-        msg in prop::collection::vec(any::<u8>(), 0..512),
-    ) {
-        let key = SigningKey::from_seed(&seed);
-        let sig = key.sign(&msg);
-        prop_assert!(key.verifying_key().verify(&msg, &sig).is_ok());
-        // Any other message fails (unless identical).
-        let mut other = msg.clone();
-        other.push(0);
-        prop_assert!(key.verifying_key().verify(&other, &sig).is_err());
-    }
+#[test]
+fn ed25519_signs_and_verifies_any_message() {
+    Runner::new("ed25519_signs_and_verifies_any_message").cases(CASES).run(
+        |g| (g.bytes::<32>(), g.byte_vec(0, 512)),
+        |(seed, msg)| shrink::bytes(msg).into_iter().map(|m| (*seed, m)).collect(),
+        |(seed, msg)| {
+            let key = SigningKey::from_seed(seed);
+            let sig = key.sign(msg);
+            tk_assert!(key.verifying_key().verify(msg, &sig).is_ok());
+            // Any other message fails (unless identical).
+            let mut other = msg.clone();
+            other.push(0);
+            tk_assert!(key.verifying_key().verify(&other, &sig).is_err());
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn ed25519_signature_tamper_rejected(
-        seed in prop::array::uniform32(any::<u8>()),
-        msg in prop::collection::vec(any::<u8>(), 0..64),
-        flip_byte in any::<prop::sample::Index>(),
-        flip_bit in 0u8..8,
-    ) {
-        let key = SigningKey::from_seed(&seed);
-        let mut sig = key.sign(&msg).to_bytes();
-        let idx = flip_byte.index(sig.len());
-        sig[idx] ^= 1 << flip_bit;
-        let sig = nexus_crypto::ed25519::Signature::from_bytes(&sig).unwrap();
-        prop_assert!(key.verifying_key().verify(&msg, &sig).is_err());
-    }
+#[test]
+fn ed25519_signature_tamper_rejected() {
+    Runner::new("ed25519_signature_tamper_rejected").cases(CASES).run(
+        |g| (g.bytes::<32>(), g.byte_vec(0, 64), g.u64(), g.u8() % 8),
+        shrink::none,
+        |(seed, msg, flip_byte, flip_bit)| {
+            let key = SigningKey::from_seed(seed);
+            let mut sig = key.sign(msg).to_bytes();
+            let idx = (*flip_byte % sig.len() as u64) as usize;
+            sig[idx] ^= 1 << flip_bit;
+            let sig = nexus_crypto::ed25519::Signature::from_bytes(&sig).unwrap();
+            tk_assert!(key.verifying_key().verify(msg, &sig).is_err());
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn hmac_is_deterministic_and_key_sensitive(
-        key in prop::collection::vec(any::<u8>(), 0..96),
-        msg in prop::collection::vec(any::<u8>(), 0..256),
-    ) {
-        let a = hmac_sha256(&key, &msg);
-        let b = hmac_sha256(&key, &msg);
-        prop_assert_eq!(a, b);
-        let mut other_key = key.clone();
-        other_key.push(1);
-        prop_assert_ne!(hmac_sha256(&other_key, &msg), a);
-    }
+#[test]
+fn hmac_is_deterministic_and_key_sensitive() {
+    Runner::new("hmac_is_deterministic_and_key_sensitive").cases(CASES).run(
+        |g| (g.byte_vec(0, 96), g.byte_vec(0, 256)),
+        shrink::none,
+        |(key, msg)| {
+            let a = hmac_sha256(key, msg);
+            let b = hmac_sha256(key, msg);
+            tk_assert_eq!(a, b);
+            let mut other_key = key.clone();
+            other_key.push(1);
+            tk_assert_ne!(hmac_sha256(&other_key, msg), a);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn hkdf_output_lengths_are_exact(
-        ikm in prop::collection::vec(any::<u8>(), 1..64),
-        len in 1usize..200,
-    ) {
-        let okm = hkdf(b"salt", &ikm, b"info", len);
-        prop_assert_eq!(okm.len(), len);
-        // Prefix property: shorter outputs are prefixes of longer ones.
-        let longer = hkdf(b"salt", &ikm, b"info", len + 13);
-        prop_assert_eq!(&longer[..len], &okm[..]);
-    }
+#[test]
+fn hkdf_output_lengths_are_exact() {
+    Runner::new("hkdf_output_lengths_are_exact").cases(CASES).run(
+        |g| (g.byte_vec(1, 64), g.usize_in(1, 199)),
+        shrink::none,
+        |(ikm, len)| {
+            let okm = hkdf(b"salt", ikm, b"info", *len);
+            tk_assert_eq!(okm.len(), *len);
+            // Prefix property: shorter outputs are prefixes of longer ones.
+            let longer = hkdf(b"salt", ikm, b"info", len + 13);
+            tk_assert_eq!(&longer[..*len], &okm[..]);
+            Ok(())
+        },
+    );
 }

@@ -41,7 +41,7 @@ use nexus_crypto::hmac::hkdf;
 use nexus_crypto::rng::{OsRandom, SecureRandom};
 use nexus_crypto::x25519;
 use nexus_storage::StorageBackend;
-use parking_lot::Mutex;
+use nexus_sync::Mutex;
 
 /// Errors from the baseline filesystem.
 #[derive(Debug, Clone, PartialEq, Eq)]

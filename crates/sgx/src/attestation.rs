@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use nexus_crypto::ed25519::VerifyingKey;
-use parking_lot::RwLock;
+use nexus_sync::RwLock;
 
 use crate::enclave::Measurement;
 use crate::platform::{Platform, PlatformId};

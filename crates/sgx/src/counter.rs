@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 
-use parking_lot::Mutex;
+use nexus_sync::Mutex;
 
 #[derive(Debug, Default)]
 struct CounterState {

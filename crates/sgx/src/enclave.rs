@@ -9,7 +9,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use nexus_crypto::sha2::Sha256;
-use parking_lot::Mutex;
+use nexus_sync::Mutex;
 
 use crate::epc::EpcUsage;
 use crate::platform::Platform;

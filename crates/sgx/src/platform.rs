@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use nexus_crypto::ed25519::SigningKey;
 use nexus_crypto::rng::{OsRandom, SecureRandom, SeededRandom};
-use parking_lot::Mutex;
+use nexus_sync::Mutex;
 
 use crate::counter::MonotonicCounters;
 use crate::epc::EpcConfig;

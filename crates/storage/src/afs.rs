@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use nexus_sync::Mutex;
 
 use crate::backend::{IoStats, ObjectStat, StorageBackend, StorageError};
 use crate::clock::{LatencyModel, SimClock};

@@ -14,7 +14,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use nexus_sync::Mutex;
 
 use crate::backend::{IoStats, ObjectStat, StorageBackend, StorageError};
 use crate::clock::{LatencyModel, SimClock};

@@ -9,7 +9,7 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use nexus_sync::Mutex;
 
 use crate::backend::{IoStats, ObjectStat, StorageBackend, StorageError};
 

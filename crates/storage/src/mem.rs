@@ -7,7 +7,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use nexus_sync::RwLock;
 
 use crate::backend::{IoStats, ObjectStat, StorageBackend, StorageError};
 

@@ -1,0 +1,119 @@
+//! The harness tested against itself: a planted bug must shrink to a
+//! minimal case, regression cases must run before any generated case, and
+//! a fixed seed must reproduce byte-identical case sequences.
+
+use std::cell::RefCell;
+
+use nexus_testkit::{shrink, CaseOrigin, Gen, Runner};
+
+/// The planted bug: the property rejects any vector containing a byte
+/// ≥ 200. Removal-only shrinking must reduce any failing vector to a
+/// single offending element.
+#[test]
+fn shrinking_finds_minimal_case_for_planted_bug() {
+    let failure = Runner::new("planted_bug")
+        .cases(500)
+        .run_result(
+            |g| g.vec(0, 24, |g| g.u8()),
+            |v| shrink::vec(v),
+            |v| {
+                if v.iter().any(|&b| b >= 200) {
+                    Err("contains a big byte".into())
+                } else {
+                    Ok(())
+                }
+            },
+        )
+        .expect_err("500 cases of 0..24 random bytes must hit the planted bug");
+
+    assert_eq!(failure.case.len(), 1, "minimal case is a single element: {:?}", failure.case);
+    assert!(failure.case[0] >= 200);
+    assert!(failure.original.len() >= failure.case.len());
+    assert!(matches!(failure.origin, CaseOrigin::Generated(_, _)));
+}
+
+#[test]
+fn regression_cases_run_before_any_generated_case() {
+    let order: RefCell<Vec<&'static str>> = RefCell::new(Vec::new());
+    let stats = Runner::new("replay_order")
+        .cases(5)
+        .regression(vec![0xAAu8])
+        .regression(vec![0xBBu8])
+        .run(
+            |g| g.byte_vec(2, 8),
+            shrink::none,
+            |case| {
+                // Regression cases are length 1, generated ones length ≥ 2.
+                order.borrow_mut().push(if case.len() == 1 { "regression" } else { "generated" });
+                Ok(())
+            },
+        );
+    assert_eq!(stats.regressions_run, 2);
+    assert_eq!(stats.cases_run, 5);
+    let order = order.into_inner();
+    assert_eq!(order.len(), 7);
+    assert_eq!(&order[..2], &["regression", "regression"]);
+    assert!(order[2..].iter().all(|&o| o == "generated"));
+}
+
+#[test]
+fn failing_regression_case_reports_its_slot() {
+    let failure = Runner::new("regression_fails")
+        .regression(vec![1u8])
+        .regression(vec![2u8, 2])
+        .run_result(
+            |g| g.byte_vec(0, 4),
+            shrink::none,
+            |case| if case.len() == 2 { Err("boom".into()) } else { Ok(()) },
+        )
+        .expect_err("second regression case must fail");
+    assert_eq!(failure.origin, CaseOrigin::Regression(1));
+    assert_eq!(failure.case, vec![2u8, 2]);
+}
+
+#[test]
+fn fixed_seed_reproduces_identical_case_sequences() {
+    let collect = |seed: u64| {
+        let cases: RefCell<Vec<Vec<u8>>> = RefCell::new(Vec::new());
+        Runner::new("determinism").cases(32).seed(seed).run(
+            |g| g.byte_vec(0, 64),
+            shrink::none,
+            |case| {
+                cases.borrow_mut().push(case.clone());
+                Ok(())
+            },
+        );
+        cases.into_inner()
+    };
+    let a = collect(0xDEAD_BEEF);
+    let b = collect(0xDEAD_BEEF);
+    assert_eq!(a, b, "same seed, byte-identical sequences");
+    let c = collect(0xDEAD_BEF0);
+    assert_ne!(a, c, "different seed, different sequences");
+}
+
+#[test]
+fn shrinking_respects_step_budget() {
+    // A property that fails on everything shrinks forever unless capped.
+    let failure = Runner::new("budget")
+        .cases(1)
+        .max_shrink_steps(3)
+        .run_result(
+            |g| g.vec(16, 16, |g| g.u8()),
+            |v: &Vec<u8>| if v.is_empty() { Vec::new() } else { vec![v[..v.len() - 1].to_vec()] },
+            |_| Err("always fails".into()),
+        )
+        .expect_err("property always fails");
+    assert_eq!(failure.shrink_steps, 3);
+    assert_eq!(failure.case.len(), 13);
+}
+
+#[test]
+fn gen_streams_are_independent_per_case_index() {
+    // Distinct case indices must not produce overlapping prefixes.
+    let mut g0 = Gen::new(7);
+    let mut g1 = Gen::new(8);
+    let a: Vec<u64> = (0..8).map(|_| g0.u64()).collect();
+    let b: Vec<u64> = (0..8).map(|_| g1.u64()).collect();
+    assert_ne!(a, b);
+}

@@ -6,8 +6,7 @@
 //! [`BenchFs`] so the identical "application" runs over NEXUS and the
 //! OpenAFS baseline.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nexus_crypto::rng::{SecureRandom, SeededRandom};
 
 use crate::bench_fs::{measure, BenchFs, Result, Sample};
 
@@ -81,11 +80,11 @@ impl Archive {
 /// Deterministic printable file contents, with occasional search hits for
 /// `grep`.
 pub fn app_file_contents(size: u64, seed: u64) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SeededRandom::new(seed);
     let mut out = Vec::with_capacity(size as usize);
     const WORDS: &[&str] = &["storage", "enclave", "secure", "policy", "javascript", "volume"];
     while (out.len() as u64) < size {
-        let w = WORDS[rng.gen_range(0..WORDS.len())];
+        let w = WORDS[rng.usize_below(WORDS.len())];
         out.extend_from_slice(w.as_bytes());
         out.push(b' ');
     }

@@ -14,8 +14,7 @@
 
 use std::collections::HashSet;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nexus_crypto::rng::{SecureRandom, SeededRandom};
 
 use crate::bench_fs::{measure, BenchFs, Result, Sample};
 
@@ -127,7 +126,7 @@ pub struct LevelDbSim<'f> {
     config: DbConfig,
     dir: String,
     sst_count: usize,
-    rng: StdRng,
+    rng: SeededRandom,
     /// OS page-cache model: (file, 1 MB-aligned offset) regions whose
     /// *plaintext* is resident after a prior read. On the real prototype
     /// the kernel page cache holds decrypted data after NEXUS's first
@@ -148,7 +147,7 @@ impl<'f> LevelDbSim<'f> {
             config,
             dir: dir.to_string(),
             sst_count: 0,
-            rng: StdRng::seed_from_u64(0xDB),
+            rng: SeededRandom::new(0xDB),
             page_cache: HashSet::new(),
         })
     }
@@ -302,8 +301,8 @@ impl<'f> LevelDbSim<'f> {
         let ops = self.config.random_reads;
         let picks: Vec<(String, u64)> = (0..ops)
             .map(|_| {
-                let f = files[self.rng.gen_range(0..files.len())].clone();
-                (format!("{}/{f}", self.dir), self.rng.gen_range(0..4096u64) * 4096)
+                let f = files[self.rng.usize_below(files.len())].clone();
+                (format!("{}/{f}", self.dir), self.rng.u64_below(4096) * 4096)
             })
             .collect();
         let fs = self.fs;
@@ -339,7 +338,7 @@ pub struct SqliteSim<'f> {
     /// Page-group size (contiguous pages rewritten together on commit).
     group_size: usize,
     groups: usize,
-    rng: StdRng,
+    rng: SeededRandom,
 }
 
 impl<'f> SqliteSim<'f> {
@@ -356,7 +355,7 @@ impl<'f> SqliteSim<'f> {
             dir: dir.to_string(),
             group_size: 256 * 1024,
             groups: 0,
-            rng: StdRng::seed_from_u64(0x501),
+            rng: SeededRandom::new(0x501),
         })
     }
 
@@ -400,7 +399,7 @@ impl<'f> SqliteSim<'f> {
                             &vec![0x4au8; 512 + entry],
                         )?;
                         let page = if random {
-                            me.rng.gen_range(0..64usize)
+                            me.rng.usize_below(64)
                         } else {
                             (i * entry) / PAGE_RUN % 64
                         };
@@ -418,7 +417,7 @@ impl<'f> SqliteSim<'f> {
                     let span = txn.div_ceil(entries_per_group).max(1);
                     let groups: Vec<usize> = if random {
                         let hi = (done / entries_per_group).max(1);
-                        (0..span).map(|_| me.rng.gen_range(0..hi)).collect()
+                        (0..span).map(|_| me.rng.usize_below(hi)).collect()
                     } else {
                         let first = (done - txn) / entries_per_group;
                         (first..first + span).collect()

@@ -4,7 +4,7 @@
 //! the client cache, so both directions cross the (simulated) network —
 //! exactly the paper's python read/write utility with a flushed AFS cache.
 
-use rand::{Rng, SeedableRng};
+use nexus_crypto::rng::{SecureRandom, SeededRandom};
 
 use crate::bench_fs::{measure, BenchFs, Result, Sample};
 
@@ -30,7 +30,7 @@ impl FileIoResult {
 
 /// Deterministic pseudo-random file contents.
 pub fn file_contents(size: usize, seed: u64) -> Vec<u8> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = SeededRandom::new(seed);
     let mut data = vec![0u8; size];
     rng.fill(&mut data[..]);
     data

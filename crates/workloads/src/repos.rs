@@ -7,8 +7,7 @@
 //! evaluation is file/directory creation volume and hierarchy shape, which
 //! these reproduce.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nexus_crypto::rng::{SecureRandom, SeededRandom};
 
 use crate::bench_fs::{measure, BenchFs, Result, Sample};
 
@@ -89,7 +88,7 @@ impl Tree {
 /// `size_scale` (file *counts* are never scaled — they drive the metadata
 /// costs the figure is about).
 pub fn generate_tree(profile: &RepoProfile, size_scale: f64) -> Tree {
-    let mut rng = StdRng::seed_from_u64(profile.seed);
+    let mut rng = SeededRandom::new(profile.seed);
     let mut tree = Tree::default();
 
     // Directory skeleton: a chain establishing max depth, plus a fanout of
@@ -104,7 +103,7 @@ pub fn generate_tree(profile: &RepoProfile, size_scale: f64) -> Tree {
     let mut normal_dirs = vec![root.clone(), chain];
     let extra_dirs = (profile.files / 24).max(2);
     for i in 0..extra_dirs {
-        let parent = normal_dirs[rng.gen_range(0..normal_dirs.len().min(8))].clone();
+        let parent = normal_dirs[rng.usize_below(normal_dirs.len().min(8))].clone();
         let dir = format!("{parent}/pkg{i:04}");
         tree.dirs.push(dir.clone());
         normal_dirs.push(dir);
@@ -126,7 +125,7 @@ pub fn generate_tree(profile: &RepoProfile, size_scale: f64) -> Tree {
     // The rest spread across normal directories.
     let mut i = 0usize;
     while remaining > 0 {
-        let dir = &normal_dirs[rng.gen_range(0..normal_dirs.len())];
+        let dir = &normal_dirs[rng.usize_below(normal_dirs.len())];
         let size = file_size(&mut rng, profile.mean_file_size, size_scale);
         tree.files.push(TreeFile { path: format!("{dir}/src{i:06}.c"), size });
         i += 1;
@@ -135,9 +134,9 @@ pub fn generate_tree(profile: &RepoProfile, size_scale: f64) -> Tree {
     tree
 }
 
-fn file_size(rng: &mut StdRng, mean: usize, scale: f64) -> usize {
+fn file_size(rng: &mut SeededRandom, mean: usize, scale: f64) -> usize {
     // Skewed small-file distribution typical of source trees.
-    let factor: f64 = rng.gen_range(0.1..3.0f64).powi(2);
+    let factor: f64 = rng.f64_range(0.1, 3.0).powi(2);
     ((mean as f64 * factor * scale / 3.0) as usize).max(16)
 }
 

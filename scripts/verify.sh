@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Tier-1 verify, hermetically: the build and tests must pass with no
+# network, and the dependency graph must contain workspace crates only.
+# Run from anywhere; operates on the repo this script lives in.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== hermetic dependency audit =="
+# Every package in the resolved graph must be a nexus-* workspace crate.
+# `cargo metadata` needs no network for a path-only workspace; if a
+# registry dependency ever sneaks in, resolution itself fails offline —
+# and if a vendored/path third-party crate sneaks in, the grep fails.
+offenders=$(cargo metadata --format-version 1 --offline \
+    | python3 -c '
+import json, sys
+meta = json.load(sys.stdin)
+names = sorted({p["name"] for p in meta["packages"]})
+for n in names:
+    if n != "nexus" and not n.startswith("nexus-"):
+        print(n)
+')
+if [ -n "$offenders" ]; then
+    echo "FAIL: non-workspace crates in the dependency graph:" >&2
+    echo "$offenders" >&2
+    echo "The hermetic build policy (DESIGN.md §7) forbids third-party" >&2
+    echo "dependencies; replace them with an in-repo shim." >&2
+    exit 1
+fi
+echo "ok: dependency graph is nexus-* workspace crates only"
+
+echo "== cargo build --release --offline =="
+cargo build --release --workspace --offline
+
+echo "== cargo test -q --offline =="
+cargo test -q --workspace --offline
+
+echo "verify: OK"

@@ -1,16 +1,19 @@
 //! Property-based model checking: a NEXUS volume must behave exactly like
 //! a trivial in-memory filesystem model under arbitrary operation
 //! sequences — same successes, same failure classes, same final state.
+//!
+//! Runs on the in-repo `nexus-testkit` harness. The historical proptest
+//! regression corpus (`tests/fs_model.proptest-regressions`) is parsed and
+//! replayed as explicit always-run cases before any generated case.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use proptest::prelude::*;
-
 use nexus::storage::MemBackend;
 use nexus::{AttestationService, NexusConfig, NexusError, NexusVolume, Platform, UserKeys};
+use nexus_testkit::{shrink, Gen, Runner};
 
-/// The reference model: path → node.
+/// The reference model: normalized path → node.
 #[derive(Debug, Clone, PartialEq)]
 enum Node {
     Dir,
@@ -33,130 +36,188 @@ enum Outcome {
     NotEmpty,
 }
 
-impl Model {
-    fn parent_of(path: &str) -> Option<String> {
-        path.rsplit_once('/').map(|(p, _)| p.to_string())
-    }
-
-    fn parent_ok(&self, path: &str) -> Result<(), Outcome> {
-        match Self::parent_of(path) {
-            None => Ok(()),
-            Some(parent) => match self.nodes.get(&parent) {
-                Some(Node::Dir) => Ok(()),
-                Some(_) => Err(Outcome::NotADirectory),
-                None => {
-                    // Distinguish "missing dir" from "path through a file".
-                    // NEXUS reports NotFound for a missing component and
-                    // NotADirectory when a component is a file.
-                    let mut cur = String::new();
-                    for comp in parent.split('/') {
-                        if !cur.is_empty() {
-                            cur.push('/');
-                        }
-                        cur.push_str(comp);
-                        match self.nodes.get(&cur) {
-                            Some(Node::Dir) => {}
-                            Some(_) => return Err(Outcome::NotADirectory),
-                            None => return Err(Outcome::NotFound),
-                        }
-                    }
-                    Err(Outcome::NotFound)
-                }
-            },
+/// Normalizes a path the way the volume's `split_path` does: empty and
+/// `.` components are dropped, `..` is rejected (the volume classifies it
+/// `InvalidName`, which maps to [`Outcome::IsADirectory`] here). The
+/// model keys its node map on the normalized join, so `a/./b`, `a//b`,
+/// and `a/b` are one path — exactly as on the volume.
+fn norm(path: &str) -> Result<Vec<String>, Outcome> {
+    let mut out = Vec::new();
+    for comp in path.split('/') {
+        match comp {
+            "" | "." => continue,
+            ".." => return Err(Outcome::IsADirectory),
+            name => out.push(name.to_string()),
         }
+    }
+    Ok(out)
+}
+
+fn key(comps: &[String]) -> String {
+    comps.join("/")
+}
+
+impl Model {
+    /// Checks every ancestor of `comps` is a present directory, reporting
+    /// `NotFound` for a missing component and `NotADirectory` for a file
+    /// component — the volume's traversal classes.
+    fn parent_ok(&self, comps: &[String]) -> Result<(), Outcome> {
+        for i in 1..comps.len() {
+            match self.nodes.get(&key(&comps[..i])) {
+                Some(Node::Dir) => {}
+                Some(_) => return Err(Outcome::NotADirectory),
+                None => return Err(Outcome::NotFound),
+            }
+        }
+        Ok(())
     }
 
     fn mkdir(&mut self, path: &str) -> Outcome {
-        if let Err(o) = self.parent_ok(path) {
+        let comps = match norm(path) {
+            Ok(c) => c,
+            Err(o) => return o,
+        };
+        if comps.is_empty() {
+            // The volume rejects "no final component" as InvalidName.
+            return Outcome::IsADirectory;
+        }
+        if let Err(o) = self.parent_ok(&comps) {
             return o;
         }
-        if self.nodes.contains_key(path) {
+        let k = key(&comps);
+        if self.nodes.contains_key(&k) {
             return Outcome::AlreadyExists;
         }
-        self.nodes.insert(path.to_string(), Node::Dir);
+        self.nodes.insert(k, Node::Dir);
         Outcome::Ok
     }
 
     fn write(&mut self, path: &str, data: &[u8]) -> Outcome {
-        if let Err(o) = self.parent_ok(path) {
+        let comps = match norm(path) {
+            Ok(c) => c,
+            Err(o) => return o,
+        };
+        if comps.is_empty() {
+            return Outcome::IsADirectory;
+        }
+        if let Err(o) = self.parent_ok(&comps) {
             return o;
         }
-        match self.nodes.get(path) {
+        let k = key(&comps);
+        match self.nodes.get(&k) {
             Some(Node::Dir) => Outcome::IsADirectory,
             Some(Node::Symlink(_)) => Outcome::IsADirectory,
             _ => {
-                self.nodes.insert(path.to_string(), Node::File(data.to_vec()));
+                self.nodes.insert(k, Node::File(data.to_vec()));
                 Outcome::Ok
             }
         }
     }
 
     fn read(&self, path: &str) -> Result<Vec<u8>, Outcome> {
-        self.parent_ok(path)?;
-        match self.nodes.get(path) {
+        let comps = norm(path)?;
+        if comps.is_empty() {
+            return Err(Outcome::IsADirectory);
+        }
+        self.parent_ok(&comps)?;
+        match self.nodes.get(&key(&comps)) {
             Some(Node::File(data)) => Ok(data.clone()),
             Some(_) => Err(Outcome::IsADirectory),
             None => Err(Outcome::NotFound),
         }
     }
 
-    fn has_children(&self, path: &str) -> bool {
-        let prefix = format!("{path}/");
-        self.nodes.keys().any(|k| k.starts_with(&prefix))
+    fn has_children(&self, k: &str) -> bool {
+        let prefix = format!("{k}/");
+        self.nodes.keys().any(|n| n.starts_with(&prefix))
     }
 
     fn remove(&mut self, path: &str) -> Outcome {
-        if let Err(o) = self.parent_ok(path) {
+        let comps = match norm(path) {
+            Ok(c) => c,
+            Err(o) => return o,
+        };
+        if comps.is_empty() {
+            return Outcome::IsADirectory;
+        }
+        if let Err(o) = self.parent_ok(&comps) {
             return o;
         }
-        match self.nodes.get(path) {
+        let k = key(&comps);
+        match self.nodes.get(&k) {
             None => Outcome::NotFound,
-            Some(Node::Dir) if self.has_children(path) => Outcome::NotEmpty,
+            Some(Node::Dir) if self.has_children(&k) => Outcome::NotEmpty,
             Some(_) => {
-                self.nodes.remove(path);
+                self.nodes.remove(&k);
                 Outcome::Ok
             }
         }
     }
 
     fn symlink(&mut self, target: &str, path: &str) -> Outcome {
-        if let Err(o) = self.parent_ok(path) {
+        let comps = match norm(path) {
+            Ok(c) => c,
+            Err(o) => return o,
+        };
+        if comps.is_empty() {
+            return Outcome::IsADirectory;
+        }
+        if let Err(o) = self.parent_ok(&comps) {
             return o;
         }
-        if self.nodes.contains_key(path) {
+        let k = key(&comps);
+        if self.nodes.contains_key(&k) {
             return Outcome::AlreadyExists;
         }
-        self.nodes.insert(path.to_string(), Node::Symlink(target.to_string()));
+        self.nodes.insert(k, Node::Symlink(target.to_string()));
         Outcome::Ok
     }
 
+    /// Mirrors `fs_rename`'s documented error precedence (see
+    /// `crates/core/src/fsops.rs`): malformed paths, then the subtree
+    /// guard on *normalized* components, then source resolution, then
+    /// missing source, then destination resolution, then collisions.
     fn rename(&mut self, from: &str, to: &str) -> Outcome {
-        // Directory-into-own-subtree is rejected before any lookups
-        // (mirrors NEXUS / POSIX EINVAL, classified as IsADirectory here
-        // since both map from InvalidName).
-        if to.len() > from.len() && to.as_bytes()[from.len()] == b'/' && to.starts_with(from) {
+        let fc = match norm(from) {
+            Ok(c) => c,
+            Err(o) => return o,
+        };
+        let tc = match norm(to) {
+            Ok(c) => c,
+            Err(o) => return o,
+        };
+        // Directory-into-own-subtree (POSIX EINVAL, classified as
+        // IsADirectory here since both map from InvalidName).
+        if tc.len() > fc.len() && tc[..fc.len()] == fc[..] {
             return Outcome::IsADirectory;
         }
-        if let Err(o) = self.parent_ok(from) {
+        if fc.is_empty() {
+            return Outcome::IsADirectory;
+        }
+        if let Err(o) = self.parent_ok(&fc) {
             return o;
         }
-        if !self.nodes.contains_key(from) {
+        let from_key = key(&fc);
+        if !self.nodes.contains_key(&from_key) {
+            // Source existence precedes destination classification.
             return Outcome::NotFound;
         }
-        if let Err(o) = self.parent_ok(to) {
+        if tc.is_empty() {
+            return Outcome::IsADirectory;
+        }
+        if let Err(o) = self.parent_ok(&tc) {
             return o;
         }
-        if from == to {
+        if fc == tc {
             return Outcome::Ok;
         }
-        if self.nodes.contains_key(to) {
+        let to_key = key(&tc);
+        if self.nodes.contains_key(&to_key) {
             return Outcome::AlreadyExists;
         }
-        // Refuse to move a directory into itself (NEXUS paths cannot express
-        // this with our generator: destinations have depth ≤ src, fine).
-        let node = self.nodes.remove(from).unwrap();
+        let node = self.nodes.remove(&from_key).unwrap();
         if matches!(node, Node::Dir) {
-            let prefix = format!("{from}/");
+            let prefix = format!("{from_key}/");
             let moved: Vec<(String, Node)> = self
                 .nodes
                 .range(prefix.clone()..)
@@ -167,24 +228,25 @@ impl Model {
                 self.nodes.remove(k);
             }
             for (k, v) in moved {
-                let new_key = format!("{to}{}", &k[from.len()..]);
+                let new_key = format!("{to_key}{}", &k[from_key.len()..]);
                 self.nodes.insert(new_key, v);
             }
         }
-        self.nodes.insert(to.to_string(), node);
+        self.nodes.insert(to_key, node);
         Outcome::Ok
     }
 
     fn list(&self, path: &str) -> Result<Vec<String>, Outcome> {
-        if !path.is_empty() {
-            self.parent_ok(path)?;
-            match self.nodes.get(path) {
+        let comps = norm(path)?;
+        if !comps.is_empty() {
+            self.parent_ok(&comps)?;
+            match self.nodes.get(&key(&comps)) {
                 Some(Node::Dir) => {}
                 Some(_) => return Err(Outcome::NotADirectory),
                 None => return Err(Outcome::NotFound),
             }
         }
-        let prefix = if path.is_empty() { String::new() } else { format!("{path}/") };
+        let prefix = if comps.is_empty() { String::new() } else { format!("{}/", key(&comps)) };
         let mut names: Vec<String> = self
             .nodes
             .keys()
@@ -214,7 +276,7 @@ fn classify(err: &NexusError) -> Outcome {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 enum Op {
     Mkdir(String),
     Write(String, Vec<u8>),
@@ -225,22 +287,26 @@ enum Op {
     List(String),
 }
 
-fn path_strategy() -> impl Strategy<Value = String> {
-    let comp = prop::sample::select(vec!["a", "b", "c"]);
-    prop::collection::vec(comp, 1..=3).prop_map(|comps| comps.join("/"))
+/// Path components the generator draws from. `.` exercises the
+/// normalization path: `a/./b` must behave exactly like `a/b` in every
+/// operation, including the rename subtree guard.
+const COMPS: &[&str] = &["a", "b", "c", "."];
+
+fn gen_path(g: &mut Gen) -> String {
+    let n = g.usize_in(1, 3);
+    (0..n).map(|_| *g.choose(COMPS)).collect::<Vec<_>>().join("/")
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        path_strategy().prop_map(Op::Mkdir),
-        (path_strategy(), prop::collection::vec(any::<u8>(), 0..64))
-            .prop_map(|(p, d)| Op::Write(p, d)),
-        path_strategy().prop_map(Op::Read),
-        path_strategy().prop_map(Op::Remove),
-        (path_strategy(), path_strategy()).prop_map(|(a, b)| Op::Rename(a, b)),
-        (path_strategy(), path_strategy()).prop_map(|(t, p)| Op::Symlink(t, p)),
-        prop_oneof![Just(String::new()), path_strategy()].prop_map(Op::List),
-    ]
+fn gen_op(g: &mut Gen) -> Op {
+    match g.usize_below(7) {
+        0 => Op::Mkdir(gen_path(g)),
+        1 => Op::Write(gen_path(g), g.byte_vec(0, 64)),
+        2 => Op::Read(gen_path(g)),
+        3 => Op::Remove(gen_path(g)),
+        4 => Op::Rename(gen_path(g), gen_path(g)),
+        5 => Op::Symlink(gen_path(g), gen_path(g)),
+        _ => Op::List(if g.bool() { String::new() } else { gen_path(g) }),
+    }
 }
 
 fn nexus_volume() -> NexusVolume {
@@ -262,89 +328,366 @@ fn to_outcome<T>(r: Result<T, NexusError>) -> Outcome {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+/// Applies `ops` to a fresh volume and the reference model, returning the
+/// first divergence as an error message.
+fn run_ops(ops: &[Op]) -> Result<(), String> {
+    let volume = nexus_volume();
+    let mut model = Model::default();
 
-    #[test]
-    fn nexus_matches_reference_model(ops in prop::collection::vec(op_strategy(), 1..40)) {
-        let volume = nexus_volume();
-        let mut model = Model::default();
-
-        for op in &ops {
-            match op {
-                Op::Mkdir(p) => {
-                    prop_assert_eq!(to_outcome(volume.mkdir(p)), model.mkdir(p), "mkdir {}", p);
+    for op in ops {
+        match op {
+            Op::Mkdir(p) => {
+                let (got, want) = (to_outcome(volume.mkdir(p)), model.mkdir(p));
+                if got != want {
+                    return Err(format!("mkdir {p}: volume {got:?}, model {want:?}"));
                 }
-                Op::Write(p, data) => {
-                    prop_assert_eq!(
-                        to_outcome(volume.write_file(p, data)),
-                        model.write(p, data),
-                        "write {}", p
-                    );
+            }
+            Op::Write(p, data) => {
+                let (got, want) = (to_outcome(volume.write_file(p, data)), model.write(p, data));
+                if got != want {
+                    return Err(format!("write {p}: volume {got:?}, model {want:?}"));
                 }
-                Op::Read(p) => {
-                    let got = volume.read_file(p);
-                    match model.read(p) {
-                        Ok(expected) => {
-                            prop_assert!(got.is_ok(), "read {} should succeed", p);
-                            prop_assert_eq!(got.unwrap(), expected);
-                        }
-                        Err(outcome) => {
-                            prop_assert!(got.is_err(), "read {} should fail", p);
-                            prop_assert_eq!(classify(&got.unwrap_err()), outcome);
+            }
+            Op::Read(p) => {
+                let got = volume.read_file(p);
+                match (got, model.read(p)) {
+                    (Ok(g), Ok(e)) => {
+                        if g != e {
+                            return Err(format!("read {p}: volume {g:?}, model {e:?}"));
                         }
                     }
-                }
-                Op::Remove(p) => {
-                    prop_assert_eq!(to_outcome(volume.remove(p)), model.remove(p), "remove {}", p);
-                }
-                Op::Rename(from, to) => {
-                    prop_assert_eq!(
-                        to_outcome(volume.rename(from, to)),
-                        model.rename(from, to),
-                        "rename {} -> {}", from, to
-                    );
-                }
-                Op::Symlink(target, p) => {
-                    prop_assert_eq!(
-                        to_outcome(volume.symlink(target, p)),
-                        model.symlink(target, p),
-                        "symlink {}", p
-                    );
-                }
-                Op::List(p) => {
-                    let got = volume.list_dir(p);
-                    match model.list(p) {
-                        Ok(mut expected) => {
-                            prop_assert!(got.is_ok(), "list {} should succeed", p);
-                            let mut names: Vec<String> =
-                                got.unwrap().into_iter().map(|r| r.name).collect();
-                            names.sort();
-                            expected.sort();
-                            prop_assert_eq!(names, expected);
-                        }
-                        Err(outcome) => {
-                            prop_assert!(got.is_err(), "list {} should fail", p);
-                            prop_assert_eq!(classify(&got.unwrap_err()), outcome);
+                    (Err(e), Ok(_)) => return Err(format!("read {p}: volume failed {e}")),
+                    (Ok(_), Err(o)) => {
+                        return Err(format!("read {p}: volume succeeded, model {o:?}"))
+                    }
+                    (Err(e), Err(o)) => {
+                        let got = classify(&e);
+                        if got != o {
+                            return Err(format!("read {p}: volume {got:?}, model {o:?}"));
                         }
                     }
                 }
             }
-        }
-
-        // Final sweep: every model file must read back identically.
-        for (path, node) in &model.nodes {
-            match node {
-                Node::File(data) => {
-                    prop_assert_eq!(&volume.read_file(path).unwrap(), data, "final {}", path);
+            Op::Remove(p) => {
+                let (got, want) = (to_outcome(volume.remove(p)), model.remove(p));
+                if got != want {
+                    return Err(format!("remove {p}: volume {got:?}, model {want:?}"));
                 }
-                Node::Symlink(target) => {
-                    prop_assert_eq!(&volume.readlink(path).unwrap(), target, "final {}", path);
+            }
+            Op::Rename(from, to) => {
+                let (got, want) = (to_outcome(volume.rename(from, to)), model.rename(from, to));
+                if got != want {
+                    return Err(format!("rename {from} -> {to}: volume {got:?}, model {want:?}"));
                 }
-                Node::Dir => {
-                    prop_assert!(volume.lookup(path).is_ok());
+            }
+            Op::Symlink(target, p) => {
+                let (got, want) =
+                    (to_outcome(volume.symlink(target, p)), model.symlink(target, p));
+                if got != want {
+                    return Err(format!("symlink {p}: volume {got:?}, model {want:?}"));
+                }
+            }
+            Op::List(p) => {
+                let got = volume.list_dir(p);
+                match (got, model.list(p)) {
+                    (Ok(rows), Ok(mut expected)) => {
+                        let mut names: Vec<String> = rows.into_iter().map(|r| r.name).collect();
+                        names.sort();
+                        expected.sort();
+                        if names != expected {
+                            return Err(format!("list {p}: volume {names:?}, model {expected:?}"));
+                        }
+                    }
+                    (Err(e), Ok(_)) => return Err(format!("list {p}: volume failed {e}")),
+                    (Ok(_), Err(o)) => {
+                        return Err(format!("list {p}: volume succeeded, model {o:?}"))
+                    }
+                    (Err(e), Err(o)) => {
+                        let got = classify(&e);
+                        if got != o {
+                            return Err(format!("list {p}: volume {got:?}, model {o:?}"));
+                        }
+                    }
                 }
             }
         }
     }
+
+    // Final sweep: every model node must read back identically.
+    for (path, node) in &model.nodes {
+        match node {
+            Node::File(data) => {
+                let got = volume.read_file(path).map_err(|e| format!("final read {path}: {e}"))?;
+                if &got != data {
+                    return Err(format!("final {path}: volume {got:?}, model {data:?}"));
+                }
+            }
+            Node::Symlink(target) => {
+                let got =
+                    volume.readlink(path).map_err(|e| format!("final readlink {path}: {e}"))?;
+                if &got != target {
+                    return Err(format!("final {path}: volume {got:?}, model {target:?}"));
+                }
+            }
+            Node::Dir => {
+                if volume.lookup(path).is_err() {
+                    return Err(format!("final {path}: directory missing from volume"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Regression corpus replay
+// ---------------------------------------------------------------------------
+
+/// Parses the `shrinks to ops = [...]` annotations proptest left in
+/// `tests/fs_model.proptest-regressions`, so the historical corpus keeps
+/// running as explicit always-run cases under the new harness.
+fn corpus_cases() -> Vec<Vec<Op>> {
+    let raw = include_str!("fs_model.proptest-regressions");
+    let mut cases = Vec::new();
+    // Corpus entries are the non-comment `cc <hash> # shrinks to ops = ...`
+    // lines; the leading comment block is skipped.
+    for line in raw.lines().filter(|l| l.starts_with("cc ")) {
+        let Some(idx) = line.find("ops = ") else { continue };
+        let ops = parse_ops(&line[idx + "ops = ".len()..])
+            .unwrap_or_else(|| panic!("unparseable corpus line: {line}"));
+        cases.push(ops);
+    }
+    cases
+}
+
+/// Parses the `Debug` rendering of `Vec<Op>`, e.g.
+/// `[Write("a", []), Rename("b", "a/a")]`.
+fn parse_ops(s: &str) -> Option<Vec<Op>> {
+    let mut p = Parser { s: s.as_bytes(), i: 0 };
+    p.expect(b'[')?;
+    let mut ops = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.peek() == Some(b']') {
+            break;
+        }
+        ops.push(p.op()?);
+        p.skip_ws();
+        if p.peek() == Some(b',') {
+            p.i += 1;
+        }
+    }
+    Some(ops)
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek() == Some(b' ') {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Option<()> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.i += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        self.skip_ws();
+        let start = self.i;
+        while self.peek().is_some_and(|b| b.is_ascii_alphanumeric()) {
+            self.i += 1;
+        }
+        String::from_utf8_lossy(&self.s[start..self.i]).into_owned()
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek()? {
+                b'"' => {
+                    self.i += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    out.push(self.peek()? as char);
+                    self.i += 1;
+                }
+                b => {
+                    out.push(b as char);
+                    self.i += 1;
+                }
+            }
+        }
+    }
+
+    fn byte_list(&mut self) -> Option<Vec<u8>> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.i += 1;
+                return Some(out);
+            }
+            let start = self.i;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.i += 1;
+            }
+            out.push(std::str::from_utf8(&self.s[start..self.i]).ok()?.parse().ok()?);
+            self.skip_ws();
+            if self.peek() == Some(b',') {
+                self.i += 1;
+            }
+        }
+    }
+
+    fn op(&mut self) -> Option<Op> {
+        let name = self.ident();
+        self.expect(b'(')?;
+        let op = match name.as_str() {
+            "Mkdir" => Op::Mkdir(self.string()?),
+            "Write" => {
+                let p = self.string()?;
+                self.expect(b',')?;
+                Op::Write(p, self.byte_list()?)
+            }
+            "Read" => Op::Read(self.string()?),
+            "Remove" => Op::Remove(self.string()?),
+            "Rename" => {
+                let a = self.string()?;
+                self.expect(b',')?;
+                Op::Rename(a, self.string()?)
+            }
+            "Symlink" => {
+                let a = self.string()?;
+                self.expect(b',')?;
+                Op::Symlink(a, self.string()?)
+            }
+            "List" => Op::List(self.string()?),
+            _ => return None,
+        };
+        self.expect(b')')?;
+        Some(op)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The property
+// ---------------------------------------------------------------------------
+
+#[test]
+fn nexus_matches_reference_model() {
+    Runner::new("nexus_matches_reference_model")
+        .cases(48)
+        .regressions(corpus_cases())
+        .run(|g| g.vec(1, 40, gen_op), |ops| shrink::vec(ops), |ops| run_ops(ops));
+}
+
+// ---------------------------------------------------------------------------
+// Named regression + precedence unit tests
+// ---------------------------------------------------------------------------
+
+/// The corpus case `ops = [Write("a", []), Rename("b", "a/a")]`, pinned
+/// permanently: renaming a missing source reports `NotFound` even though
+/// the destination parent (`a`) is a regular file. Source existence takes
+/// precedence over destination classification — on the volume AND in the
+/// model (Linux `rename(2)` behaves the same way).
+#[test]
+fn regression_rename_missing_source_into_file_child() {
+    let volume = nexus_volume();
+    let mut model = Model::default();
+    assert_eq!(to_outcome(volume.write_file("a", &[])), Outcome::Ok);
+    assert_eq!(model.write("a", &[]), Outcome::Ok);
+    assert_eq!(to_outcome(volume.rename("b", "a/a")), Outcome::NotFound);
+    assert_eq!(model.rename("b", "a/a"), Outcome::NotFound);
+    // And the full sequence replays cleanly through the harness path.
+    run_ops(&[Op::Write("a".into(), vec![]), Op::Rename("b".into(), "a/a".into())]).unwrap();
+}
+
+/// The documented rename error precedence, one scenario per rung.
+#[test]
+fn rename_error_precedence_is_documented() {
+    let volume = nexus_volume();
+    volume.mkdir("d").unwrap();
+    volume.write_file("f", b"x").unwrap();
+
+    // 1. Malformed path beats everything.
+    assert_eq!(to_outcome(volume.rename("d/../d", "z")), Outcome::IsADirectory);
+    // 2. Subtree guard fires before source resolution ("z" is missing).
+    assert_eq!(to_outcome(volume.rename("z", "z/sub")), Outcome::IsADirectory);
+    // 3. Source parent classification ("f" is a file).
+    assert_eq!(to_outcome(volume.rename("f/x", "z")), Outcome::NotADirectory);
+    // 4. Missing source beats destination classification ("f" is a file,
+    //    so "f/y" has a non-directory parent — but NotFound wins).
+    assert_eq!(to_outcome(volume.rename("z", "f/y")), Outcome::NotFound);
+    // 5. Destination parent classification (source exists).
+    assert_eq!(to_outcome(volume.rename("d", "f/y")), Outcome::NotADirectory);
+    assert_eq!(to_outcome(volume.rename("d", "z/y")), Outcome::NotFound);
+    // 6. Existing destination.
+    assert_eq!(to_outcome(volume.rename("d", "f")), Outcome::AlreadyExists);
+
+    // The model agrees on every rung.
+    let mut model = Model::default();
+    assert_eq!(model.mkdir("d"), Outcome::Ok);
+    assert_eq!(model.write("f", b"x"), Outcome::Ok);
+    assert_eq!(model.rename("d/../d", "z"), Outcome::IsADirectory);
+    assert_eq!(model.rename("z", "z/sub"), Outcome::IsADirectory);
+    assert_eq!(model.rename("f/x", "z"), Outcome::NotADirectory);
+    assert_eq!(model.rename("z", "f/y"), Outcome::NotFound);
+    assert_eq!(model.rename("d", "f/y"), Outcome::NotADirectory);
+    assert_eq!(model.rename("d", "z/y"), Outcome::NotFound);
+    assert_eq!(model.rename("d", "f"), Outcome::AlreadyExists);
+}
+
+/// The rename subtree guard compares *normalized* paths: dot-padded
+/// spellings of a destination inside the source's own subtree are
+/// rejected just like the plain spelling, on the volume and in the model.
+#[test]
+fn regression_subtree_guard_normalizes_dot_paths() {
+    for to in ["a/b", "a/./b", ".//a/b", "a//b", "./a/./b"] {
+        let volume = nexus_volume();
+        volume.mkdir("a").unwrap();
+        assert_eq!(
+            to_outcome(volume.rename("a", to)),
+            Outcome::IsADirectory,
+            "volume must reject rename a -> {to} as a subtree move"
+        );
+        let mut model = Model::default();
+        assert_eq!(model.mkdir("a"), Outcome::Ok);
+        assert_eq!(model.rename("a", to), Outcome::IsADirectory, "model: a -> {to}");
+    }
+    // Dot-spelled *source* too.
+    let volume = nexus_volume();
+    volume.mkdir("a").unwrap();
+    assert_eq!(to_outcome(volume.rename("./a", "a/b")), Outcome::IsADirectory);
+    // And a same-path rename (normalizing to the same components) is the
+    // POSIX no-op, not a subtree violation.
+    assert_eq!(to_outcome(volume.rename("a", "./a")), Outcome::Ok);
+}
+
+#[test]
+fn corpus_parses_and_is_nonempty() {
+    let cases = corpus_cases();
+    assert!(!cases.is_empty(), "regression corpus must keep its cases");
+    assert_eq!(
+        cases[0],
+        vec![Op::Write("a".into(), vec![]), Op::Rename("b".into(), "a/a".into())]
+    );
 }
