@@ -71,12 +71,148 @@ pub fn arg_flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
+/// The raw value following `--flag`, if present.
+pub fn arg_string(name: &str) -> Option<String> {
+    arg_value(name)
+}
+
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Minimal JSON document builder for machine-readable bench output
+/// (`BENCH_*.json`). Hermetic-policy replacement for `serde_json`: only
+/// what the emitters need — objects, arrays, strings, numbers, booleans —
+/// with deterministic field order (insertion order).
+pub mod json {
+    /// A JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Json {
+        /// A string (escaped on render).
+        Str(String),
+        /// A finite number, rendered with up to 6 significant decimals.
+        Num(f64),
+        /// An integer, rendered exactly.
+        Int(i64),
+        /// A boolean.
+        Bool(bool),
+        /// An ordered list.
+        Arr(Vec<Json>),
+        /// An object with insertion-ordered keys.
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        /// An empty object.
+        pub fn obj() -> Json {
+            Json::Obj(Vec::new())
+        }
+
+        /// Adds (or replaces) a field; builder-style.
+        pub fn field(mut self, key: &str, value: Json) -> Json {
+            match &mut self {
+                Json::Obj(fields) => {
+                    if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+                        slot.1 = value;
+                    } else {
+                        fields.push((key.to_string(), value));
+                    }
+                }
+                _ => panic!("field() on non-object"),
+            }
+            self
+        }
+
+        /// An array of numbers.
+        pub fn nums(values: impl IntoIterator<Item = f64>) -> Json {
+            Json::Arr(values.into_iter().map(Json::Num).collect())
+        }
+
+        /// An array of integers.
+        pub fn ints(values: impl IntoIterator<Item = i64>) -> Json {
+            Json::Arr(values.into_iter().map(Json::Int).collect())
+        }
+
+        /// Renders with 2-space indentation and a trailing newline.
+        pub fn render(&self) -> String {
+            let mut out = String::new();
+            self.write(&mut out, 0);
+            out.push('\n');
+            out
+        }
+
+        fn write(&self, out: &mut String, indent: usize) {
+            match self {
+                Json::Str(s) => {
+                    out.push('"');
+                    for c in s.chars() {
+                        match c {
+                            '"' => out.push_str("\\\""),
+                            '\\' => out.push_str("\\\\"),
+                            '\n' => out.push_str("\\n"),
+                            '\t' => out.push_str("\\t"),
+                            c if (c as u32) < 0x20 => {
+                                out.push_str(&format!("\\u{:04x}", c as u32));
+                            }
+                            c => out.push(c),
+                        }
+                    }
+                    out.push('"');
+                }
+                Json::Num(n) => {
+                    if !n.is_finite() {
+                        out.push_str("null");
+                    } else if n.fract() == 0.0 && n.abs() < 1e15 {
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        let s = format!("{n:.6}");
+                        out.push_str(s.trim_end_matches('0').trim_end_matches('.'));
+                    }
+                }
+                Json::Int(n) => out.push_str(&n.to_string()),
+                Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Json::Arr(items) => {
+                    if items.is_empty() {
+                        out.push_str("[]");
+                        return;
+                    }
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push(' ');
+                        item.write(out, indent);
+                    }
+                    out.push_str(" ]");
+                }
+                Json::Obj(fields) => {
+                    if fields.is_empty() {
+                        out.push_str("{}");
+                        return;
+                    }
+                    out.push_str("{\n");
+                    let pad = "  ".repeat(indent + 1);
+                    for (i, (key, value)) in fields.iter().enumerate() {
+                        out.push_str(&pad);
+                        Json::Str(key.clone()).write(out, indent + 1);
+                        out.push_str(": ");
+                        value.write(out, indent + 1);
+                        if i + 1 < fields.len() {
+                            out.push(',');
+                        }
+                        out.push('\n');
+                    }
+                    out.push_str(&"  ".repeat(indent));
+                    out.push('}');
+                }
+            }
+        }
+    }
 }
 
 /// Measures one operation: calibrates a batch size so each sample runs
@@ -181,5 +317,44 @@ mod tests {
         let a = Sample { sim_io: Duration::from_secs(2), ..Default::default() };
         let b = Sample { sim_io: Duration::from_secs(1), ..Default::default() };
         assert_eq!(overhead(&a, &b), "\u{d7}2.00");
+    }
+
+    #[test]
+    fn json_renders_nested_documents() {
+        use super::json::Json;
+        let doc = Json::obj()
+            .field("name", Json::Str("datapath".into()))
+            .field("threads", Json::ints([1, 2, 4]))
+            .field("speedup", Json::nums([1.0, 1.96, 3.5]))
+            .field("modeled", Json::Bool(false))
+            .field("nested", Json::obj().field("x", Json::Int(-3)));
+        let text = doc.render();
+        assert!(text.contains("\"name\": \"datapath\""), "{text}");
+        assert!(text.contains("[ 1, 2, 4 ]"), "{text}");
+        assert!(text.contains("3.5"), "{text}");
+        assert!(text.contains("\"x\": -3"), "{text}");
+        assert!(text.ends_with("}\n"), "{text}");
+    }
+
+    #[test]
+    fn json_escapes_strings_and_replaces_field() {
+        use super::json::Json;
+        let doc = Json::obj()
+            .field("s", Json::Str("a\"b\\c\nd".into()))
+            .field("s", Json::Str("replaced".into()));
+        let text = doc.render();
+        assert!(text.contains("\"s\": \"replaced\""), "{text}");
+        assert_eq!(text.matches("\"s\"").count(), 1);
+        assert_eq!(Json::Str("a\"b\\c\nd".into()).render(), "\"a\\\"b\\\\c\\nd\"\n");
+    }
+
+    #[test]
+    fn json_number_formatting() {
+        use super::json::Json;
+        assert_eq!(Json::Num(2.0).render(), "2\n");
+        assert_eq!(Json::Num(0.5).render(), "0.5\n");
+        assert_eq!(Json::Num(f64::NAN).render(), "null\n");
+        assert_eq!(Json::Arr(vec![]).render(), "[]\n");
+        assert_eq!(Json::obj().render(), "{}\n");
     }
 }

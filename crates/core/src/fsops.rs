@@ -8,18 +8,16 @@
 //! layer (§IV-A), and takes the server-side advisory lock around metadata
 //! updates (§V-A).
 
-use nexus_crypto::gcm::AesGcm;
-
 use crate::acl::Rights;
+use crate::datapath;
 use crate::enclave::{
     evict, fresh_uuid, load_all_buckets, load_dirnode, load_filenode, lookup_entry,
     store_dirnode, store_filenode, EnclaveState, MetaIo,
 };
 use crate::error::{NexusError, Result};
 use crate::metadata::dirnode::{DirEntry, Dirnode, EntryKind};
-use crate::metadata::filenode::{ChunkContext, Filenode, CHUNK_OVERHEAD};
+use crate::metadata::filenode::{ChunkContext, Filenode};
 use crate::uuid::NexusUuid;
-use crate::wire::Writer;
 
 /// What `lookup` reports about a path.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -525,15 +523,12 @@ pub(crate) fn fs_rename(
     Ok(())
 }
 
-/// AAD binding a chunk to its file, position, and file size.
-fn chunk_aad(data_uuid: &NexusUuid, index: u64, total_size: u64) -> Vec<u8> {
-    let mut w = Writer::new();
-    w.uuid(data_uuid).u64(index).u64(total_size);
-    w.into_bytes()
-}
-
 /// `nexus_fs_encrypt`: replaces the contents of the file at `path` with
 /// `data`, drawing fresh per-chunk keys (§VI-A).
+///
+/// Key/nonce draws happen serially *before* the chunk seals fan out over
+/// the worker pool, so both the RNG stream and the ciphertext are
+/// byte-identical to the serial loop at every `NEXUS_THREADS` setting.
 pub(crate) fn fs_encrypt(
     state: &mut EnclaveState,
     io: &MetaIo<'_>,
@@ -550,21 +545,22 @@ pub(crate) fn fs_encrypt(
     let mut fnode = load_file_via(state, io, &dir, &entry)?;
     let _lock = LockGuard::acquire(io, fnode.uuid)?;
 
-    let chunk_size = fnode.chunk_size as usize;
     let n_chunks = Filenode::chunk_count_for(data.len() as u64, fnode.chunk_size);
-    let mut ciphertext =
-        Vec::with_capacity(data.len() + (n_chunks as usize) * CHUNK_OVERHEAD as usize);
     let mut contexts = Vec::with_capacity(n_chunks as usize);
-    for (idx, chunk) in data.chunks(chunk_size.max(1)).enumerate() {
+    for _ in 0..n_chunks {
         let mut key = [0u8; 16];
         io.env.random_bytes(&mut key);
         let mut nonce = [0u8; 12];
         io.env.random_bytes(&mut nonce);
-        let gcm = AesGcm::new_128(&key);
-        let aad = chunk_aad(&fnode.data_uuid, idx as u64, data.len() as u64);
-        ciphertext.extend_from_slice(&gcm.seal(&nonce, &aad, chunk));
         contexts.push(ChunkContext { key, nonce });
     }
+    let ciphertext = datapath::seal_chunks(
+        nexus_pool::global(),
+        &fnode.data_uuid,
+        data,
+        fnode.chunk_size as usize,
+        &contexts,
+    );
     io.put(&fnode.data_uuid, &ciphertext)?;
     fnode.size = data.len() as u64;
     fnode.chunks = contexts;
@@ -635,33 +631,16 @@ fn decrypt_chunks(fnode: &Filenode, ciphertext: &[u8], first: u64, count: u64) -
 }
 
 /// Decrypts `count` chunks starting at chunk `first`, where `ciphertext`
-/// begins exactly at chunk `first`'s ciphertext offset.
+/// begins exactly at chunk `first`'s ciphertext offset. Chunk opens fan
+/// out over the worker pool; see [`datapath`] for why the result (and any
+/// reported error) is identical to the serial loop.
 fn decrypt_chunks_at(
     fnode: &Filenode,
     ciphertext: &[u8],
     first: u64,
     count: u64,
 ) -> Result<Vec<u8>> {
-    let mut out = Vec::new();
-    let mut cursor = 0usize;
-    for idx in first..first + count {
-        let ctx = fnode
-            .chunks
-            .get(idx as usize)
-            .ok_or_else(|| NexusError::Integrity("missing chunk context".into()))?;
-        let ct_len = (fnode.plaintext_chunk_len(idx) + CHUNK_OVERHEAD) as usize;
-        let chunk_ct = ciphertext
-            .get(cursor..cursor + ct_len)
-            .ok_or_else(|| NexusError::Integrity("data object truncated".into()))?;
-        cursor += ct_len;
-        let gcm = AesGcm::new_128(&ctx.key);
-        let aad = chunk_aad(&fnode.data_uuid, idx, fnode.size);
-        let plain = gcm
-            .open(&ctx.nonce, &aad, chunk_ct)
-            .map_err(|_| NexusError::Integrity(format!("chunk {idx} failed authentication")))?;
-        out.extend_from_slice(&plain);
-    }
-    Ok(out)
+    datapath::open_chunks(nexus_pool::global(), fnode, ciphertext, first, count)
 }
 
 #[cfg(test)]
@@ -705,13 +684,5 @@ mod tests {
         // The root contains everything.
         assert!(check("", "a"));
         assert!(check(".", "a/b"));
-    }
-
-    #[test]
-    fn chunk_aad_is_positional() {
-        let u = NexusUuid([5; 16]);
-        assert_ne!(chunk_aad(&u, 0, 100), chunk_aad(&u, 1, 100));
-        assert_ne!(chunk_aad(&u, 0, 100), chunk_aad(&u, 0, 101));
-        assert_ne!(chunk_aad(&u, 0, 100), chunk_aad(&NexusUuid([6; 16]), 0, 100));
     }
 }

@@ -1,0 +1,96 @@
+//! Property test for the parallel chunk data path: for random file sizes
+//! (including exact chunk boundaries and the empty file), sealing and
+//! opening through the worker pool at 1, 2, and 8 threads round-trips and
+//! produces ciphertext byte-for-byte identical to the serial loop. This is
+//! the determinism contract `nexus_core::datapath` documents; a scheduling
+//! dependency anywhere in the fan-out breaks it.
+
+use nexus_core::datapath::{open_chunks, seal_chunks};
+use nexus_core::metadata::filenode::{ChunkContext, Filenode};
+use nexus_core::NexusUuid;
+use nexus_pool::ThreadPool;
+use nexus_testkit::{shrink, tk_assert_eq, Gen, Runner};
+
+const CHUNK_SIZE: u32 = 256;
+
+/// One generated case: the file contents (chunking derives from length).
+fn gen_case(g: &mut Gen) -> Vec<u8> {
+    // Bias toward interesting sizes: near chunk multiples and small files.
+    let len = match g.usize_below(4) {
+        0 => g.usize_in(0, 8),
+        1 => {
+            let chunks = g.usize_in(1, 8);
+            let jitter = g.usize_in(0, 2);
+            (chunks * CHUNK_SIZE as usize).saturating_sub(1) + jitter
+        }
+        _ => g.usize_in(0, 2048),
+    };
+    let mut data = vec![0u8; len];
+    for chunk in data.chunks_mut(8) {
+        let bytes = g.u64().to_le_bytes();
+        chunk.copy_from_slice(&bytes[..chunk.len()]);
+    }
+    data
+}
+
+fn contexts_for(g: &mut Gen, n: usize) -> Vec<ChunkContext> {
+    (0..n).map(|_| ChunkContext { key: g.bytes::<16>(), nonce: g.bytes::<12>() }).collect()
+}
+
+#[test]
+fn parallel_seal_open_matches_serial_at_every_width() {
+    Runner::new("parallel_seal_open_matches_serial_at_every_width")
+        .cases(48)
+        // Always-run corpus: empty file, one byte, exactly one chunk,
+        // exactly two chunks, two chunks plus one byte.
+        .regressions([
+            Vec::new(),
+            vec![0xa5],
+            vec![0x5a; CHUNK_SIZE as usize],
+            vec![0x3c; 2 * CHUNK_SIZE as usize],
+            vec![0xc3; 2 * CHUNK_SIZE as usize + 1],
+        ])
+        .run(
+            gen_case,
+            |v| shrink::bytes(v),
+            |data| {
+                // Contexts derive from the data so regression cases are
+                // self-contained; drawn once, shared by every width.
+                let mut g = Gen::new(0x9e37 ^ data.len() as u64);
+                let n_chunks = Filenode::chunk_count_for(data.len() as u64, CHUNK_SIZE) as usize;
+                let contexts = contexts_for(&mut g, n_chunks);
+                let uuid = NexusUuid(g.bytes::<16>());
+
+                let serial =
+                    seal_chunks(&ThreadPool::new(1), &uuid, data, CHUNK_SIZE as usize, &contexts);
+                tk_assert_eq!(
+                    serial.len(),
+                    data.len() + n_chunks * 16,
+                    "sealed size is plaintext plus one tag per chunk"
+                );
+
+                let mut fnode =
+                    Filenode::new(uuid, NexusUuid([0; 16]), uuid, CHUNK_SIZE);
+                fnode.size = data.len() as u64;
+                fnode.chunks = contexts.clone();
+
+                for workers in [2usize, 8] {
+                    let pool = ThreadPool::new(workers);
+                    let parallel =
+                        seal_chunks(&pool, &uuid, data, CHUNK_SIZE as usize, &contexts);
+                    tk_assert_eq!(
+                        &parallel,
+                        &serial,
+                        "ciphertext must be byte-identical at {workers} workers"
+                    );
+                    let opened = open_chunks(&pool, &fnode, &serial, 0, n_chunks as u64)
+                        .map_err(|e| format!("open failed at {workers} workers: {e}"))?;
+                    tk_assert_eq!(&opened, data, "roundtrip at {workers} workers");
+                }
+                let opened = open_chunks(&ThreadPool::new(1), &fnode, &serial, 0, n_chunks as u64)
+                    .map_err(|e| format!("serial open failed: {e}"))?;
+                tk_assert_eq!(&opened, data, "serial roundtrip");
+                Ok(())
+            },
+        );
+}

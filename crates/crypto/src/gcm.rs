@@ -37,12 +37,59 @@ fn ghash_shift(v: u128) -> u128 {
     }
 }
 
-/// A GHASH key expanded into Shoup 4-bit tables: `table[p][nib]` is the
-/// field product of H with a nibble placed at bit position `4p` of the
-/// multiplicand, so a full multiplication is 32 lookups and XORs.
+/// One Shoup 4-bit lookup table: `table[p][nib]` is the field product of
+/// the key with a nibble placed at bit position `4p` of the multiplicand,
+/// so a full multiplication is 32 lookups and XORs.
+type ShoupTable = [[u128; 16]; 32];
+
+/// Minimum per-update payload before the 8-block batched GHASH (and its
+/// lazily built H-power tables) pays for itself. Metadata objects stay on
+/// the table-light scalar path; 1 MB file chunks always batch.
+const GHASH_BATCH_MIN: usize = 8 * 1024;
+
+/// Expands `h` into a [`ShoupTable`].
+fn build_table(h: u128) -> Box<ShoupTable> {
+    // In the bitwise reference, bit i (LSB = 0) of the multiplicand
+    // selects H shifted (127 - i) times.
+    let mut shifted = [0u128; 128];
+    shifted[0] = h;
+    for k in 1..128 {
+        shifted[k] = ghash_shift(shifted[k - 1]);
+    }
+    let mut table = Box::new([[0u128; 16]; 32]);
+    for p in 0..32 {
+        for nib in 0..16usize {
+            let mut acc = 0u128;
+            for b in 0..4 {
+                if (nib >> b) & 1 == 1 {
+                    acc ^= shifted[127 - (4 * p + b)];
+                }
+            }
+            table[p][nib] = acc;
+        }
+    }
+    table
+}
+
+/// Field multiplication of `x` by the key expanded into `table`.
+#[inline]
+fn table_mul(table: &ShoupTable, x: u128) -> u128 {
+    let mut z = 0u128;
+    for p in 0..32 {
+        z ^= table[p][((x >> (4 * p)) & 0xf) as usize];
+    }
+    z
+}
+
+/// A GHASH key: the H table, plus lazily built tables for H^1..H^8 that
+/// power the 8-blocks-per-pass batched update. The batch tables are built
+/// at most once per key and reused across every batch of the chunk.
 #[derive(Clone)]
 struct GhashKey {
-    table: Box<[[u128; 16]; 32]>,
+    h: u128,
+    table: Box<ShoupTable>,
+    /// `batch[k]` is the table for H^(k+1); index 7 is H^8.
+    batch: std::sync::OnceLock<Box<[ShoupTable; 8]>>,
 }
 
 impl std::fmt::Debug for GhashKey {
@@ -53,36 +100,29 @@ impl std::fmt::Debug for GhashKey {
 
 impl GhashKey {
     fn new(h: u128) -> GhashKey {
-        // In the bitwise reference, bit i (LSB = 0) of the multiplicand
-        // selects H shifted (127 - i) times.
-        let mut shifted = [0u128; 128];
-        shifted[0] = h;
-        for k in 1..128 {
-            shifted[k] = ghash_shift(shifted[k - 1]);
-        }
-        let mut table = Box::new([[0u128; 16]; 32]);
-        for p in 0..32 {
-            for nib in 0..16usize {
-                let mut acc = 0u128;
-                for b in 0..4 {
-                    if (nib >> b) & 1 == 1 {
-                        acc ^= shifted[127 - (4 * p + b)];
-                    }
-                }
-                table[p][nib] = acc;
-            }
-        }
-        GhashKey { table }
+        GhashKey { h, table: build_table(h), batch: std::sync::OnceLock::new() }
     }
 
-    /// Field multiplication of `x` by the expanded key.
+    /// Field multiplication of `x` by H.
     #[inline]
     fn mul(&self, x: u128) -> u128 {
-        let mut z = 0u128;
-        for p in 0..32 {
-            z ^= self.table[p][((x >> (4 * p)) & 0xf) as usize];
-        }
-        z
+        table_mul(&self.table, x)
+    }
+
+    /// Tables for H^1..H^8, built on first bulk use.
+    fn batch_tables(&self) -> &[ShoupTable; 8] {
+        self.batch.get_or_init(|| {
+            let mut pow = [0u128; 8];
+            pow[0] = self.h;
+            for k in 1..8 {
+                pow[k] = self.mul(pow[k - 1]);
+            }
+            let mut tables = Box::new([[[0u128; 16]; 32]; 8]);
+            for (k, h) in pow.iter().enumerate() {
+                tables[k] = *build_table(*h);
+            }
+            tables
+        })
     }
 }
 
@@ -91,24 +131,54 @@ impl GhashKey {
 struct Ghash<'k> {
     key: &'k GhashKey,
     acc: u128,
+    /// When false, force the scalar one-block-at-a-time path (reference
+    /// implementation used for differential testing).
+    batch_enabled: bool,
 }
 
 impl<'k> Ghash<'k> {
     fn new(key: &'k GhashKey) -> Ghash<'k> {
-        Ghash { key, acc: 0 }
+        Ghash { key, acc: 0, batch_enabled: true }
+    }
+
+    fn new_scalar(key: &'k GhashKey) -> Ghash<'k> {
+        Ghash { key, acc: 0, batch_enabled: false }
     }
 
     /// Absorbs `data`, zero-padding the final partial block.
+    ///
+    /// Large updates run 8 blocks per pass: the Horner recurrence
+    /// `Y' = (Y ^ X1)·H^8 ^ X2·H^7 ^ … ^ X8·H` turns eight *dependent*
+    /// multiplications into eight independent table multiplications whose
+    /// loads and XOR trees overlap.
     fn update_padded(&mut self, data: &[u8]) {
-        let mut chunks = data.chunks_exact(16);
+        let mut rest = data;
+        if self.batch_enabled && data.len() >= GHASH_BATCH_MIN {
+            let tables = self.key.batch_tables();
+            let mut batches = data.chunks_exact(128);
+            for batch in &mut batches {
+                let mut z = 0u128;
+                for j in 0..8 {
+                    let block: [u8; 16] = batch[j * 16..j * 16 + 16].try_into().unwrap();
+                    let mut x = u128::from_be_bytes(block);
+                    if j == 0 {
+                        x ^= self.acc;
+                    }
+                    z ^= table_mul(&tables[7 - j], x);
+                }
+                self.acc = z;
+            }
+            rest = batches.remainder();
+        }
+        let mut chunks = rest.chunks_exact(16);
         for chunk in &mut chunks {
             let block: [u8; 16] = chunk.try_into().unwrap();
             self.acc = self.key.mul(self.acc ^ u128::from_be_bytes(block));
         }
-        let rest = chunks.remainder();
-        if !rest.is_empty() {
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
             let mut block = [0u8; 16];
-            block[..rest.len()].copy_from_slice(rest);
+            block[..tail.len()].copy_from_slice(tail);
             self.acc = self.key.mul(self.acc ^ u128::from_be_bytes(block));
         }
     }
@@ -173,10 +243,32 @@ impl AesGcm {
 
     /// CTR-mode keystream application starting at counter block `ctr`
     /// (already incremented past J0).
+    ///
+    /// Runs eight counter blocks through [`Aes::encrypt_blocks8`] per pass
+    /// so the independent AES pipelines overlap; the tail (< 128 bytes)
+    /// falls back to single blocks.
     fn ctr_xor(&self, mut ctr: [u8; 16], data: &mut [u8]) {
+        let mut batches = data.chunks_exact_mut(128);
+        for batch in &mut batches {
+            let mut ks = [[0u8; 16]; 8];
+            for block in ks.iter_mut() {
+                inc32(&mut ctr);
+                *block = ctr;
+            }
+            self.aes.encrypt_blocks8(&mut ks);
+            for (b, k) in batch.iter_mut().zip(ks.as_flattened()) {
+                *b ^= k;
+            }
+        }
+        self.ctr_xor_tail(&mut ctr, batches.into_remainder());
+    }
+
+    /// Reference single-block CTR path, also used for the final partial
+    /// batch. `ctr` is advanced in place.
+    fn ctr_xor_tail(&self, ctr: &mut [u8; 16], data: &mut [u8]) {
         for chunk in data.chunks_mut(16) {
-            inc32(&mut ctr);
-            let mut ks = ctr;
+            inc32(ctr);
+            let mut ks = *ctr;
             self.aes.encrypt_block(&mut ks);
             for (b, k) in chunk.iter_mut().zip(ks.iter()) {
                 *b ^= k;
@@ -185,7 +277,11 @@ impl AesGcm {
     }
 
     fn tag(&self, j0: &[u8; 16], aad: &[u8], ciphertext: &[u8]) -> [u8; 16] {
-        let mut ghash = Ghash::new(&self.h);
+        self.tag_inner(j0, aad, ciphertext, true)
+    }
+
+    fn tag_inner(&self, j0: &[u8; 16], aad: &[u8], ciphertext: &[u8], batch: bool) -> [u8; 16] {
+        let mut ghash = if batch { Ghash::new(&self.h) } else { Ghash::new_scalar(&self.h) };
         ghash.update_padded(aad);
         ghash.update_padded(ciphertext);
         let mut len_block = [0u8; 16];
@@ -216,11 +312,51 @@ impl AesGcm {
         (ct, tag)
     }
 
+    /// Reference implementation of [`AesGcm::seal_detached`] that bypasses
+    /// both the 8-block CTR batch and the batched GHASH. Kept for
+    /// differential tests and the scalar-vs-batched benchmark; not part of
+    /// the public API surface.
+    #[doc(hidden)]
+    pub fn seal_detached_scalar(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        plaintext: &[u8],
+    ) -> (Vec<u8>, [u8; TAG_LEN]) {
+        let j0 = self.j0(nonce);
+        let mut ct = plaintext.to_vec();
+        let mut ctr = j0;
+        self.ctr_xor_tail(&mut ctr, &mut ct);
+        let tag = self.tag_inner(&j0, aad, &ct, false);
+        (ct, tag)
+    }
+
     /// Encrypts `plaintext` and returns `ciphertext || tag`.
     pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
-        let (mut ct, tag) = self.seal_detached(nonce, aad, plaintext);
-        ct.extend_from_slice(&tag);
-        ct
+        let mut out = Vec::new();
+        self.seal_to(nonce, aad, plaintext, &mut out);
+        out
+    }
+
+    /// Encrypts `plaintext` and appends `ciphertext || tag` to `out`,
+    /// reserving exactly once. This is the allocation-lean path the chunk
+    /// loop uses: [`AesGcm::seal`] on a 1 MB chunk would otherwise grow an
+    /// exactly-sized ciphertext vector just to push the 16-byte tag,
+    /// copying the whole chunk a second time.
+    pub fn seal_to(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        plaintext: &[u8],
+        out: &mut Vec<u8>,
+    ) {
+        out.reserve_exact(plaintext.len() + TAG_LEN);
+        let start = out.len();
+        out.extend_from_slice(plaintext);
+        let j0 = self.j0(nonce);
+        self.ctr_xor(j0, &mut out[start..]);
+        let tag = self.tag(&j0, aad, &out[start..]);
+        out.extend_from_slice(&tag);
     }
 
     /// Verifies the detached `tag` and decrypts `ciphertext`.
@@ -264,6 +400,38 @@ impl AesGcm {
         let (ct, tag) = sealed.split_at(sealed.len() - TAG_LEN);
         let tag: [u8; TAG_LEN] = tag.try_into().expect("split length");
         self.open_detached(nonce, aad, ct, &tag)
+    }
+
+    /// Opens a `ciphertext || tag` buffer, appending the plaintext to
+    /// `out` with a single exact reservation (the decrypt counterpart of
+    /// [`AesGcm::seal_to`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeadError`] if the buffer is shorter than a tag or the tag
+    /// does not verify; `out` is untouched in that case.
+    pub fn open_to(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        sealed: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), AeadError> {
+        if sealed.len() < TAG_LEN {
+            return Err(AeadError);
+        }
+        let (ct, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let tag: [u8; TAG_LEN] = tag.try_into().expect("split length");
+        let j0 = self.j0(nonce);
+        let expected = self.tag(&j0, aad, ct);
+        if !ct_eq(&expected, &tag) {
+            return Err(AeadError);
+        }
+        out.reserve_exact(ct.len());
+        let start = out.len();
+        out.extend_from_slice(ct);
+        self.ctr_xor(j0, &mut out[start..]);
+        Ok(())
     }
 }
 
@@ -405,5 +573,56 @@ mod tests {
             assert_eq!(sealed.len(), len + TAG_LEN);
             assert_eq!(gcm.open(&nonce, b"x", &sealed).unwrap(), pt);
         }
+    }
+
+    /// The batched paths (8-block CTR, 8-block GHASH above
+    /// `GHASH_BATCH_MIN`) must agree bit-for-bit with the scalar reference
+    /// at every alignment: multiples of 128, stragglers, partial blocks,
+    /// and sizes large enough to cross the GHASH batching threshold.
+    #[test]
+    fn batched_matches_scalar_reference() {
+        use crate::rng::{SecureRandom, SeededRandom};
+        let mut rng = SeededRandom::new(0x6cc5);
+        for key in [vec![0x11u8; 16], vec![0x22u8; 32]] {
+            let gcm = AesGcm::new(&key);
+            for len in
+                [0usize, 1, 16, 127, 128, 129, 255, 256, 1000, 8191, 8192, 8193, 8320, 100_000]
+            {
+                let mut pt = vec![0u8; len];
+                rng.fill(&mut pt);
+                let mut nonce = [0u8; 12];
+                rng.fill(&mut nonce);
+                let (ct_fast, tag_fast) = gcm.seal_detached(&nonce, b"aad", &pt);
+                let (ct_ref, tag_ref) = gcm.seal_detached_scalar(&nonce, b"aad", &pt);
+                assert_eq!(ct_fast, ct_ref, "ciphertext diverged at len {len}");
+                assert_eq!(tag_fast, tag_ref, "tag diverged at len {len}");
+                assert_eq!(gcm.open(&nonce, b"aad", &gcm.seal(&nonce, b"aad", &pt)).unwrap(), pt);
+            }
+        }
+    }
+
+    #[test]
+    fn seal_to_open_to_append_in_place() {
+        let gcm = AesGcm::new_128(&[5u8; 16]);
+        let nonce = [8u8; 12];
+        let pt: Vec<u8> = (0..1000u32).map(|i| i as u8).collect();
+        let mut sealed = b"prefix-".to_vec();
+        gcm.seal_to(&nonce, b"aad", &pt, &mut sealed);
+        assert_eq!(&sealed[..7], b"prefix-");
+        assert_eq!(sealed[7..], gcm.seal(&nonce, b"aad", &pt)[..]);
+
+        let mut opened = b"head-".to_vec();
+        gcm.open_to(&nonce, b"aad", &sealed[7..], &mut opened).unwrap();
+        assert_eq!(&opened[..5], b"head-");
+        assert_eq!(&opened[5..], &pt[..]);
+
+        // A bad tag must leave the output buffer untouched.
+        let mut tampered = sealed[7..].to_vec();
+        *tampered.last_mut().unwrap() ^= 1;
+        let mut out = b"keep".to_vec();
+        assert!(gcm.open_to(&nonce, b"aad", &tampered, &mut out).is_err());
+        assert_eq!(out, b"keep");
+        assert!(gcm.open_to(&nonce, b"aad", &[0u8; 15], &mut out).is_err());
+        assert_eq!(out, b"keep");
     }
 }

@@ -33,15 +33,15 @@
 //! assert!(fs.read_file_as(&alice, "doc.txt").is_err());
 //! ```
 
+use std::cell::RefCell;
 use std::sync::Arc;
 
 use nexus_crypto::ed25519::{Signature, SigningKey, VerifyingKey};
-use nexus_crypto::gcm::AesGcm;
+use nexus_crypto::gcm::{AesGcm, TAG_LEN};
 use nexus_crypto::hmac::hkdf;
 use nexus_crypto::rng::{OsRandom, SecureRandom};
 use nexus_crypto::x25519;
 use nexus_storage::StorageBackend;
-use nexus_sync::Mutex;
 
 /// Errors from the baseline filesystem.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -165,7 +165,6 @@ pub struct RevocationCost {
 pub struct CryptoFs {
     store: Arc<dyn StorageBackend>,
     owner: Identity,
-    rng: Mutex<OsRandom>,
 }
 
 impl std::fmt::Debug for CryptoFs {
@@ -189,10 +188,103 @@ fn lockbox_key(shared: &[u8; 32], eph: &[u8; 32], reader: &[u8; 32]) -> [u8; 32]
     hkdf(b"cryptofs-lockbox", shared, &info, 32).try_into().unwrap()
 }
 
+/// Plaintext bytes per chunk of the baseline's chunked data format.
+const CHUNK_SIZE: usize = 1 << 20;
+
+/// Per-chunk nonce: the file nonce with the chunk index folded into the
+/// low 32 bits, so every chunk of a (FEK, file nonce) pair is sealed under
+/// a distinct nonce while metadata still stores a single 12-byte value.
+fn chunk_nonce(file_nonce: &[u8; 12], index: u64) -> [u8; 12] {
+    let mut nonce = *file_nonce;
+    for (b, c) in nonce[8..].iter_mut().zip((index as u32).to_be_bytes()) {
+        *b ^= c;
+    }
+    nonce
+}
+
+/// Per-chunk AAD binding the chunk to its path, position, and file size,
+/// so chunks cannot be dropped, duplicated, or swapped between positions.
+fn chunk_aad(path: &str, index: u64, total_size: u64) -> Vec<u8> {
+    let mut aad = path.as_bytes().to_vec();
+    aad.extend_from_slice(&index.to_be_bytes());
+    aad.extend_from_slice(&total_size.to_be_bytes());
+    aad
+}
+
+/// Seals `data` as concatenated `chunk_size`-plaintext chunks, fanning the
+/// per-chunk AES-GCM over the worker pool. An empty file is one empty
+/// sealed chunk (a bare tag), so even zero-length contents are
+/// authenticated. Output is byte-identical at every worker count: chunk
+/// nonces are derived, not drawn, and results concatenate in index order.
+fn seal_file(gcm: &AesGcm, file_nonce: &[u8; 12], path: &str, data: &[u8], chunk_size: usize) -> Vec<u8> {
+    let chunks: Vec<&[u8]> =
+        if data.is_empty() { vec![&[][..]] } else { data.chunks(chunk_size).collect() };
+    let total = data.len() as u64;
+    let sealed = nexus_pool::global().par_map_indexed(&chunks, |idx, chunk| {
+        let mut out = Vec::new();
+        gcm.seal_to(&chunk_nonce(file_nonce, idx as u64), &chunk_aad(path, idx as u64, total), chunk, &mut out);
+        out
+    });
+    let mut ciphertext = Vec::with_capacity(data.len() + sealed.len() * TAG_LEN);
+    for piece in &sealed {
+        ciphertext.extend_from_slice(piece);
+    }
+    ciphertext
+}
+
+/// Opens ciphertext produced by [`seal_file`]. Chunk boundaries are
+/// recovered from length arithmetic: every chunk but the last carries
+/// exactly `chunk_size` plaintext bytes.
+fn open_file(
+    gcm: &AesGcm,
+    file_nonce: &[u8; 12],
+    path: &str,
+    ciphertext: &[u8],
+    chunk_size: usize,
+) -> Result<Vec<u8>> {
+    let per = chunk_size + TAG_LEN;
+    let mut pieces: Vec<&[u8]> = Vec::with_capacity(ciphertext.len() / per + 1);
+    let mut rest = ciphertext;
+    while rest.len() > per {
+        let (head, tail) = rest.split_at(per);
+        pieces.push(head);
+        rest = tail;
+    }
+    if rest.len() < TAG_LEN {
+        return Err(CryptoFsError::Integrity("data object truncated".into()));
+    }
+    pieces.push(rest);
+    let total = (ciphertext.len() - pieces.len() * TAG_LEN) as u64;
+    let opened = nexus_pool::global().par_map_indexed(&pieces, |idx, piece| {
+        let mut plain = Vec::new();
+        gcm.open_to(&chunk_nonce(file_nonce, idx as u64), &chunk_aad(path, idx as u64, total), piece, &mut plain)
+            .map(|()| plain)
+            .map_err(|_| CryptoFsError::Integrity("file authentication failed".into()))
+    });
+    let mut out = Vec::with_capacity(total as usize);
+    // Index order, so the surfaced error is the lowest failing chunk.
+    for piece in opened {
+        out.extend_from_slice(&piece?);
+    }
+    Ok(out)
+}
+
+/// Draws random bytes from a thread-local CSPRNG. The data path fans file
+/// chunks out over worker threads, so a shared `Mutex<OsRandom>` on the
+/// filesystem handle would serialize workers on the lock; instead every
+/// draw (FEK, nonces, ephemeral secrets — all per-file or per-reader, all
+/// outside the chunk loop) uses its calling thread's own generator.
+fn fill(dest: &mut [u8]) {
+    thread_local! {
+        static RNG: RefCell<OsRandom> = RefCell::new(OsRandom::new());
+    }
+    RNG.with(|rng| rng.borrow_mut().fill(dest));
+}
+
 impl CryptoFs {
     /// Creates a filesystem handle acting as `owner` over `store`.
     pub fn new(store: Arc<dyn StorageBackend>, owner: Identity) -> CryptoFs {
-        CryptoFs { store, owner, rng: Mutex::new(OsRandom::new()) }
+        CryptoFs { store, owner }
     }
 
     /// The underlying store (for benchmarks inspecting traffic).
@@ -201,7 +293,7 @@ impl CryptoFs {
     }
 
     fn fill(&self, dest: &mut [u8]) {
-        self.rng.lock().fill(dest);
+        fill(dest);
     }
 
     /// Encrypts and stores `data` at `path`, readable by the owner plus
@@ -226,7 +318,7 @@ impl CryptoFs {
         let mut file_nonce = [0u8; 12];
         self.fill(&mut file_nonce);
         let gcm = AesGcm::new_256(&fek);
-        let ciphertext = gcm.seal(&file_nonce, path.as_bytes(), data);
+        let ciphertext = seal_file(&gcm, &file_nonce, path, data, CHUNK_SIZE);
         self.store
             .put(&data_path(path), &ciphertext)
             .map_err(|e| CryptoFsError::Storage(e.to_string()))?;
@@ -373,9 +465,7 @@ impl CryptoFs {
             .store
             .get(&meta.data_object)
             .map_err(|_| CryptoFsError::NotFound(path.to_string()))?;
-        AesGcm::new_256(&fek)
-            .open(&meta.file_nonce, path.as_bytes(), &ciphertext)
-            .map_err(|_| CryptoFsError::Integrity("file authentication failed".into()))
+        open_file(&AesGcm::new_256(&fek), &meta.file_nonce, path, &ciphertext, CHUNK_SIZE)
     }
 
     /// Readers (including the owner) currently holding lockboxes on `path`.
@@ -545,6 +635,77 @@ mod tests {
         data[0] ^= 1;
         store.put(&data_path("f"), &data).unwrap();
         assert!(matches!(fs.read_file("f"), Err(CryptoFsError::Integrity(_))));
+    }
+
+    #[test]
+    fn chunked_format_roundtrips_at_boundaries() {
+        let gcm = AesGcm::new_256(&[0x4e; 32]);
+        let nonce = [6u8; 12];
+        // Small chunk size so boundary cases stay cheap; the public path
+        // uses the same code with CHUNK_SIZE.
+        let chunk = 64usize;
+        for len in [0usize, 1, 63, 64, 65, 128, 129, 1000] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            let ct = seal_file(&gcm, &nonce, "p", &data, chunk);
+            let expect_chunks = if len == 0 { 1 } else { len.div_ceil(chunk) };
+            assert_eq!(ct.len(), len + expect_chunks * TAG_LEN, "len={len}");
+            assert_eq!(open_file(&gcm, &nonce, "p", &ct, chunk).unwrap(), data, "len={len}");
+        }
+    }
+
+    #[test]
+    fn chunked_format_rejects_chunk_swaps_and_tampering() {
+        let gcm = AesGcm::new_256(&[0x4e; 32]);
+        let nonce = [6u8; 12];
+        let chunk = 64usize;
+        let per = chunk + TAG_LEN;
+        let data: Vec<u8> = (0..256u32).map(|i| i as u8).collect();
+        let ct = seal_file(&gcm, &nonce, "p", &data, chunk);
+
+        // Swapping two full chunks must fail: position is in the AAD.
+        let mut swapped = ct.clone();
+        swapped.copy_within(per..2 * per, 0);
+        swapped[per..2 * per].copy_from_slice(&ct[..per]);
+        assert!(open_file(&gcm, &nonce, "p", &swapped, chunk).is_err());
+
+        // Truncating to a whole-chunk boundary must fail: size is in the AAD.
+        assert!(open_file(&gcm, &nonce, "p", &ct[..per * 2], chunk).is_err());
+
+        // Flipping one bit in the middle chunk must fail.
+        let mut flipped = ct.clone();
+        flipped[per + 3] ^= 1;
+        assert!(open_file(&gcm, &nonce, "p", &flipped, chunk).is_err());
+
+        // A different path must fail.
+        assert!(open_file(&gcm, &nonce, "q", &ct, chunk).is_err());
+    }
+
+    #[test]
+    fn multi_chunk_file_roundtrips_through_public_api() {
+        let (fs, _, alice) = setup();
+        // Crosses a CHUNK_SIZE boundary so the public path exercises >1 chunk.
+        let data: Vec<u8> = (0..CHUNK_SIZE + 4096).map(|i| (i % 251) as u8).collect();
+        fs.write_file("big", &data, &[alice.public()]).unwrap();
+        assert_eq!(fs.read_file("big").unwrap(), data);
+        assert_eq!(fs.read_file_as(&alice, "big").unwrap(), data);
+        let cost = fs.revoke_reader("big", "alice").unwrap();
+        assert_eq!(cost.file_bytes_reencrypted, data.len() as u64);
+        assert!(fs.read_file_as(&alice, "big").is_err());
+        assert_eq!(fs.read_file("big").unwrap(), data);
+    }
+
+    #[test]
+    fn empty_file_is_authenticated() {
+        let (fs, _, _) = setup();
+        fs.write_file("empty", b"", &[]).unwrap();
+        assert_eq!(fs.read_file("empty").unwrap(), b"");
+        // Even an empty file carries a tag; corrupting it is detected.
+        let store = fs.store().clone();
+        let mut data = store.get(&data_path("empty")).unwrap();
+        assert_eq!(data.len(), TAG_LEN);
+        data[0] ^= 1;
+        store.put(&data_path("empty"), &data).unwrap();
+        assert!(matches!(fs.read_file("empty"), Err(CryptoFsError::Integrity(_))));
     }
 
     #[test]

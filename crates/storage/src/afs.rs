@@ -255,15 +255,7 @@ impl StorageBackend for AfsClient {
 
     fn get_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>, StorageError> {
         if let Some(data) = self.cache_valid(path) {
-            let size = data.len() as u64;
-            if offset + len > size {
-                return Err(StorageError::BadRange {
-                    path: path.to_string(),
-                    offset,
-                    len,
-                    size,
-                });
-            }
+            crate::backend::check_range(path, offset, len, data.len() as u64)?;
             self.charge_cache_hit();
             let mut acc = self.accounting.lock();
             acc.stats.reads += 1;

@@ -70,17 +70,37 @@ pub struct IoStats {
 
 impl IoStats {
     /// Difference between two cumulative snapshots.
+    ///
+    /// Saturating: if a counter in `earlier` is larger (the backend was
+    /// swapped or reset between snapshots), the delta clamps to zero
+    /// instead of panicking in the middle of a benchmark run.
     pub fn delta_since(&self, earlier: &IoStats) -> IoStats {
         IoStats {
-            reads: self.reads - earlier.reads,
-            writes: self.writes - earlier.writes,
-            deletes: self.deletes - earlier.deletes,
-            locks: self.locks - earlier.locks,
-            bytes_read: self.bytes_read - earlier.bytes_read,
-            bytes_written: self.bytes_written - earlier.bytes_written,
-            remote_rpcs: self.remote_rpcs - earlier.remote_rpcs,
-            cache_hits: self.cache_hits - earlier.cache_hits,
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            deletes: self.deletes.saturating_sub(earlier.deletes),
+            locks: self.locks.saturating_sub(earlier.locks),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            remote_rpcs: self.remote_rpcs.saturating_sub(earlier.remote_rpcs),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
         }
+    }
+}
+
+/// Shared bounds check for ranged reads: `[offset, offset + len)` must lie
+/// within `size`, with the sum computed overflow-safely — `offset + len`
+/// wraps for adversarial offsets near `u64::MAX`, which would otherwise
+/// pass the check and panic (or worse) when slicing.
+pub(crate) fn check_range(
+    path: &str,
+    offset: u64,
+    len: u64,
+    size: u64,
+) -> Result<(), StorageError> {
+    match offset.checked_add(len) {
+        Some(end) if end <= size => Ok(()),
+        _ => Err(StorageError::BadRange { path: path.to_string(), offset, len, size }),
     }
 }
 
@@ -113,10 +133,7 @@ pub trait StorageBackend: Send + Sync {
     /// [`StorageError::NotFound`] or [`StorageError::BadRange`].
     fn get_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>, StorageError> {
         let data = self.get(path)?;
-        let size = data.len() as u64;
-        if offset + len > size {
-            return Err(StorageError::BadRange { path: path.to_string(), offset, len, size });
-        }
+        check_range(path, offset, len, data.len() as u64)?;
         Ok(data[offset as usize..(offset + len) as usize].to_vec())
     }
 
@@ -172,6 +189,63 @@ mod tests {
         assert_eq!(d.reads, 6);
         assert_eq!(d.writes, 3);
         assert_eq!(d.bytes_read, 70);
+    }
+
+    #[test]
+    fn stats_delta_saturates_on_counter_reset() {
+        let earlier = IoStats { reads: 10, bytes_written: 500, ..Default::default() };
+        let later = IoStats { reads: 3, writes: 7, ..Default::default() };
+        let d = later.delta_since(&earlier);
+        assert_eq!(d.reads, 0, "reset counter clamps to zero, not panic");
+        assert_eq!(d.bytes_written, 0);
+        assert_eq!(d.writes, 7);
+    }
+
+    /// Backend relying entirely on the trait's default `get_range`.
+    struct FixedBackend(Vec<u8>);
+
+    impl StorageBackend for FixedBackend {
+        fn put(&self, _: &str, _: &[u8]) -> Result<(), StorageError> {
+            unimplemented!()
+        }
+        fn get(&self, _: &str) -> Result<Vec<u8>, StorageError> {
+            Ok(self.0.clone())
+        }
+        fn delete(&self, _: &str) -> Result<(), StorageError> {
+            unimplemented!()
+        }
+        fn exists(&self, _: &str) -> bool {
+            true
+        }
+        fn stat(&self, _: &str) -> Result<ObjectStat, StorageError> {
+            Ok(ObjectStat { size: self.0.len() as u64, version: 0 })
+        }
+        fn list(&self, _: &str) -> Vec<String> {
+            Vec::new()
+        }
+        fn lock(&self, _: &str, _: u64) -> Result<(), StorageError> {
+            Ok(())
+        }
+        fn unlock(&self, _: &str, _: u64) {}
+        fn stats(&self) -> IoStats {
+            IoStats::default()
+        }
+    }
+
+    #[test]
+    fn default_get_range_rejects_overflowing_offsets() {
+        let be = FixedBackend(vec![1, 2, 3, 4]);
+        assert_eq!(be.get_range("p", 1, 2).unwrap(), vec![2, 3]);
+        // offset + len would wrap to a tiny value and pass a naive
+        // `offset + len > size` check, then panic slicing.
+        let err = be.get_range("p", u64::MAX, 2).unwrap_err();
+        assert!(matches!(err, StorageError::BadRange { .. }), "{err}");
+        let err = be.get_range("p", 2, u64::MAX).unwrap_err();
+        assert!(matches!(err, StorageError::BadRange { .. }), "{err}");
+        // Non-overflowing but out-of-bounds still rejected.
+        assert!(be.get_range("p", 3, 2).is_err());
+        // Zero-length read at EOF stays legal.
+        assert_eq!(be.get_range("p", 4, 0).unwrap(), Vec::<u8>::new());
     }
 
     #[test]

@@ -147,10 +147,7 @@ impl<B: StorageBackend> StorageBackend for MaliciousBackend<B> {
         // Serve ranges out of the (possibly mangled) full object so attacks
         // apply uniformly.
         let data = self.get(path)?;
-        let size = data.len() as u64;
-        if offset + len > size {
-            return Err(StorageError::BadRange { path: path.to_string(), offset, len, size });
-        }
+        crate::backend::check_range(path, offset, len, data.len() as u64)?;
         Ok(data[offset as usize..(offset + len) as usize].to_vec())
     }
 

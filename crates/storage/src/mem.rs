@@ -98,10 +98,7 @@ impl StorageBackend for MemBackend {
             .objects
             .get(path)
             .ok_or_else(|| StorageError::NotFound(path.to_string()))?;
-        let size = obj.data.len() as u64;
-        if offset + len > size {
-            return Err(StorageError::BadRange { path: path.to_string(), offset, len, size });
-        }
+        crate::backend::check_range(path, offset, len, obj.data.len() as u64)?;
         let out = obj.data[offset as usize..(offset + len) as usize].to_vec();
         inner.stats.reads += 1;
         inner.stats.bytes_read += len;
@@ -200,6 +197,16 @@ mod tests {
         assert_eq!(store.get_range("a", 6, 5).unwrap(), b"world");
         assert!(matches!(
             store.get_range("a", 8, 10),
+            Err(StorageError::BadRange { .. })
+        ));
+        // offset + len overflowing u64 must be rejected, not wrap past the
+        // bounds check.
+        assert!(matches!(
+            store.get_range("a", u64::MAX, 12),
+            Err(StorageError::BadRange { .. })
+        ));
+        assert!(matches!(
+            store.get_range("a", 1, u64::MAX),
             Err(StorageError::BadRange { .. })
         ));
     }

@@ -28,11 +28,17 @@ impl FileIoResult {
     }
 }
 
+/// Fills `dest` with deterministic pseudo-random bytes — the
+/// allocation-free form of [`file_contents`] for benches that reuse one
+/// buffer across sizes.
+pub fn fill_deterministic(dest: &mut [u8], seed: u64) {
+    SeededRandom::new(seed).fill(dest);
+}
+
 /// Deterministic pseudo-random file contents.
 pub fn file_contents(size: usize, seed: u64) -> Vec<u8> {
-    let mut rng = SeededRandom::new(seed);
     let mut data = vec![0u8; size];
-    rng.fill(&mut data[..]);
+    fill_deterministic(&mut data, seed);
     data
 }
 

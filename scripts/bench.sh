@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Data-path perf harness: runs the micro_datapath bench and emits the
+# machine-readable BENCH_datapath.json at the repo root.
+#
+#   scripts/bench.sh           full sizes, writes ./BENCH_datapath.json
+#   scripts/bench.sh --smoke   reduced sizes for CI (scripts/verify.sh);
+#                              writes target/BENCH_datapath.smoke.json so
+#                              the checked-in artifact is never clobbered
+#                              by a throwaway run
+#
+# Either way the resulting JSON is validated (parses, carries every field
+# downstream tooling reads); the full run additionally enforces the PR's
+# acceptance floors: a single-thread batched-GCM win and >= 2x chunk
+# throughput at 4 threads (measured on >= 4-core hosts, ideal-pipeline
+# modeled otherwise — see "speedup_basis" in the document).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+mode="full"
+out="BENCH_datapath.json"
+flags=()
+if [ "${1:-}" = "--smoke" ]; then
+    mode="smoke"
+    out="target/BENCH_datapath.smoke.json"
+    flags+=(--smoke)
+fi
+
+echo "== cargo build --release (micro_datapath) =="
+cargo build --release --offline -p nexus-bench --bin micro_datapath
+
+echo "== micro_datapath ($mode) =="
+mkdir -p "$(dirname "$out")"
+./target/release/micro_datapath "${flags[@]}" --json "$out"
+
+echo "== validate $out =="
+python3 - "$out" "$mode" <<'EOF'
+import json, sys
+path, mode = sys.argv[1], sys.argv[2]
+with open(path) as f:
+    doc = json.load(f)
+for key in ("bench", "host_parallelism", "file_bytes", "chunk_bytes", "chunks",
+            "gcm_single_thread", "chunk_path", "pipeline_model",
+            "speedup_basis", "speedup_at_4_threads",
+            "parallel_output_identical_to_serial"):
+    assert key in doc, f"{path}: missing key {key!r}"
+for key in ("threads", "seal_s", "seal_mibps", "open_s", "open_mibps",
+            "measured_seal_speedup"):
+    assert key in doc["chunk_path"], f"{path}: missing chunk_path.{key}"
+assert doc["parallel_output_identical_to_serial"] is True, \
+    "parallel ciphertext must be byte-identical to serial"
+assert doc["speedup_basis"] in ("measured", "modeled")
+gcm = doc["gcm_single_thread"]["speedup"]
+at4 = doc["speedup_at_4_threads"]
+if mode == "full":
+    # Acceptance floors; the smoke run only guards the emitter itself
+    # (tiny sizes on a loaded CI box are too noisy for perf assertions).
+    assert gcm > 1.0, f"batched GCM must beat scalar, got x{gcm:.2f}"
+    assert at4 >= 2.0, f"need >= 2x at 4 threads, got x{at4:.2f}"
+print(f"ok: {path} valid; gcm x{gcm:.2f}, "
+      f"4-thread x{at4:.2f} ({doc['speedup_basis']})")
+EOF
+
+echo "bench: OK"

@@ -19,6 +19,11 @@ names = sorted({p["name"] for p in meta["packages"]})
 for n in names:
     if n != "nexus" and not n.startswith("nexus-"):
         print(n)
+# The data path is only parallel if the pool crate is actually in the
+# graph; a refactor that silently drops it would revert to serial I/O
+# without failing any functional test.
+if "nexus-pool" not in names:
+    print("MISSING nexus-pool (parallel data path unwired)")
 ')
 if [ -n "$offenders" ]; then
     echo "FAIL: non-workspace crates in the dependency graph:" >&2
@@ -34,5 +39,8 @@ cargo build --release --workspace --offline
 
 echo "== cargo test -q --offline =="
 cargo test -q --workspace --offline
+
+echo "== bench smoke (JSON emitter) =="
+scripts/bench.sh --smoke
 
 echo "verify: OK"
