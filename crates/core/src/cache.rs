@@ -1,0 +1,130 @@
+//! A UUID-sharded in-enclave metadata cache.
+//!
+//! The decrypted-metadata cache used to be a single `HashMap` owned by
+//! [`crate::enclave::Mounted`], which serialised every lookup behind the
+//! enclave's one `&mut` state borrow. Sharding the map 16 ways over
+//! [`nexus_sync::Mutex`] locks gives the cache interior mutability (reads
+//! take `&self`) and keeps concurrent mounts from contending on one lock
+//! word. The shard index is a fixed function of the UUID, so a given object
+//! always lives in exactly one shard.
+
+use std::collections::HashMap;
+
+use nexus_sync::Mutex;
+
+use crate::enclave::CachedNode;
+use crate::uuid::NexusUuid;
+
+/// Number of shards; fixed so the layout is deterministic across mounts.
+pub(crate) const SHARD_COUNT: usize = 16;
+
+type Shard = Mutex<HashMap<NexusUuid, (CachedNode, u64)>>;
+
+/// 16-way sharded map from object UUID to (decrypted node, storage version).
+pub(crate) struct ShardedCache {
+    shards: [Shard; SHARD_COUNT],
+}
+
+impl ShardedCache {
+    /// Creates an empty cache.
+    pub(crate) fn new() -> ShardedCache {
+        ShardedCache { shards: std::array::from_fn(|_| Mutex::new(HashMap::new())) }
+    }
+
+    /// The shard holding `uuid`: keyed off the UUID's first byte, which is
+    /// uniformly random for generated UUIDs.
+    fn shard(&self, uuid: &NexusUuid) -> &Shard {
+        &self.shards[uuid.0[0] as usize % SHARD_COUNT]
+    }
+
+    /// Clones out the cached node and the storage version it came from.
+    pub(crate) fn get(&self, uuid: &NexusUuid) -> Option<(CachedNode, u64)> {
+        self.shard(uuid).lock().get(uuid).cloned()
+    }
+
+    /// Inserts (or replaces) the cached node for `uuid`.
+    pub(crate) fn insert(&self, uuid: NexusUuid, node: CachedNode, storage_version: u64) {
+        self.shard(&uuid).lock().insert(uuid, (node, storage_version));
+    }
+
+    /// Drops `uuid` from the cache (deletion, staleness).
+    pub(crate) fn remove(&self, uuid: &NexusUuid) {
+        self.shard(uuid).lock().remove(uuid);
+    }
+
+    /// Total cached entries across all shards.
+    pub(crate) fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+impl Default for ShardedCache {
+    fn default() -> ShardedCache {
+        ShardedCache::new()
+    }
+}
+
+impl std::fmt::Debug for ShardedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCache").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metadata::dirnode::Dirnode;
+
+    fn uuid_with_first_byte(b: u8) -> NexusUuid {
+        let mut bytes = [7u8; 16];
+        bytes[0] = b;
+        NexusUuid(bytes)
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let cache = ShardedCache::new();
+        let uuid = uuid_with_first_byte(3);
+        assert!(cache.get(&uuid).is_none());
+        let dir = Dirnode::new(uuid, NexusUuid::NIL, 8);
+        cache.insert(uuid, CachedNode::Dir(dir), 42);
+        let (node, ver) = cache.get(&uuid).expect("cached");
+        assert_eq!(ver, 42);
+        assert!(matches!(node, CachedNode::Dir(d) if d.uuid == uuid));
+        cache.remove(&uuid);
+        assert!(cache.get(&uuid).is_none());
+    }
+
+    #[test]
+    fn entries_spread_across_shards() {
+        let cache = ShardedCache::new();
+        for b in 0..32u8 {
+            let uuid = uuid_with_first_byte(b);
+            cache.insert(uuid, CachedNode::Dir(Dirnode::new(uuid, NexusUuid::NIL, 8)), 1);
+        }
+        assert_eq!(cache.len(), 32);
+        // Every shard got exactly two of the 32 sequential first bytes.
+        for shard in cache.shards.iter() {
+            assert_eq!(shard.lock().len(), 2);
+        }
+    }
+
+    #[test]
+    fn concurrent_shard_access_is_safe() {
+        let cache = std::sync::Arc::new(ShardedCache::new());
+        std::thread::scope(|s| {
+            for t in 0..4u8 {
+                let cache = cache.clone();
+                s.spawn(move || {
+                    for i in 0..64u8 {
+                        let uuid = uuid_with_first_byte(t.wrapping_mul(64).wrapping_add(i));
+                        let dir = Dirnode::new(uuid, NexusUuid::NIL, 8);
+                        cache.insert(uuid, CachedNode::Dir(dir), u64::from(i));
+                        assert!(cache.get(&uuid).is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 256);
+    }
+}

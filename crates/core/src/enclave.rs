@@ -36,6 +36,15 @@ pub struct NexusConfig {
     /// metadata write per update. Read at volume *creation*; mounts follow
     /// whatever the volume was created with.
     pub merkle_freshness: bool,
+    /// Coalesce related storage writes (dirnode buckets + main object +
+    /// filenodes) into one batched `put_many` RPC per commit, and allow
+    /// bulk reads to fetch all their data objects in one `get_many`.
+    /// Disabling falls back to one RPC per object; the stored bytes are
+    /// identical either way.
+    pub batch_rpcs: bool,
+    /// Chunks fetched ahead of the decryptor on the pipelined bulk-read
+    /// path; `0` disables pipelining (whole-object fetch, then decrypt).
+    pub prefetch_window: usize,
 }
 
 impl Default for NexusConfig {
@@ -45,6 +54,8 @@ impl Default for NexusConfig {
             bucket_size: crate::metadata::dirnode::DEFAULT_BUCKET_SIZE,
             cache_metadata: true,
             merkle_freshness: false,
+            batch_rpcs: true,
+            prefetch_window: 4,
         }
     }
 }
@@ -88,8 +99,9 @@ pub(crate) struct Mounted {
     /// Version of the supernode object we decrypted.
     pub(crate) supernode_version: u64,
     pub(crate) session: Option<Session>,
-    /// uuid → (decrypted node, storage version it came from).
-    pub(crate) meta_cache: HashMap<NexusUuid, (CachedNode, u64)>,
+    /// uuid → (decrypted node, storage version it came from), sharded
+    /// 16 ways by UUID so lookups take `&self` and spread lock traffic.
+    pub(crate) meta_cache: crate::cache::ShardedCache,
     /// Rollback table: highest preamble version seen per object (§VI-C).
     pub(crate) version_table: HashMap<NexusUuid, u64>,
     /// Volume freshness manifest, when the volume carries one.
@@ -184,6 +196,33 @@ impl<'a> MetaIo<'a> {
         self.env
             .ocall(|| self.backend.put(&name, data))
             .map_err(NexusError::from)
+    }
+
+    /// Fetches many objects in one enclave exit and one batched storage RPC.
+    /// Per-object results: a missing object fails its own slot only.
+    pub(crate) fn get_many(&self, uuids: &[NexusUuid]) -> Vec<Result<Vec<u8>>> {
+        let names: Vec<String> = uuids.iter().map(|u| u.object_name()).collect();
+        self.env
+            .ocall(|| self.backend.get_many(&names))
+            .into_iter()
+            .map(|r| r.map_err(NexusError::from))
+            .collect()
+    }
+
+    /// Writes many objects in one enclave exit and one batched storage RPC,
+    /// surfacing the first per-object error. An empty batch issues nothing.
+    pub(crate) fn put_many(&self, items: Vec<(NexusUuid, Vec<u8>)>) -> Result<()> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let named: Vec<(String, Vec<u8>)> = items
+            .into_iter()
+            .map(|(uuid, data)| (uuid.object_name(), data))
+            .collect();
+        for result in self.env.ocall(|| self.backend.put_many(&named)) {
+            result?;
+        }
+        Ok(())
     }
 
     pub(crate) fn delete(&self, uuid: &NexusUuid) -> Result<()> {
@@ -324,8 +363,7 @@ fn load_dirnode_once(
     let mounted = state.mounted()?;
     if use_cache {
         if let Some((CachedNode::Dir(dir), cached_ver)) = mounted.meta_cache.get(&uuid) {
-            if io.version(&uuid) == Some(*cached_ver) {
-                let dir = dir.clone();
+            if io.version(&uuid) == Some(cached_ver) {
                 if let Some(parent) = expected_parent {
                     if dir.parent != parent {
                         return Err(NexusError::Integrity(format!(
@@ -350,7 +388,7 @@ fn load_dirnode_once(
     if use_cache {
         mounted
             .meta_cache
-            .insert(uuid, (CachedNode::Dir(dir.clone()), storage_version));
+            .insert(uuid, CachedNode::Dir(dir.clone()), storage_version);
     }
     Ok(dir)
 }
@@ -448,15 +486,38 @@ pub(crate) fn lookup_entry(
     })
 }
 
-/// Flushes a dirnode: seals and stores every dirty bucket (refreshing its
-/// MAC in the main object), then the main object, then updates the cache.
-pub(crate) fn store_dirnode(
+/// A staged metadata commit: sealed blobs accumulate here and land on
+/// storage in one batched round trip (`MetaIo::put_many`) at flush time —
+/// or as a serial put-per-object loop when `batch_rpcs` is off. Sealing
+/// happens at *stage* time in call order, so the stored bytes are identical
+/// in both modes; only the RPC shape differs.
+#[derive(Debug, Default)]
+pub(crate) struct MetaCommit {
+    pending: Vec<(NexusUuid, Vec<u8>)>,
+    manifest_updates: Vec<(NexusUuid, [u8; 32])>,
+    cache_inserts: Vec<(NexusUuid, CachedNode)>,
+}
+
+impl MetaCommit {
+    pub(crate) fn new() -> MetaCommit {
+        MetaCommit::default()
+    }
+
+    /// Stages a raw (non-metadata) object write, e.g. a new file's empty
+    /// data object, so it rides the same batched flush.
+    pub(crate) fn stage_raw(&mut self, uuid: NexusUuid, blob: Vec<u8>) {
+        self.pending.push((uuid, blob));
+    }
+}
+
+/// Seals `dir`'s dirty buckets (refreshing their MACs in the main object)
+/// and then the main object into `commit`, without touching storage yet.
+pub(crate) fn stage_dirnode(
     state: &mut EnclaveState,
     io: &MetaIo<'_>,
+    commit: &mut MetaCommit,
     mut dir: Dirnode,
 ) -> Result<()> {
-    let use_cache = state.config().cache_metadata;
-    let mut manifest_updates: Vec<(NexusUuid, [u8; 32])> = Vec::new();
     let mounted = state.mounted()?;
     let rootkey = mounted.rootkey;
     for slot in dir.buckets.iter_mut() {
@@ -478,8 +539,8 @@ pub(crate) fn store_dirnode(
             io.env.random_bytes(dest)
         });
         slot.re.mac = Sha256::digest(&blob);
-        io.put(&slot.re.uuid, &blob)?;
-        manifest_updates.push((slot.re.uuid, slot.re.mac));
+        commit.manifest_updates.push((slot.re.uuid, slot.re.mac));
+        commit.pending.push((slot.re.uuid, blob));
         slot.dirty = false;
     }
     let version = next_version(mounted, &dir.uuid);
@@ -492,16 +553,75 @@ pub(crate) fn store_dirnode(
     let blob = seal_object(&rootkey, &preamble, &dir.encode_main(), |dest| {
         io.env.random_bytes(dest)
     });
-    io.put(&dir.uuid, &blob)?;
-    manifest_updates.push((dir.uuid, Sha256::digest(&blob)));
-    let storage_version = io.version(&dir.uuid).unwrap_or(0);
-    if use_cache {
-        mounted
-            .meta_cache
-            .insert(dir.uuid, (CachedNode::Dir(dir), storage_version));
-    }
-    crate::freshness::record_objects(state, io, &manifest_updates, &[])?;
+    commit.manifest_updates.push((dir.uuid, Sha256::digest(&blob)));
+    commit.pending.push((dir.uuid, blob));
+    commit.cache_inserts.push((dir.uuid, CachedNode::Dir(dir)));
     Ok(())
+}
+
+/// Seals `fnode` into `commit` without touching storage yet.
+pub(crate) fn stage_filenode(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    commit: &mut MetaCommit,
+    fnode: Filenode,
+) -> Result<()> {
+    let mounted = state.mounted()?;
+    let rootkey = mounted.rootkey;
+    let version = next_version(mounted, &fnode.uuid);
+    let preamble = Preamble {
+        kind: ObjectKind::Filenode,
+        uuid: fnode.uuid,
+        parent: fnode.parent,
+        version,
+    };
+    let blob = seal_object(&rootkey, &preamble, &fnode.encode(), |dest| {
+        io.env.random_bytes(dest)
+    });
+    commit.manifest_updates.push((fnode.uuid, Sha256::digest(&blob)));
+    commit.pending.push((fnode.uuid, blob));
+    commit.cache_inserts.push((fnode.uuid, CachedNode::File(fnode)));
+    Ok(())
+}
+
+/// Lands a staged commit: every sealed blob in one `put_many` (one RPC,
+/// one lock epoch on the manifest) when batching is on, a serial put loop
+/// otherwise; then cache refresh and a single freshness-manifest record
+/// covering all updated objects.
+pub(crate) fn commit_flush(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    commit: MetaCommit,
+) -> Result<()> {
+    let config = state.config();
+    if config.batch_rpcs {
+        io.put_many(commit.pending)?;
+    } else {
+        for (uuid, blob) in &commit.pending {
+            io.put(uuid, blob)?;
+        }
+    }
+    if config.cache_metadata {
+        let mounted = state.mounted()?;
+        for (uuid, node) in commit.cache_inserts {
+            let storage_version = io.version(&uuid).unwrap_or(0);
+            mounted.meta_cache.insert(uuid, node, storage_version);
+        }
+    }
+    crate::freshness::record_objects(state, io, &commit.manifest_updates, &[])?;
+    Ok(())
+}
+
+/// Flushes a dirnode: seals and stores every dirty bucket (refreshing its
+/// MAC in the main object), then the main object, then updates the cache.
+pub(crate) fn store_dirnode(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    dir: Dirnode,
+) -> Result<()> {
+    let mut commit = MetaCommit::new();
+    stage_dirnode(state, io, &mut commit, dir)?;
+    commit_flush(state, io, commit)
 }
 
 /// Loads a filenode, honouring the cache and healing concurrent-update
@@ -525,8 +645,7 @@ fn load_filenode_once(
     let mounted = state.mounted()?;
     if use_cache {
         if let Some((CachedNode::File(fnode), cached_ver)) = mounted.meta_cache.get(&uuid) {
-            if io.version(&uuid) == Some(*cached_ver) {
-                let fnode = fnode.clone();
+            if io.version(&uuid) == Some(cached_ver) {
                 if let Some(parent) = expected_parent {
                     if fnode.parent != parent {
                         return Err(NexusError::Integrity(format!(
@@ -554,7 +673,7 @@ fn load_filenode_once(
     if use_cache {
         mounted
             .meta_cache
-            .insert(uuid, (CachedNode::File(fnode.clone()), storage_version));
+            .insert(uuid, CachedNode::File(fnode.clone()), storage_version);
     }
     Ok(fnode)
 }
@@ -565,30 +684,9 @@ pub(crate) fn store_filenode(
     io: &MetaIo<'_>,
     fnode: Filenode,
 ) -> Result<()> {
-    let use_cache = state.config().cache_metadata;
-    let mounted = state.mounted()?;
-    let rootkey = mounted.rootkey;
-    let version = next_version(mounted, &fnode.uuid);
-    let preamble = Preamble {
-        kind: ObjectKind::Filenode,
-        uuid: fnode.uuid,
-        parent: fnode.parent,
-        version,
-    };
-    let blob = seal_object(&rootkey, &preamble, &fnode.encode(), |dest| {
-        io.env.random_bytes(dest)
-    });
-    io.put(&fnode.uuid, &blob)?;
-    let fnode_uuid = fnode.uuid;
-    let blob_hash = Sha256::digest(&blob);
-    let storage_version = io.version(&fnode.uuid).unwrap_or(0);
-    if use_cache {
-        mounted
-            .meta_cache
-            .insert(fnode.uuid, (CachedNode::File(fnode), storage_version));
-    }
-    crate::freshness::record_objects(state, io, &[(fnode_uuid, blob_hash)], &[])?;
-    Ok(())
+    let mut commit = MetaCommit::new();
+    stage_filenode(state, io, &mut commit, fnode)?;
+    commit_flush(state, io, commit)
 }
 
 /// Drops an object from the metadata cache (after deletion).
@@ -711,7 +809,7 @@ mod tests {
             ),
             supernode_version: 1,
             session,
-            meta_cache: HashMap::new(),
+            meta_cache: crate::cache::ShardedCache::new(),
             version_table: HashMap::new(),
             manifest: None,
         }

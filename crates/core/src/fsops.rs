@@ -11,8 +11,9 @@
 use crate::acl::Rights;
 use crate::datapath;
 use crate::enclave::{
-    evict, fresh_uuid, load_all_buckets, load_dirnode, load_filenode, lookup_entry,
-    store_dirnode, store_filenode, EnclaveState, MetaIo,
+    commit_flush, evict, fresh_uuid, load_all_buckets, load_dirnode, load_filenode,
+    lookup_entry, stage_dirnode, stage_filenode, store_dirnode, store_filenode, EnclaveState,
+    MetaCommit, MetaIo,
 };
 use crate::error::{NexusError, Result};
 use crate::metadata::dirnode::{DirEntry, Dirnode, EntryKind};
@@ -168,10 +169,15 @@ pub(crate) fn fs_touch(
     }
     let child_uuid = fresh_uuid(io.env);
     let config = state.config();
+    // The whole create — child object(s), the parent's dirty bucket, and
+    // the parent's main object — is staged into one commit and lands as a
+    // single batched round trip (§ISSUE: "metadata commit path groups
+    // dirnode-bucket + filenode + dirnode writes into one put_many").
+    let mut commit = MetaCommit::new();
     match kind {
         FileType::Directory => {
             let child = Dirnode::new(child_uuid, dir.uuid, config.bucket_size);
-            store_dirnode(state, io, child)?;
+            stage_dirnode(state, io, &mut commit, child)?;
             dir.insert(
                 DirEntry { name: name.into(), uuid: child_uuid, kind: EntryKind::Directory },
                 fresh_uuid(io.env),
@@ -180,8 +186,8 @@ pub(crate) fn fs_touch(
         FileType::File => {
             let data_uuid = fresh_uuid(io.env);
             let fnode = Filenode::new(child_uuid, dir.uuid, data_uuid, config.chunk_size);
-            io.put(&data_uuid, &[])?;
-            store_filenode(state, io, fnode)?;
+            commit.stage_raw(data_uuid, Vec::new());
+            stage_filenode(state, io, &mut commit, fnode)?;
             dir.insert(
                 DirEntry { name: name.into(), uuid: child_uuid, kind: EntryKind::File },
                 fresh_uuid(io.env),
@@ -191,7 +197,8 @@ pub(crate) fn fs_touch(
             return Err(NexusError::InvalidName("use fs_symlink for symlinks".into()))
         }
     }
-    store_dirnode(state, io, dir)?;
+    stage_dirnode(state, io, &mut commit, dir)?;
+    commit_flush(state, io, commit)?;
     Ok(child_uuid)
 }
 
@@ -569,6 +576,11 @@ pub(crate) fn fs_encrypt(
 }
 
 /// `nexus_fs_decrypt`: reads and decrypts the whole file at `path`.
+///
+/// Large files take the pipelined path: ranged fetches of
+/// `prefetch_window` chunks overlap with AES-GCM opens on the worker pool,
+/// so transfer and decrypt no longer serialise. Small files (or
+/// `batch_rpcs`/`prefetch_window` off) keep the single whole-object fetch.
 pub(crate) fn fs_decrypt(
     state: &mut EnclaveState,
     io: &MetaIo<'_>,
@@ -576,8 +588,50 @@ pub(crate) fn fs_decrypt(
 ) -> Result<Vec<u8>> {
     let (dir, entry, fnode) = open_file_for_read(state, io, path)?;
     let _ = (dir, entry);
+    let config = state.config();
+    let n_chunks = fnode.chunks.len() as u64;
+    let window = config.prefetch_window as u64;
+    if config.batch_rpcs && window > 0 && n_chunks > window {
+        return datapath::open_chunks_pipelined(
+            nexus_pool::global(),
+            &fnode,
+            config.prefetch_window,
+            |first, count| {
+                let (start, _) = fnode.ciphertext_range(first);
+                let (last_start, last_len) = fnode.ciphertext_range(first + count - 1);
+                io.get_range(&fnode.data_uuid, start, last_start + last_len - start)
+            },
+        );
+    }
     let ciphertext = io.get(&fnode.data_uuid)?;
-    decrypt_chunks(&fnode, &ciphertext, 0, fnode.chunks.len() as u64)
+    decrypt_chunks(&fnode, &ciphertext, 0, n_chunks)
+}
+
+/// Bulk `nexus_fs_decrypt`: resolves every path, fetches **all** data
+/// objects in one batched storage RPC (`get_many`), then opens the chunks
+/// on the worker pool. Results are returned in input order; the first
+/// failing path aborts, exactly where a serial read loop would stop.
+pub(crate) fn fs_decrypt_many(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    paths: &[String],
+) -> Result<Vec<Vec<u8>>> {
+    let mut fnodes = Vec::with_capacity(paths.len());
+    for path in paths {
+        let (_dir, _entry, fnode) = open_file_for_read(state, io, path)?;
+        fnodes.push(fnode);
+    }
+    let ciphertexts: Vec<Result<Vec<u8>>> = if state.config().batch_rpcs {
+        let uuids: Vec<NexusUuid> = fnodes.iter().map(|f| f.data_uuid).collect();
+        io.get_many(&uuids)
+    } else {
+        fnodes.iter().map(|f| io.get(&f.data_uuid)).collect()
+    };
+    let mut out = Vec::with_capacity(fnodes.len());
+    for (fnode, ciphertext) in fnodes.iter().zip(ciphertexts) {
+        out.push(decrypt_chunks(fnode, &ciphertext?, 0, fnode.chunks.len() as u64)?);
+    }
+    Ok(out)
 }
 
 /// Random access: decrypts only the chunks covering `[offset, offset+len)`.

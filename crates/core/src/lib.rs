@@ -51,6 +51,7 @@
 
 pub mod acl;
 pub mod api;
+pub(crate) mod cache;
 pub mod datapath;
 pub mod enclave;
 pub mod error;

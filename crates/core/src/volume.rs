@@ -394,6 +394,15 @@ impl NexusVolume {
         self.ecall(move |state, io| fsops::fs_decrypt(state, io, &path))
     }
 
+    /// Bulk read: decrypts every listed file, fetching all their data
+    /// objects in **one** batched storage RPC (`get_many`) instead of one
+    /// round trip per file. Plaintexts come back in input order; the first
+    /// failing path aborts the batch, just like a serial read loop.
+    pub fn read_files(&self, paths: &[&str]) -> Result<Vec<Vec<u8>>> {
+        let paths: Vec<String> = paths.iter().map(|p| p.to_string()).collect();
+        self.ecall(move |state, io| fsops::fs_decrypt_many(state, io, &paths))
+    }
+
     /// Random access read: decrypts only the chunks covering the range.
     pub fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
         let path = path.to_string();

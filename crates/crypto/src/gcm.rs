@@ -39,16 +39,18 @@ fn ghash_shift(v: u128) -> u128 {
 
 /// One Shoup 4-bit lookup table: `table[p][nib]` is the field product of
 /// the key with a nibble placed at bit position `4p` of the multiplicand,
-/// so a full multiplication is 32 lookups and XORs.
-type ShoupTable = [[u128; 16]; 32];
+/// so a full multiplication is 32 lookups and XORs. Shared with the
+/// POLYVAL batch path in [`crate::gcm_siv`], which works in the same
+/// GHASH-domain representation.
+pub(crate) type ShoupTable = [[u128; 16]; 32];
 
 /// Minimum per-update payload before the 8-block batched GHASH (and its
 /// lazily built H-power tables) pays for itself. Metadata objects stay on
 /// the table-light scalar path; 1 MB file chunks always batch.
-const GHASH_BATCH_MIN: usize = 8 * 1024;
+pub(crate) const GHASH_BATCH_MIN: usize = 8 * 1024;
 
 /// Expands `h` into a [`ShoupTable`].
-fn build_table(h: u128) -> Box<ShoupTable> {
+pub(crate) fn build_table(h: u128) -> Box<ShoupTable> {
     // In the bitwise reference, bit i (LSB = 0) of the multiplicand
     // selects H shifted (127 - i) times.
     let mut shifted = [0u128; 128];
@@ -73,7 +75,7 @@ fn build_table(h: u128) -> Box<ShoupTable> {
 
 /// Field multiplication of `x` by the key expanded into `table`.
 #[inline]
-fn table_mul(table: &ShoupTable, x: u128) -> u128 {
+pub(crate) fn table_mul(table: &ShoupTable, x: u128) -> u128 {
     let mut z = 0u128;
     for p in 0..32 {
         z ^= table[p][((x >> (4 * p)) & 0xf) as usize];

@@ -76,6 +76,22 @@ impl AfsServer {
         }
     }
 
+    /// Clients currently holding a callback promise on `path`, sorted.
+    ///
+    /// Test and diagnostic visibility: the batched-vs-serial differential
+    /// suite asserts that `put_many` breaks exactly the callbacks the
+    /// serial puts would have broken.
+    pub fn callback_holders(&self, path: &str) -> Vec<u64> {
+        let mut holders: Vec<u64> = self
+            .callbacks
+            .lock()
+            .get(path)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        holders.sort_unstable();
+        holders
+    }
+
     /// Server-visible view: paths and sizes of all stored objects.
     pub fn object_inventory(&self) -> Vec<(String, u64)> {
         self.store
@@ -332,6 +348,110 @@ impl StorageBackend for AfsClient {
         self.server.store.unlock(path, scoped);
     }
 
+    fn get_many(&self, paths: &[String]) -> Vec<Result<Vec<u8>, StorageError>> {
+        // Per-path cache semantics are identical to serial `get` (including a
+        // later duplicate hitting the cache entry the earlier slot created);
+        // only the misses are fetched, all in one round trip (one RTT,
+        // per-object disk service, summed transfer).
+        let mut out = Vec::with_capacity(paths.len());
+        let mut total_bytes = 0usize;
+        let mut served = 0usize;
+        for path in paths {
+            if let Some(data) = self.cache_valid(path) {
+                self.charge_cache_hit();
+                let mut acc = self.accounting.lock();
+                acc.stats.reads += 1;
+                acc.stats.bytes_read += data.len() as u64;
+                out.push(Ok(data.as_ref().clone()));
+                continue;
+            }
+            match self.server.store.get_arc(path) {
+                Ok((data, _version)) => {
+                    self.server.grant_callback(path, self.id);
+                    self.cache.lock().insert(path.clone(), data.clone());
+                    self.remember_status(path);
+                    total_bytes += data.len();
+                    served += 1;
+                    let mut acc = self.accounting.lock();
+                    acc.stats.reads += 1;
+                    acc.stats.bytes_read += data.len() as u64;
+                    out.push(Ok(data.as_ref().clone()));
+                }
+                Err(e) => out.push(Err(e)),
+            }
+        }
+        // Failed lookups carry no payload and no disk service; serial
+        // `get` charges nothing for them, so neither does the batch.
+        if served > 0 {
+            self.charge(self.latency.batch_rpc_cost(served, total_bytes));
+            self.accounting.lock().stats.remote_rpcs += 1;
+        }
+        out
+    }
+
+    fn put_many(&self, items: &[(String, Vec<u8>)]) -> Vec<Result<(), StorageError>> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(items.len());
+        let mut total_bytes = 0usize;
+        let mut served = 0usize;
+        for (path, data) in items {
+            match self.server.store.put(path, data) {
+                Ok(()) => {
+                    self.server.break_callbacks(path, self.id);
+                    self.server.grant_callback(path, self.id);
+                    self.cache.lock().insert(path.clone(), Arc::new(data.clone()));
+                    self.remember_status(path);
+                    total_bytes += data.len();
+                    served += 1;
+                    let mut acc = self.accounting.lock();
+                    acc.stats.writes += 1;
+                    acc.stats.bytes_written += data.len() as u64;
+                    out.push(Ok(()));
+                }
+                Err(e) => out.push(Err(e)),
+            }
+        }
+        // Rejected writes (e.g. a lock held by another client) are free in
+        // the serial path, so only accepted objects make up the round trip.
+        if served > 0 {
+            self.charge(self.latency.batch_rpc_cost(served, total_bytes));
+            self.accounting.lock().stats.remote_rpcs += 1;
+        }
+        out
+    }
+
+    fn stat_many(&self, paths: &[String]) -> Vec<Result<ObjectStat, StorageError>> {
+        // Sequential like serial `stat` so a duplicate path later in the
+        // batch hits the status entry its earlier slot cached; serial `stat`
+        // charges whether or not the key exists, so every miss counts
+        // toward the one batched round trip.
+        let mut out = Vec::with_capacity(paths.len());
+        let mut misses = 0usize;
+        for path in paths {
+            if let Some(stat) = self.status_valid(path) {
+                self.charge_cache_hit();
+                out.push(Ok(stat));
+                continue;
+            }
+            misses += 1;
+            match self.server.store.stat(path) {
+                Ok(stat) => {
+                    self.server.grant_callback(path, self.id);
+                    self.status_cache.lock().insert(path.clone(), stat);
+                    out.push(Ok(stat));
+                }
+                Err(e) => out.push(Err(e)),
+            }
+        }
+        if misses > 0 {
+            self.charge(self.latency.batch_rpc_cost(misses, 0));
+            self.accounting.lock().stats.remote_rpcs += 1;
+        }
+        out
+    }
+
     fn stats(&self) -> IoStats {
         self.accounting.lock().stats
     }
@@ -493,6 +613,103 @@ mod tests {
                 assert_eq!(reader.get(&format!("t{t}-f{i}")).unwrap(), vec![t as u8; 64]);
             }
         }
+    }
+
+    #[test]
+    fn batched_get_is_one_rpc_for_all_misses() {
+        let (_, a, _) = setup();
+        let paths: Vec<String> = (0..8).map(|i| format!("f{i}")).collect();
+        for p in &paths {
+            a.put(p, &vec![3u8; 2048]).unwrap();
+        }
+        a.flush_cache();
+        let before = a.stats();
+        let out = a.get_many(&paths);
+        let after = a.stats();
+        assert!(out.iter().all(|r| r.as_deref() == Ok(&vec![3u8; 2048][..])));
+        assert_eq!(after.remote_rpcs - before.remote_rpcs, 1, "one batch RPC");
+        assert_eq!(after.reads - before.reads, 8, "per-object reads still counted");
+        assert_eq!(after.bytes_read - before.bytes_read, 8 * 2048);
+        // A second batched read is all cache hits: no RPC at all.
+        let before = a.stats();
+        a.get_many(&paths);
+        let after = a.stats();
+        assert_eq!(after.remote_rpcs, before.remote_rpcs);
+        assert_eq!(after.cache_hits - before.cache_hits, 8);
+    }
+
+    #[test]
+    fn batched_get_is_cheaper_than_serial_on_the_clock() {
+        let server = AfsServer::new();
+        let clock = SimClock::new();
+        let writer = AfsClient::connect(&server, clock.clone(), LatencyModel::default());
+        let paths: Vec<String> = (0..16).map(|i| format!("f{i}")).collect();
+        for p in &paths {
+            writer.put(p, &vec![1u8; 1024]).unwrap();
+        }
+        let serial = AfsClient::connect(&server, clock.clone(), LatencyModel::default());
+        for p in &paths {
+            serial.get(p).unwrap();
+        }
+        let batched = AfsClient::connect(&server, clock, LatencyModel::default());
+        batched.get_many(&paths);
+        assert!(
+            batched.simulated_time() < serial.simulated_time(),
+            "batched {:?} vs serial {:?}",
+            batched.simulated_time(),
+            serial.simulated_time()
+        );
+    }
+
+    #[test]
+    fn batched_put_breaks_callbacks_like_serial() {
+        let (server, a, b) = setup();
+        a.put("f0", b"v1").unwrap();
+        a.put("f1", b"v1").unwrap();
+        b.get("f0").unwrap();
+        b.get("f1").unwrap();
+        let before = a.stats();
+        let out = a.put_many(&[
+            ("f0".to_string(), b"v2".to_vec()),
+            ("f1".to_string(), b"v2".to_vec()),
+            ("f2".to_string(), b"new".to_vec()),
+        ]);
+        assert!(out.iter().all(|r| r.is_ok()));
+        let after = a.stats();
+        assert_eq!(after.remote_rpcs - before.remote_rpcs, 1);
+        assert_eq!(after.writes - before.writes, 3);
+        // b lost both callbacks, exactly as with serial puts.
+        assert_eq!(server.callback_holders("f0"), vec![a.client_id()]);
+        assert_eq!(server.callback_holders("f1"), vec![a.client_id()]);
+        assert_eq!(b.get("f0").unwrap(), b"v2");
+        assert_eq!(b.stats().cache_hits, 0, "b had to refetch");
+    }
+
+    #[test]
+    fn batched_get_reports_missing_objects_per_slot() {
+        let (_, a, _) = setup();
+        a.put("present", b"x").unwrap();
+        a.flush_cache();
+        let out = a.get_many(&["present".into(), "absent".into()]);
+        assert_eq!(out[0].as_deref(), Ok(&b"x"[..]));
+        assert!(matches!(out[1], Err(StorageError::NotFound(_))));
+    }
+
+    #[test]
+    fn batched_stat_uses_status_cache() {
+        let (_, a, _) = setup();
+        a.put("s0", b"x").unwrap();
+        a.put("s1", b"yy").unwrap();
+        a.flush_cache();
+        let paths = ["s0".to_string(), "s1".to_string()];
+        let before = a.stats();
+        let out = a.stat_many(&paths);
+        assert_eq!(out[0].as_ref().map(|s| s.size), Ok(1));
+        assert_eq!(out[1].as_ref().map(|s| s.size), Ok(2));
+        assert_eq!(a.stats().remote_rpcs - before.remote_rpcs, 1);
+        let before = a.stats();
+        a.stat_many(&paths);
+        assert_eq!(a.stats().remote_rpcs, before.remote_rpcs, "all status hits");
     }
 
     #[test]

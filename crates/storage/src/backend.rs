@@ -168,6 +168,35 @@ pub trait StorageBackend: Send + Sync {
     /// Releases the advisory lock on `path` if held by `owner`.
     fn unlock(&self, path: &str, owner: u64);
 
+    /// Reads many objects in one logical round trip.
+    ///
+    /// `out[i]` is the result for `paths[i]`; a missing object yields
+    /// [`StorageError::NotFound`] in its slot without failing the batch.
+    /// The default implementation loops over [`StorageBackend::get`];
+    /// simulated network backends override it to charge a single RTT plus
+    /// summed per-object disk and transfer terms, while keeping caching,
+    /// callback, and per-object statistics semantics identical to the
+    /// serial loop.
+    fn get_many(&self, paths: &[String]) -> Vec<Result<Vec<u8>, StorageError>> {
+        paths.iter().map(|p| self.get(p)).collect()
+    }
+
+    /// Stores many objects in one logical round trip.
+    ///
+    /// `out[i]` is the result for `items[i]`; per-object failures do not
+    /// abort the rest of the batch. Defaults to looping over
+    /// [`StorageBackend::put`]; overrides must preserve per-object
+    /// write/callback semantics and differ only in RPC accounting.
+    fn put_many(&self, items: &[(String, Vec<u8>)]) -> Vec<Result<(), StorageError>> {
+        items.iter().map(|(p, d)| self.put(p, d)).collect()
+    }
+
+    /// Stats many objects in one logical round trip; same contract as
+    /// [`StorageBackend::get_many`].
+    fn stat_many(&self, paths: &[String]) -> Vec<Result<ObjectStat, StorageError>> {
+        paths.iter().map(|p| self.stat(p)).collect()
+    }
+
     /// Cumulative I/O statistics.
     fn stats(&self) -> IoStats;
 
@@ -246,6 +275,18 @@ mod tests {
         assert!(be.get_range("p", 3, 2).is_err());
         // Zero-length read at EOF stays legal.
         assert_eq!(be.get_range("p", 4, 0).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn default_batch_ops_loop_over_serial() {
+        let be = FixedBackend(vec![9, 9]);
+        let out = be.get_many(&["a".into(), "b".into()]);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|r| r.as_deref() == Ok(&[9u8, 9][..])));
+        let stats = be.stat_many(&["a".into()]);
+        assert_eq!(stats[0], Ok(ObjectStat { size: 2, version: 0 }));
+        assert!(be.get_many(&[]).is_empty());
+        assert!(be.put_many(&[]).is_empty());
     }
 
     #[test]

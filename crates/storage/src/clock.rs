@@ -29,8 +29,23 @@ impl SimClock {
     }
 
     /// Advances the clock by `d`.
+    ///
+    /// Saturating: a clock near the end of its u64 nanosecond range (or a
+    /// pathological latency model handing out multi-century costs) pins at
+    /// `u64::MAX` instead of wrapping back toward zero mid-benchmark, which
+    /// would silently corrupt every simulated-latency delta taken across
+    /// the wrap.
     pub fn advance(&self, d: Duration) {
-        self.nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        let add = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        let mut current = self.nanos.load(Ordering::Relaxed);
+        while let Err(seen) = self.nanos.compare_exchange_weak(
+            current,
+            current.saturating_add(add),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            current = seen;
+        }
     }
 
     /// Convenience: elapsed virtual time since an earlier reading.
@@ -97,12 +112,31 @@ impl LatencyModel {
 
     /// Cost of one RPC transferring `bytes` of payload.
     pub fn rpc_cost(&self, bytes: usize) -> Duration {
+        self.rpc_rtt + self.server_disk + self.transfer(bytes)
+    }
+
+    /// Cost of one *batched* RPC covering `objects` objects and `bytes` of
+    /// total payload: a single round trip, per-object server disk service,
+    /// and the summed transfer term. An empty batch costs nothing (no RPC
+    /// is issued). `batch_rpc_cost(1, n) == rpc_cost(n)`, so a batch of one
+    /// is exactly a serial RPC.
+    pub fn batch_rpc_cost(&self, objects: usize, bytes: usize) -> Duration {
+        if objects == 0 {
+            return Duration::ZERO;
+        }
+        let disk = self
+            .server_disk
+            .saturating_mul(u32::try_from(objects).unwrap_or(u32::MAX));
+        self.rpc_rtt + disk + self.transfer(bytes)
+    }
+
+    fn transfer(&self, bytes: usize) -> Duration {
         let transfer_nanos = if self.bandwidth_bytes_per_sec == u64::MAX {
             0
         } else {
             (bytes as u128 * 1_000_000_000u128 / self.bandwidth_bytes_per_sec as u128) as u64
         };
-        self.rpc_rtt + self.server_disk + Duration::from_nanos(transfer_nanos)
+        Duration::from_nanos(transfer_nanos)
     }
 }
 
@@ -132,6 +166,45 @@ mod tests {
         let t0 = clock.now();
         clock.advance(Duration::from_millis(3));
         assert_eq!(clock.since(t0), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn advance_saturates_near_u64_max() {
+        // Regression: `advance` used an unchecked fetch_add, so a clock
+        // within one RPC of u64::MAX nanoseconds wrapped to ~zero and every
+        // later `since()` delta went garbage. It must pin at the max.
+        let clock = SimClock::new();
+        clock.advance(Duration::from_nanos(u64::MAX - 10));
+        assert_eq!(clock.now(), Duration::from_nanos(u64::MAX - 10));
+        clock.advance(Duration::from_millis(1));
+        assert_eq!(clock.now(), Duration::from_nanos(u64::MAX), "pins, not wraps");
+        clock.advance(Duration::from_secs(3600));
+        assert_eq!(clock.now(), Duration::from_nanos(u64::MAX), "stays pinned");
+        // Durations whose nanosecond count exceeds u64 entirely (u128 in
+        // std) saturate instead of truncating to a small value.
+        let fresh = SimClock::new();
+        fresh.advance(Duration::MAX);
+        assert_eq!(fresh.now(), Duration::from_nanos(u64::MAX));
+    }
+
+    #[test]
+    fn batch_rpc_cost_charges_one_rtt() {
+        let model = LatencyModel {
+            rpc_rtt: Duration::from_millis(1),
+            bandwidth_bytes_per_sec: 1_000_000,
+            lock_overhead: Duration::ZERO,
+            cache_hit: Duration::ZERO,
+            server_disk: Duration::from_micros(100),
+        };
+        // 8 objects, 1 MB total: 1 ms RTT + 8 * 100 us disk + 1 s transfer.
+        let batched = model.batch_rpc_cost(8, 1_000_000);
+        assert_eq!(batched, Duration::from_micros(1000 + 800 + 1_000_000));
+        // Strictly cheaper than eight serial RPCs moving the same bytes.
+        let serial = model.rpc_cost(125_000) * 8;
+        assert!(batched < serial, "{batched:?} vs {serial:?}");
+        // Degenerate batches.
+        assert_eq!(model.batch_rpc_cost(0, 0), Duration::ZERO);
+        assert_eq!(model.batch_rpc_cost(1, 4096), model.rpc_cost(4096));
     }
 
     #[test]

@@ -110,6 +110,17 @@ impl CloudStore {
         self.stats.lock().remote_rpcs += 1;
     }
 
+    /// One batched round trip over `objects` objects moving `bytes` total.
+    fn charge_batch(&self, objects: usize, bytes: usize) {
+        if objects == 0 {
+            return;
+        }
+        let cost = self.latency.batch_rpc_cost(objects, bytes);
+        self.clock.advance(cost);
+        *self.simulated_nanos.lock() += cost.as_nanos() as u64;
+        self.stats.lock().remote_rpcs += 1;
+    }
+
     fn lock_object(path: &str) -> String {
         format!("{path}.lock")
     }
@@ -209,6 +220,79 @@ impl StorageBackend for CloudStore {
         }
     }
 
+    fn get_many(&self, paths: &[String]) -> Vec<Result<Vec<u8>, StorageError>> {
+        // A multi-object GET: one round trip, per-object billing (the
+        // provider still meters GET-class requests per key), per-object
+        // disk service and summed egress in the latency model.
+        if paths.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(paths.len());
+        let mut total_bytes = 0usize;
+        let mut served = 0usize;
+        for path in paths {
+            match self.objects.get(path) {
+                Ok(data) => {
+                    total_bytes += data.len();
+                    served += 1;
+                    let mut billing = self.billing.lock();
+                    billing.get_requests += 1;
+                    billing.egress_bytes += data.len() as u64;
+                    let mut stats = self.stats.lock();
+                    stats.reads += 1;
+                    stats.bytes_read += data.len() as u64;
+                    out.push(Ok(data));
+                }
+                Err(e) => out.push(Err(e)),
+            }
+        }
+        // Missing keys are free in the serial path (no payload, no billing),
+        // so only the served objects make up the batched round trip.
+        self.charge_batch(served, total_bytes);
+        out
+    }
+
+    fn put_many(&self, items: &[(String, Vec<u8>)]) -> Vec<Result<(), StorageError>> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(items.len());
+        let mut total_bytes = 0usize;
+        let mut served = 0usize;
+        for (path, data) in items {
+            match self.objects.put(path, data) {
+                Ok(()) => {
+                    total_bytes += data.len();
+                    served += 1;
+                    let mut billing = self.billing.lock();
+                    billing.put_requests += 1;
+                    billing.ingress_bytes += data.len() as u64;
+                    let mut stats = self.stats.lock();
+                    stats.writes += 1;
+                    stats.bytes_written += data.len() as u64;
+                    out.push(Ok(()));
+                }
+                Err(e) => out.push(Err(e)),
+            }
+        }
+        // Rejected writes are free in the serial path, so only accepted
+        // objects make up the batched round trip.
+        self.charge_batch(served, total_bytes);
+        out
+    }
+
+    fn stat_many(&self, paths: &[String]) -> Vec<Result<ObjectStat, StorageError>> {
+        if paths.is_empty() {
+            return Vec::new();
+        }
+        // Serial `stat` bills a HEAD whether or not the key exists; the
+        // batch keeps that per-key billing.
+        self.billing.lock().get_requests += paths.len() as u64;
+        let out = paths.iter().map(|p| self.objects.stat(p)).collect();
+        self.charge_batch(paths.len(), 0);
+        out
+    }
+
     fn stats(&self) -> IoStats {
         *self.stats.lock()
     }
@@ -277,6 +361,47 @@ mod tests {
         assert!(names.contains(&"aabbccdd.lock".to_string()));
         // NEXUS object names are exactly 32 hex chars; `.lock` suffixed
         // names are ignored by fsck/gc (not valid UUID names).
+    }
+
+    #[test]
+    fn batched_ops_bill_per_object_but_rpc_once() {
+        let (s, _) = store();
+        let items: Vec<(String, Vec<u8>)> =
+            (0..5).map(|i| (format!("o{i}"), vec![i as u8; 100])).collect();
+        let out = s.put_many(&items);
+        assert!(out.iter().all(|r| r.is_ok()));
+        assert_eq!(s.stats().remote_rpcs, 1, "one batched PUT round trip");
+        assert_eq!(s.billing().put_requests, 5, "provider still meters per key");
+        assert_eq!(s.billing().ingress_bytes, 500);
+
+        let paths: Vec<String> = (0..5).map(|i| format!("o{i}")).collect();
+        let out = s.get_many(&paths);
+        assert!(out.iter().all(|r| r.is_ok()));
+        assert_eq!(s.stats().remote_rpcs, 2);
+        assert_eq!(s.billing().get_requests, 5);
+        assert_eq!(s.billing().egress_bytes, 500);
+    }
+
+    #[test]
+    fn batched_get_latency_beats_serial_wan() {
+        let clock = SimClock::new();
+        let serial = CloudStore::new(clock.clone());
+        let batched = CloudStore::new(clock);
+        for i in 0..10 {
+            serial.put(&format!("k{i}"), &[0u8; 64]).unwrap();
+            batched.put(&format!("k{i}"), &[0u8; 64]).unwrap();
+        }
+        let t_serial = serial.simulated_time();
+        let t_batched = batched.simulated_time();
+        let paths: Vec<String> = (0..10).map(|i| format!("k{i}")).collect();
+        for p in &paths {
+            serial.get(p).unwrap();
+        }
+        batched.get_many(&paths);
+        let serial_cost = serial.simulated_time() - t_serial;
+        let batched_cost = batched.simulated_time() - t_batched;
+        // 10 WAN RTTs collapse to 1; only the per-object disk term scales.
+        assert!(batched_cost * 4 < serial_cost, "{batched_cost:?} vs {serial_cost:?}");
     }
 
     #[test]

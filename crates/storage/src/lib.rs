@@ -31,6 +31,7 @@
 
 pub mod afs;
 pub mod backend;
+pub mod batch;
 pub mod cloud;
 pub mod clock;
 pub mod dir;
@@ -38,6 +39,7 @@ pub mod malicious;
 pub mod mem;
 
 pub use backend::{IoStats, ObjectStat, StorageBackend, StorageError};
+pub use batch::BatchWriter;
 pub use clock::{LatencyModel, SimClock};
 pub use cloud::{CloudBilling, CloudStore};
 pub use dir::DirBackend;

@@ -137,6 +137,56 @@ impl StorageBackend for MemBackend {
             .collect()
     }
 
+    fn get_many(&self, paths: &[String]) -> Vec<Result<Vec<u8>, StorageError>> {
+        // One lock epoch for the whole batch: readers see either none or
+        // all of a concurrent `put_many`, never an interleaving.
+        let mut inner = self.inner.write();
+        paths
+            .iter()
+            .map(|path| match inner.objects.get(path) {
+                Some(obj) => {
+                    let data = obj.data.as_ref().clone();
+                    inner.stats.reads += 1;
+                    inner.stats.bytes_read += data.len() as u64;
+                    Ok(data)
+                }
+                None => Err(StorageError::NotFound(path.clone())),
+            })
+            .collect()
+    }
+
+    fn put_many(&self, items: &[(String, Vec<u8>)]) -> Vec<Result<(), StorageError>> {
+        // Applied atomically under one write-lock epoch; BatchWriter relies
+        // on this when flushing a metadata commit.
+        let mut inner = self.inner.write();
+        items
+            .iter()
+            .map(|(path, data)| {
+                let version = inner.objects.get(path).map(|o| o.version + 1).unwrap_or(1);
+                inner
+                    .objects
+                    .insert(path.clone(), Object { data: Arc::new(data.clone()), version });
+                inner.stats.writes += 1;
+                inner.stats.bytes_written += data.len() as u64;
+                Ok(())
+            })
+            .collect()
+    }
+
+    fn stat_many(&self, paths: &[String]) -> Vec<Result<ObjectStat, StorageError>> {
+        let inner = self.inner.read();
+        paths
+            .iter()
+            .map(|path| {
+                inner
+                    .objects
+                    .get(path)
+                    .map(|o| ObjectStat { size: o.data.len() as u64, version: o.version })
+                    .ok_or_else(|| StorageError::NotFound(path.clone()))
+            })
+            .collect()
+    }
+
     fn lock(&self, path: &str, owner: u64) -> Result<(), StorageError> {
         let mut inner = self.inner.write();
         match inner.locks.get(path) {
@@ -253,6 +303,31 @@ mod tests {
         assert_eq!(stats.reads, 2);
         assert_eq!(stats.bytes_written, 5);
         assert_eq!(stats.bytes_read, 7);
+    }
+
+    #[test]
+    fn batch_ops_match_serial_semantics() {
+        let store = MemBackend::new();
+        store.put("a", b"old").unwrap();
+        let out = store.put_many(&[
+            ("a".to_string(), b"new".to_vec()),
+            ("b".to_string(), b"fresh".to_vec()),
+        ]);
+        assert!(out.iter().all(|r| r.is_ok()));
+        assert_eq!(store.stat("a").unwrap().version, 2, "versions still bump per put");
+        assert_eq!(store.stat("b").unwrap().version, 1);
+        let got = store.get_many(&["a".into(), "missing".into(), "b".into()]);
+        assert_eq!(got[0].as_deref(), Ok(&b"new"[..]));
+        assert!(matches!(got[1], Err(StorageError::NotFound(_))));
+        assert_eq!(got[2].as_deref(), Ok(&b"fresh"[..]));
+        let stats = store.stat_many(&["b".into(), "missing".into()]);
+        assert_eq!(stats[0], Ok(ObjectStat { size: 5, version: 1 }));
+        assert!(stats[1].is_err());
+        // Op counts identical to the serial loop: 2 writes, 2 found reads.
+        let s = store.stats();
+        assert_eq!((s.writes, s.reads), (3, 2));
+        assert_eq!(s.bytes_written, 3 + 3 + 5);
+        assert_eq!(s.bytes_read, 3 + 5);
     }
 
     #[test]

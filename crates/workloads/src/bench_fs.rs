@@ -106,6 +106,12 @@ pub trait BenchFs {
     /// Reads a whole file.
     fn read_file(&self, path: &str) -> Result<Vec<u8>>;
 
+    /// Reads many whole files; systems with a batched storage path fetch
+    /// all of them in one round trip.
+    fn read_files(&self, paths: &[&str]) -> Result<Vec<Vec<u8>>> {
+        paths.iter().map(|p| self.read_file(p)).collect()
+    }
+
     /// Reads `len` bytes at `offset`.
     fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>>;
 
@@ -166,6 +172,11 @@ impl NexusFs {
     pub fn volume(&self) -> &NexusVolume {
         &self.volume
     }
+
+    /// The underlying AFS client (for RPC accounting).
+    pub fn client(&self) -> &AfsClient {
+        &self.afs
+    }
 }
 
 impl BenchFs for NexusFs {
@@ -183,6 +194,10 @@ impl BenchFs for NexusFs {
 
     fn read_file(&self, path: &str) -> Result<Vec<u8>> {
         Ok(self.volume.read_file(path)?)
+    }
+
+    fn read_files(&self, paths: &[&str]) -> Result<Vec<Vec<u8>>> {
+        Ok(self.volume.read_files(paths)?)
     }
 
     fn read_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {

@@ -60,7 +60,13 @@ impl TestRig {
 
     /// A fresh, authenticated NEXUS volume over its own AFS deployment.
     pub fn nexus_fs(&self) -> NexusFs {
-        let (_server, client, _clock) = self.afs();
+        self.nexus_deployment().1
+    }
+
+    /// Like [`TestRig::nexus_fs`] but also hands back the AFS server, so a
+    /// benchmark can audit the stored (ciphertext) objects directly.
+    pub fn nexus_deployment(&self) -> (AfsServer, NexusFs) {
+        let (server, client, _clock) = self.afs();
         let (volume, _sealed) = NexusVolume::create(
             &self.platform,
             client.clone(),
@@ -70,7 +76,7 @@ impl TestRig {
         )
         .expect("volume creation");
         volume.authenticate(&self.owner).expect("owner auth");
-        NexusFs::new(volume, client)
+        (server, NexusFs::new(volume, client))
     }
 
     /// A fresh plain-AFS baseline over its own AFS deployment.

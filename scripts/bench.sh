@@ -1,33 +1,37 @@
 #!/usr/bin/env bash
-# Data-path perf harness: runs the micro_datapath bench and emits the
-# machine-readable BENCH_datapath.json at the repo root.
+# Perf harness: runs the micro_datapath and micro_rpcbatch benches and
+# emits the machine-readable BENCH_*.json documents at the repo root.
 #
 #   scripts/bench.sh           full sizes, writes ./BENCH_datapath.json
+#                              and ./BENCH_rpcbatch.json
 #   scripts/bench.sh --smoke   reduced sizes for CI (scripts/verify.sh);
-#                              writes target/BENCH_datapath.smoke.json so
-#                              the checked-in artifact is never clobbered
+#                              writes target/BENCH_*.smoke.json so the
+#                              checked-in artifacts are never clobbered
 #                              by a throwaway run
 #
 # Either way the resulting JSON is validated (parses, carries every field
-# downstream tooling reads); the full run additionally enforces the PR's
-# acceptance floors: a single-thread batched-GCM win and >= 2x chunk
+# downstream tooling reads); the full run additionally enforces the
+# acceptance floors: a single-thread batched-GCM win, >= 2x chunk
 # throughput at 4 threads (measured on >= 4-core hosts, ideal-pipeline
-# modeled otherwise — see "speedup_basis" in the document).
+# modeled otherwise — see "speedup_basis"), and >= 1.5x fewer storage
+# RPCs with lower simulated latency for the batched workloads.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 mode="full"
 out="BENCH_datapath.json"
+out_rpc="BENCH_rpcbatch.json"
 flags=()
 if [ "${1:-}" = "--smoke" ]; then
     mode="smoke"
     out="target/BENCH_datapath.smoke.json"
+    out_rpc="target/BENCH_rpcbatch.smoke.json"
     flags+=(--smoke)
 fi
 
-echo "== cargo build --release (micro_datapath) =="
-cargo build --release --offline -p nexus-bench --bin micro_datapath
+echo "== cargo build --release (micro_datapath, micro_rpcbatch) =="
+cargo build --release --offline -p nexus-bench --bin micro_datapath --bin micro_rpcbatch
 
 echo "== micro_datapath ($mode) =="
 mkdir -p "$(dirname "$out")"
@@ -59,6 +63,39 @@ if mode == "full":
     assert at4 >= 2.0, f"need >= 2x at 4 threads, got x{at4:.2f}"
 print(f"ok: {path} valid; gcm x{gcm:.2f}, "
       f"4-thread x{at4:.2f} ({doc['speedup_basis']})")
+EOF
+
+echo "== micro_rpcbatch ($mode) =="
+mkdir -p "$(dirname "$out_rpc")"
+./target/release/micro_rpcbatch "${flags[@]}" --json "$out_rpc"
+
+echo "== validate $out_rpc =="
+python3 - "$out_rpc" "$mode" <<'EOF'
+import json, sys
+path, mode = sys.argv[1], sys.argv[2]
+with open(path) as f:
+    doc = json.load(f)
+for key in ("bench", "files", "chunk_bytes", "latency_model",
+            "ciphertext_identical", "stored_objects",
+            "metadata_heavy", "bulk_read", "prefetch_sweep"):
+    assert key in doc, f"{path}: missing key {key!r}"
+for wl in ("metadata_heavy", "bulk_read"):
+    for key in ("rpcs_serial", "rpcs_batched", "rpc_ratio",
+                "sim_ms_serial", "sim_ms_batched"):
+        assert key in doc[wl], f"{path}: missing {wl}.{key}"
+for key in ("windows", "rpcs", "sim_ms"):
+    assert key in doc["prefetch_sweep"], f"{path}: missing prefetch_sweep.{key}"
+assert doc["ciphertext_identical"] is True, \
+    "batching must not change a single stored byte"
+if mode == "full":
+    # Acceptance floors (smoke only guards the emitter itself).
+    for wl in ("metadata_heavy", "bulk_read"):
+        r = doc[wl]["rpc_ratio"]
+        assert r >= 1.5, f"{wl}: need >= 1.5x fewer RPCs, got x{r:.2f}"
+        assert doc[wl]["sim_ms_batched"] < doc[wl]["sim_ms_serial"], \
+            f"{wl}: batched simulated latency must be lower"
+meta, bulk = doc["metadata_heavy"]["rpc_ratio"], doc["bulk_read"]["rpc_ratio"]
+print(f"ok: {path} valid; metadata x{meta:.2f}, bulk-read x{bulk:.2f} fewer RPCs")
 EOF
 
 echo "bench: OK"
