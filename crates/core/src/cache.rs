@@ -15,26 +15,32 @@ use nexus_sync::Mutex;
 use crate::enclave::CachedNode;
 use crate::uuid::NexusUuid;
 
-/// Number of shards; fixed so the layout is deterministic across mounts.
+/// Default number of shards (see [`crate::enclave::NexusConfig::cache_shards`]).
 pub(crate) const SHARD_COUNT: usize = 16;
 
 type Shard = Mutex<HashMap<NexusUuid, (CachedNode, u64)>>;
 
-/// 16-way sharded map from object UUID to (decrypted node, storage version).
+/// UUID-sharded map from object UUID to (decrypted node, storage version).
 pub(crate) struct ShardedCache {
-    shards: [Shard; SHARD_COUNT],
+    shards: Vec<Shard>,
 }
 
 impl ShardedCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default shard count.
     pub(crate) fn new() -> ShardedCache {
-        ShardedCache { shards: std::array::from_fn(|_| Mutex::new(HashMap::new())) }
+        ShardedCache::with_shards(SHARD_COUNT)
+    }
+
+    /// Creates an empty cache with `n` shards (clamped to at least one);
+    /// wired from `NexusConfig::cache_shards` at mount time.
+    pub(crate) fn with_shards(n: usize) -> ShardedCache {
+        ShardedCache { shards: (0..n.max(1)).map(|_| Mutex::new(HashMap::new())).collect() }
     }
 
     /// The shard holding `uuid`: keyed off the UUID's first byte, which is
     /// uniformly random for generated UUIDs.
     fn shard(&self, uuid: &NexusUuid) -> &Shard {
-        &self.shards[uuid.0[0] as usize % SHARD_COUNT]
+        &self.shards[uuid.0[0] as usize % self.shards.len()]
     }
 
     /// Clones out the cached node and the storage version it came from.
@@ -106,6 +112,20 @@ mod tests {
         // Every shard got exactly two of the 32 sequential first bytes.
         for shard in cache.shards.iter() {
             assert_eq!(shard.lock().len(), 2);
+        }
+    }
+
+    #[test]
+    fn custom_shard_counts_hold_all_entries() {
+        for n in [0usize, 1, 4, 64] {
+            let cache = ShardedCache::with_shards(n);
+            for b in 0..32u8 {
+                let uuid = uuid_with_first_byte(b);
+                cache.insert(uuid, CachedNode::Dir(Dirnode::new(uuid, NexusUuid::NIL, 8)), 1);
+                assert!(cache.get(&uuid).is_some());
+            }
+            assert_eq!(cache.len(), 32);
+            assert_eq!(cache.shards.len(), n.max(1), "zero clamps to one shard");
         }
     }
 

@@ -45,6 +45,11 @@ pub struct NexusConfig {
     /// Chunks fetched ahead of the decryptor on the pipelined bulk-read
     /// path; `0` disables pipelining (whole-object fetch, then decrypt).
     pub prefetch_window: usize,
+    /// Shards in the in-enclave metadata cache's lock array. More shards
+    /// cut lock traffic when many threads drive one mounted volume; one
+    /// shard degenerates to a single-lock cache (useful as a contention
+    /// baseline). Clamped to at least 1.
+    pub cache_shards: usize,
 }
 
 impl Default for NexusConfig {
@@ -56,6 +61,7 @@ impl Default for NexusConfig {
             merkle_freshness: false,
             batch_rpcs: true,
             prefetch_window: 4,
+            cache_shards: crate::cache::SHARD_COUNT,
         }
     }
 }

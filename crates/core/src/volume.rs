@@ -137,7 +137,7 @@ impl NexusVolume {
                 supernode,
                 supernode_version: 0,
                 session: None,
-                meta_cache: Default::default(),
+                meta_cache: crate::cache::ShardedCache::with_shards(config.cache_shards),
                 version_table: Default::default(),
                 manifest: None,
             });
@@ -186,7 +186,7 @@ impl NexusVolume {
                 supernode,
                 supernode_version: version,
                 session: None,
-                meta_cache: Default::default(),
+                meta_cache: crate::cache::ShardedCache::with_shards(config.cache_shards),
                 version_table: Default::default(),
                 manifest: None,
             });

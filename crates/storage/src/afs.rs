@@ -12,17 +12,39 @@
 //! - **A latency model on a virtual clock**: every RPC advances the shared
 //!   [`SimClock`] by an RTT plus a bandwidth term, so benchmark harnesses
 //!   measure simulated network time without sleeping.
+//!
+//! Concurrency model (DESIGN.md §10): server callback/write-time state and
+//! the client's data+status cache are UUID-byte-sharded lock arrays, and
+//! per-client accounting is lock-free atomics, so N clients only contend
+//! where they actually share objects. Each client charges RPC costs to its
+//! own [`ClockLane`]; the shared clock reads the *maximum* over lanes, so
+//! independent clients' round trips overlap in simulated time. Server-side
+//! store/callback mutations for one path happen atomically under that
+//! path's shard lock (`fetch_with_callback`/`put_with_callback`), which is
+//! what makes a callback break delivered mid-batch always win over a
+//! racing stale re-grant. Lock order is always server-state shard → store
+//! shard; client cache shards are never held across a server call.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use nexus_sync::Mutex;
-
-use crate::backend::{IoStats, ObjectStat, StorageBackend, StorageError};
-use crate::clock::{LatencyModel, SimClock};
+use crate::backend::{AtomicIoStats, IoStats, ObjectStat, StorageBackend, StorageError};
+use crate::clock::{ClockLane, LatencyModel, SimClock};
 use crate::mem::MemBackend;
+use crate::shard::ShardedMutex;
+
+/// Per-path server state: callback holders and the lane time at which the
+/// last write to the path finished (the happens-before edge handed to
+/// later readers on other lanes).
+#[derive(Debug, Default)]
+struct ServerShard {
+    /// path → clients holding a valid callback promise.
+    callbacks: HashMap<String, HashSet<u64>>,
+    /// path → latest writer-lane nanosecond the object became available.
+    write_nanos: HashMap<String, u64>,
+}
 
 /// The shared AFS file server.
 ///
@@ -31,8 +53,7 @@ use crate::mem::MemBackend;
 #[derive(Debug, Clone, Default)]
 pub struct AfsServer {
     store: MemBackend,
-    /// path → clients holding a valid callback promise.
-    callbacks: Arc<Mutex<HashMap<String, HashSet<u64>>>>,
+    state: ShardedMutex<ServerShard>,
     next_client_id: Arc<AtomicU64>,
 }
 
@@ -53,17 +74,10 @@ impl AfsServer {
         self.next_client_id.fetch_add(1, Ordering::Relaxed) + 1
     }
 
-    fn grant_callback(&self, path: &str, client: u64) {
-        self.callbacks
-            .lock()
-            .entry(path.to_string())
-            .or_default()
-            .insert(client);
-    }
-
     fn has_callback(&self, path: &str, client: u64) -> bool {
-        self.callbacks
-            .lock()
+        self.state
+            .lock(path)
+            .callbacks
             .get(path)
             .map(|s| s.contains(&client))
             .unwrap_or(false)
@@ -71,9 +85,63 @@ impl AfsServer {
 
     /// Breaks every callback on `path` except the updating client's.
     fn break_callbacks(&self, path: &str, except: u64) {
-        if let Some(holders) = self.callbacks.lock().get_mut(path) {
+        if let Some(holders) = self.state.lock(path).callbacks.get_mut(path) {
             holders.retain(|&c| c == except);
         }
+    }
+
+    /// Atomic server-side FetchData: reads the object and grants the
+    /// caller's callback under the path's shard lock, so a concurrent
+    /// writer's break either happens entirely before (the caller reads the
+    /// new bytes) or entirely after (the caller's fresh promise is broken
+    /// and the next read refetches). Returns the data, its version, and
+    /// the writer-lane time it became available.
+    fn fetch_with_callback(
+        &self,
+        path: &str,
+        client: u64,
+    ) -> Result<(Arc<Vec<u8>>, u64, Duration), StorageError> {
+        let mut state = self.state.lock(path);
+        let (data, version) = self.store.get_arc(path)?;
+        state.callbacks.entry(path.to_string()).or_default().insert(client);
+        let avail = Duration::from_nanos(state.write_nanos.get(path).copied().unwrap_or(0));
+        Ok((data, version, avail))
+    }
+
+    /// Atomic server-side StoreData: writes the object, breaks every other
+    /// client's callback, and grants the writer's, all under the path's
+    /// shard lock. Returns the new object version.
+    fn put_with_callback(
+        &self,
+        path: &str,
+        data: &[u8],
+        client: u64,
+    ) -> Result<u64, StorageError> {
+        let mut state = self.state.lock(path);
+        let version = self.store.put_versioned(path, data);
+        let holders = state.callbacks.entry(path.to_string()).or_default();
+        holders.retain(|&c| c == client);
+        holders.insert(client);
+        Ok(version)
+    }
+
+    /// Atomic server-side FetchStatus: stats the object and grants the
+    /// caller's callback (real AFS caches attributes under the same
+    /// promise as data).
+    fn stat_with_callback(&self, path: &str, client: u64) -> Result<ObjectStat, StorageError> {
+        let mut state = self.state.lock(path);
+        let stat = self.store.stat(path)?;
+        state.callbacks.entry(path.to_string()).or_default().insert(client);
+        Ok(stat)
+    }
+
+    /// Records that `path` finished being written at writer-lane time `at`
+    /// (monotonic per path).
+    fn record_write(&self, path: &str, at: Duration) {
+        let nanos = u64::try_from(at.as_nanos()).unwrap_or(u64::MAX);
+        let mut state = self.state.lock(path);
+        let entry = state.write_nanos.entry(path.to_string()).or_insert(0);
+        *entry = (*entry).max(nanos);
     }
 
     /// Clients currently holding a callback promise on `path`, sorted.
@@ -83,8 +151,9 @@ impl AfsServer {
     /// serial puts would have broken.
     pub fn callback_holders(&self, path: &str) -> Vec<u64> {
         let mut holders: Vec<u64> = self
+            .state
+            .lock(path)
             .callbacks
-            .lock()
             .get(path)
             .map(|s| s.iter().copied().collect())
             .unwrap_or_default();
@@ -105,12 +174,43 @@ impl AfsServer {
     }
 }
 
-/// Per-client accounting, including the virtual time this client added to
-/// the clock.
+/// One shard of the client's local cache: whole-file data and status
+/// (FetchStatus) entries live together, so the fetch and invalidation
+/// paths take exactly one lock per path — there is no second mutex to
+/// acquire in a conflicting order.
 #[derive(Debug, Default)]
-struct ClientAccounting {
-    stats: IoStats,
-    simulated_nanos: u64,
+struct ClientShard {
+    data: HashMap<String, Arc<Vec<u8>>>,
+    status: HashMap<String, ObjectStat>,
+}
+
+impl ClientShard {
+    /// Admits a fetched/stored snapshot of `path`, refusing to go
+    /// backwards: a slow racing insert of version *n* never overwrites
+    /// version *n+1* already admitted by a newer fetch.
+    fn admit(&mut self, path: &str, data: Option<Arc<Vec<u8>>>, stat: ObjectStat) {
+        let known = self.status.get(path).map(|s| s.version).unwrap_or(0);
+        if stat.version < known {
+            return;
+        }
+        self.status.insert(path.to_string(), stat);
+        if let Some(d) = data {
+            self.data.insert(path.to_string(), d);
+        }
+    }
+
+    fn purge(&mut self, path: &str) {
+        self.data.remove(path);
+        self.status.remove(path);
+    }
+}
+
+/// Per-client accounting: lock-free so hot RPC paths never serialize on
+/// an accounting mutex.
+#[derive(Debug, Default)]
+struct AtomicAccounting {
+    stats: AtomicIoStats,
+    simulated_nanos: AtomicU64,
 }
 
 /// An AFS client with a whole-file cache.
@@ -120,13 +220,10 @@ pub struct AfsClient {
     id: u64,
     server: AfsServer,
     clock: SimClock,
+    lane: ClockLane,
     latency: LatencyModel,
-    cache: Mutex<HashMap<String, Arc<Vec<u8>>>>,
-    /// Status (FetchStatus) cache: real AFS caches attribute information
-    /// under the same callback promises as data, so repeated `stat`s of an
-    /// unchanged object are local.
-    status_cache: Mutex<HashMap<String, ObjectStat>>,
-    accounting: Mutex<ClientAccounting>,
+    cache: ShardedMutex<ClientShard>,
+    accounting: AtomicAccounting,
 }
 
 impl std::fmt::Debug for AfsClient {
@@ -137,16 +234,37 @@ impl std::fmt::Debug for AfsClient {
 
 impl AfsClient {
     /// Connects a new client to `server` using the given clock and latency
-    /// model.
+    /// model. The client gets its own [`ClockLane`], so its RPCs overlap
+    /// other clients' in simulated time.
     pub fn connect(server: &AfsServer, clock: SimClock, latency: LatencyModel) -> AfsClient {
+        let lane = clock.lane();
+        AfsClient::with_lane(server, clock, lane, latency)
+    }
+
+    /// Connects a client charging an explicit, possibly shared lane.
+    ///
+    /// Handing every client a clone of one lane reproduces the pre-lane
+    /// single-channel world where all clients' RPC costs sum — the serial
+    /// baseline the multi-client benchmarks compare against.
+    pub fn connect_on_lane(server: &AfsServer, lane: ClockLane, latency: LatencyModel) -> AfsClient {
+        let clock = lane.clock().clone();
+        AfsClient::with_lane(server, clock, lane, latency)
+    }
+
+    fn with_lane(
+        server: &AfsServer,
+        clock: SimClock,
+        lane: ClockLane,
+        latency: LatencyModel,
+    ) -> AfsClient {
         AfsClient {
             id: server.register_client(),
             server: server.clone(),
             clock,
+            lane,
             latency,
-            cache: Mutex::new(HashMap::new()),
-            status_cache: Mutex::new(HashMap::new()),
-            accounting: Mutex::new(ClientAccounting::default()),
+            cache: ShardedMutex::new(),
+            accounting: AtomicAccounting::default(),
         }
     }
 
@@ -160,51 +278,63 @@ impl AfsClient {
         &self.clock
     }
 
+    /// The clock channel this client charges RPC costs to.
+    pub fn lane(&self) -> &ClockLane {
+        &self.lane
+    }
+
     /// Drops all locally cached file contents (the evaluation flushes the
     /// AFS cache before each run, §VII-A).
     pub fn flush_cache(&self) {
-        self.cache.lock().clear();
-        self.status_cache.lock().clear();
+        for i in 0..self.cache.shard_count() {
+            let mut shard = self.cache.lock_shard(i);
+            shard.data.clear();
+            shard.status.clear();
+        }
     }
 
     fn charge(&self, cost: Duration) {
-        self.clock.advance(cost);
-        self.accounting.lock().simulated_nanos += cost.as_nanos() as u64;
+        self.lane.advance(cost);
+        self.accounting
+            .simulated_nanos
+            .fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
     }
 
     fn charge_rpc(&self, bytes: usize) {
         let cost = self.latency.rpc_cost(bytes);
         self.charge(cost);
-        self.accounting.lock().stats.remote_rpcs += 1;
+        self.accounting.stats.remote_rpcs.fetch_add(1, Ordering::Relaxed);
     }
 
     fn charge_cache_hit(&self) {
         self.charge(self.latency.cache_hit);
-        self.accounting.lock().stats.cache_hits += 1;
+        self.accounting.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn count_read(&self, bytes: u64) {
+        self.accounting.stats.reads.fetch_add(1, Ordering::Relaxed);
+        self.accounting.stats.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    fn count_write(&self, bytes: u64) {
+        self.accounting.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.accounting.stats.bytes_written.fetch_add(bytes, Ordering::Relaxed);
     }
 
     fn cache_valid(&self, path: &str) -> Option<Arc<Vec<u8>>> {
         if !self.server.has_callback(path, self.id) {
-            self.cache.lock().remove(path);
-            self.status_cache.lock().remove(path);
+            self.cache.lock(path).purge(path);
             return None;
         }
-        self.cache.lock().get(path).cloned()
+        self.cache.lock(path).data.get(path).cloned()
     }
 
     fn status_valid(&self, path: &str) -> Option<ObjectStat> {
         if !self.server.has_callback(path, self.id) {
-            self.cache.lock().remove(path);
-            self.status_cache.lock().remove(path);
+            self.cache.lock(path).purge(path);
             return None;
         }
-        self.status_cache.lock().get(path).copied()
-    }
-
-    fn remember_status(&self, path: &str) {
-        if let Ok(stat) = self.server.store.stat(path) {
-            self.status_cache.lock().insert(path.to_string(), stat);
-        }
+        self.cache.lock(path).status.get(path).copied()
     }
 
     /// Server-side rename (`RXAFS_Rename`): one RPC, no data transfer.
@@ -214,58 +344,57 @@ impl AfsClient {
     /// [`StorageError::NotFound`] when the source does not exist.
     pub fn rename_object(&self, from: &str, to: &str) -> Result<(), StorageError> {
         let (data, _) = self.server.store.get_arc(from)?;
-        self.server.store.put(to, &data)?;
+        let version = self.server.put_with_callback(to, &data, self.id)?;
         self.server.store.delete(from)?;
         self.server.break_callbacks(from, u64::MAX);
-        self.server.break_callbacks(to, self.id);
-        self.server.grant_callback(to, self.id);
-        let mut cache = self.cache.lock();
-        if let Some(entry) = cache.remove(from) {
-            cache.insert(to.to_string(), entry);
-        }
-        drop(cache);
-        let mut status = self.status_cache.lock();
-        status.remove(from);
-        drop(status);
-        self.remember_status(to);
+        let moved = {
+            let mut shard = self.cache.lock(from);
+            shard.status.remove(from);
+            shard.data.remove(from)
+        };
+        self.cache.lock(to).admit(
+            to,
+            moved,
+            ObjectStat { size: data.len() as u64, version },
+        );
         self.charge_rpc(0);
-        self.accounting.lock().stats.writes += 1;
+        self.accounting.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.server.record_write(to, self.lane.local_now());
         Ok(())
     }
 }
 
 impl StorageBackend for AfsClient {
     fn put(&self, path: &str, data: &[u8]) -> Result<(), StorageError> {
-        self.server.store.put(path, data)?;
-        self.server.break_callbacks(path, self.id);
-        self.server.grant_callback(path, self.id);
-        self.cache
-            .lock()
-            .insert(path.to_string(), Arc::new(data.to_vec()));
-        self.remember_status(path);
+        let version = self.server.put_with_callback(path, data, self.id)?;
+        self.cache.lock(path).admit(
+            path,
+            Some(Arc::new(data.to_vec())),
+            ObjectStat { size: data.len() as u64, version },
+        );
         self.charge_rpc(data.len());
-        let mut acc = self.accounting.lock();
-        acc.stats.writes += 1;
-        acc.stats.bytes_written += data.len() as u64;
+        self.count_write(data.len() as u64);
+        self.server.record_write(path, self.lane.local_now());
         Ok(())
     }
 
     fn get(&self, path: &str) -> Result<Vec<u8>, StorageError> {
         if let Some(data) = self.cache_valid(path) {
             self.charge_cache_hit();
-            let mut acc = self.accounting.lock();
-            acc.stats.reads += 1;
-            acc.stats.bytes_read += data.len() as u64;
+            self.count_read(data.len() as u64);
             return Ok(data.as_ref().clone());
         }
-        let (data, _version) = self.server.store.get_arc(path)?;
-        self.server.grant_callback(path, self.id);
-        self.cache.lock().insert(path.to_string(), data.clone());
-        self.remember_status(path);
+        let (data, version, avail) = self.server.fetch_with_callback(path, self.id)?;
+        self.cache.lock(path).admit(
+            path,
+            Some(data.clone()),
+            ObjectStat { size: data.len() as u64, version },
+        );
+        // The data cannot arrive before its writer's lane finished storing
+        // it: raise this lane to the availability time, then pay the RPC.
+        self.lane.raise_to(avail);
         self.charge_rpc(data.len());
-        let mut acc = self.accounting.lock();
-        acc.stats.reads += 1;
-        acc.stats.bytes_read += data.len() as u64;
+        self.count_read(data.len() as u64);
         Ok(data.as_ref().clone())
     }
 
@@ -273,26 +402,22 @@ impl StorageBackend for AfsClient {
         if let Some(data) = self.cache_valid(path) {
             crate::backend::check_range(path, offset, len, data.len() as u64)?;
             self.charge_cache_hit();
-            let mut acc = self.accounting.lock();
-            acc.stats.reads += 1;
-            acc.stats.bytes_read += len;
+            self.count_read(len);
             return Ok(data[offset as usize..(offset + len) as usize].to_vec());
         }
         let out = self.server.store.get_range(path, offset, len)?;
+        self.lane.raise_to(self.server.write_time(path));
         self.charge_rpc(out.len());
-        let mut acc = self.accounting.lock();
-        acc.stats.reads += 1;
-        acc.stats.bytes_read += len;
+        self.count_read(len);
         Ok(out)
     }
 
     fn delete(&self, path: &str) -> Result<(), StorageError> {
         self.server.store.delete(path)?;
         self.server.break_callbacks(path, u64::MAX);
-        self.cache.lock().remove(path);
-        self.status_cache.lock().remove(path);
+        self.cache.lock(path).purge(path);
         self.charge_rpc(0);
-        self.accounting.lock().stats.deletes += 1;
+        self.accounting.stats.deletes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -302,12 +427,13 @@ impl StorageBackend for AfsClient {
             return true;
         }
         self.charge_rpc(0);
-        let exists = self.server.store.exists(path);
-        if exists {
-            self.server.grant_callback(path, self.id);
-            self.remember_status(path);
+        match self.server.stat_with_callback(path, self.id) {
+            Ok(stat) => {
+                self.cache.lock(path).admit(path, None, stat);
+                true
+            }
+            Err(_) => false,
         }
-        exists
     }
 
     fn stat(&self, path: &str) -> Result<ObjectStat, StorageError> {
@@ -316,9 +442,8 @@ impl StorageBackend for AfsClient {
             return Ok(stat);
         }
         self.charge_rpc(0);
-        let stat = self.server.store.stat(path)?;
-        self.server.grant_callback(path, self.id);
-        self.status_cache.lock().insert(path.to_string(), stat);
+        let stat = self.server.stat_with_callback(path, self.id)?;
+        self.cache.lock(path).admit(path, None, stat);
         Ok(stat)
     }
 
@@ -333,10 +458,8 @@ impl StorageBackend for AfsClient {
         // clients using the same nominal owner value do not collide.
         let scoped = self.id.wrapping_mul(1_000_003).wrapping_add(owner);
         self.charge(self.latency.rpc_rtt + self.latency.lock_overhead);
-        let mut acc = self.accounting.lock();
-        acc.stats.locks += 1;
-        acc.stats.remote_rpcs += 1;
-        drop(acc);
+        self.accounting.stats.locks.fetch_add(1, Ordering::Relaxed);
+        self.accounting.stats.remote_rpcs.fetch_add(1, Ordering::Relaxed);
         self.server.store.lock(path, scoped)
     }
 
@@ -356,25 +479,25 @@ impl StorageBackend for AfsClient {
         let mut out = Vec::with_capacity(paths.len());
         let mut total_bytes = 0usize;
         let mut served = 0usize;
+        let mut avail = Duration::ZERO;
         for path in paths {
             if let Some(data) = self.cache_valid(path) {
                 self.charge_cache_hit();
-                let mut acc = self.accounting.lock();
-                acc.stats.reads += 1;
-                acc.stats.bytes_read += data.len() as u64;
+                self.count_read(data.len() as u64);
                 out.push(Ok(data.as_ref().clone()));
                 continue;
             }
-            match self.server.store.get_arc(path) {
-                Ok((data, _version)) => {
-                    self.server.grant_callback(path, self.id);
-                    self.cache.lock().insert(path.clone(), data.clone());
-                    self.remember_status(path);
+            match self.server.fetch_with_callback(path, self.id) {
+                Ok((data, version, wrote_at)) => {
+                    self.cache.lock(path).admit(
+                        path,
+                        Some(data.clone()),
+                        ObjectStat { size: data.len() as u64, version },
+                    );
                     total_bytes += data.len();
                     served += 1;
-                    let mut acc = self.accounting.lock();
-                    acc.stats.reads += 1;
-                    acc.stats.bytes_read += data.len() as u64;
+                    avail = avail.max(wrote_at);
+                    self.count_read(data.len() as u64);
                     out.push(Ok(data.as_ref().clone()));
                 }
                 Err(e) => out.push(Err(e)),
@@ -383,8 +506,9 @@ impl StorageBackend for AfsClient {
         // Failed lookups carry no payload and no disk service; serial
         // `get` charges nothing for them, so neither does the batch.
         if served > 0 {
+            self.lane.raise_to(avail);
             self.charge(self.latency.batch_rpc_cost(served, total_bytes));
-            self.accounting.lock().stats.remote_rpcs += 1;
+            self.accounting.stats.remote_rpcs.fetch_add(1, Ordering::Relaxed);
         }
         out
     }
@@ -397,17 +521,16 @@ impl StorageBackend for AfsClient {
         let mut total_bytes = 0usize;
         let mut served = 0usize;
         for (path, data) in items {
-            match self.server.store.put(path, data) {
-                Ok(()) => {
-                    self.server.break_callbacks(path, self.id);
-                    self.server.grant_callback(path, self.id);
-                    self.cache.lock().insert(path.clone(), Arc::new(data.clone()));
-                    self.remember_status(path);
+            match self.server.put_with_callback(path, data, self.id) {
+                Ok(version) => {
+                    self.cache.lock(path).admit(
+                        path,
+                        Some(Arc::new(data.clone())),
+                        ObjectStat { size: data.len() as u64, version },
+                    );
                     total_bytes += data.len();
                     served += 1;
-                    let mut acc = self.accounting.lock();
-                    acc.stats.writes += 1;
-                    acc.stats.bytes_written += data.len() as u64;
+                    self.count_write(data.len() as u64);
                     out.push(Ok(()));
                 }
                 Err(e) => out.push(Err(e)),
@@ -417,7 +540,13 @@ impl StorageBackend for AfsClient {
         // the serial path, so only accepted objects make up the round trip.
         if served > 0 {
             self.charge(self.latency.batch_rpc_cost(served, total_bytes));
-            self.accounting.lock().stats.remote_rpcs += 1;
+            self.accounting.stats.remote_rpcs.fetch_add(1, Ordering::Relaxed);
+            let done = self.lane.local_now();
+            for ((path, _), result) in items.iter().zip(&out) {
+                if result.is_ok() {
+                    self.server.record_write(path, done);
+                }
+            }
         }
         out
     }
@@ -436,10 +565,9 @@ impl StorageBackend for AfsClient {
                 continue;
             }
             misses += 1;
-            match self.server.store.stat(path) {
+            match self.server.stat_with_callback(path, self.id) {
                 Ok(stat) => {
-                    self.server.grant_callback(path, self.id);
-                    self.status_cache.lock().insert(path.clone(), stat);
+                    self.cache.lock(path).admit(path, None, stat);
                     out.push(Ok(stat));
                 }
                 Err(e) => out.push(Err(e)),
@@ -447,17 +575,31 @@ impl StorageBackend for AfsClient {
         }
         if misses > 0 {
             self.charge(self.latency.batch_rpc_cost(misses, 0));
-            self.accounting.lock().stats.remote_rpcs += 1;
+            self.accounting.stats.remote_rpcs.fetch_add(1, Ordering::Relaxed);
         }
         out
     }
 
     fn stats(&self) -> IoStats {
-        self.accounting.lock().stats
+        self.accounting.stats.snapshot()
     }
 
     fn simulated_time(&self) -> Duration {
-        Duration::from_nanos(self.accounting.lock().simulated_nanos)
+        Duration::from_nanos(self.accounting.simulated_nanos.load(Ordering::Relaxed))
+    }
+}
+
+impl AfsServer {
+    /// Writer-lane time at which `path` last finished being written.
+    fn write_time(&self, path: &str) -> Duration {
+        Duration::from_nanos(
+            self.state
+                .lock(path)
+                .write_nanos
+                .get(path)
+                .copied()
+                .unwrap_or(0),
+        )
     }
 }
 
@@ -718,5 +860,58 @@ mod tests {
         a.put("f", &vec![1u8; 4096]).unwrap();
         assert!(a.simulated_time() > Duration::ZERO);
         assert_eq!(b.simulated_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn independent_clients_overlap_on_the_shared_clock() {
+        // Two clients each pay ~the same RPC costs on their own lanes; the
+        // shared clock reads the slower lane, not the sum. A third client
+        // doing nothing adds nothing.
+        let server = AfsServer::new();
+        let clock = SimClock::new();
+        let a = AfsClient::connect(&server, clock.clone(), LatencyModel::default());
+        let b = AfsClient::connect(&server, clock.clone(), LatencyModel::default());
+        a.put("aa", &vec![1u8; 1 << 20]).unwrap();
+        b.put("bb", &vec![2u8; 1 << 20]).unwrap();
+        let wall = clock.now();
+        let sum = a.simulated_time() + b.simulated_time();
+        let max = a.simulated_time().max(b.simulated_time());
+        assert_eq!(wall, max, "wall-clock is the slowest lane");
+        assert!(wall < sum, "lanes overlap: {wall:?} < {sum:?}");
+    }
+
+    #[test]
+    fn shared_lane_clients_serialize_like_before() {
+        let server = AfsServer::new();
+        let clock = SimClock::new();
+        let lane = clock.lane();
+        let a = AfsClient::connect_on_lane(&server, lane.clone(), LatencyModel::default());
+        let b = AfsClient::connect_on_lane(&server, lane, LatencyModel::default());
+        a.put("aa", &vec![1u8; 1 << 20]).unwrap();
+        b.put("bb", &vec![2u8; 1 << 20]).unwrap();
+        let wall = clock.now();
+        assert_eq!(wall, a.simulated_time() + b.simulated_time(), "costs sum on one lane");
+    }
+
+    #[test]
+    fn cross_client_read_happens_after_write() {
+        // Causality on the virtual clock: b fetching an object a wrote
+        // cannot complete before a's lane finished storing it, even though
+        // b's lane was idle until now.
+        let server = AfsServer::new();
+        let clock = SimClock::new();
+        let a = AfsClient::connect(&server, clock.clone(), LatencyModel::default());
+        // Burn some lane time for a first so the write lands late.
+        a.put("warm", &vec![0u8; 4 << 20]).unwrap();
+        a.put("obj", b"payload").unwrap();
+        let wrote_at = a.lane().local_now();
+        let b = AfsClient::connect(&server, clock.clone(), LatencyModel::default());
+        b.get("obj").unwrap();
+        assert!(
+            b.lane().local_now() >= wrote_at,
+            "reader lane {:?} must not finish before writer {:?}",
+            b.lane().local_now(),
+            wrote_at
+        );
     }
 }

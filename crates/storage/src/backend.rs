@@ -88,6 +88,40 @@ impl IoStats {
     }
 }
 
+/// Lock-free accumulator behind [`IoStats`], used where per-client
+/// accounting used to sit under a whole-client `Mutex`: each counter is
+/// independently atomic, so concurrent RPC paths never serialize on an
+/// accounting lock. `snapshot` reads each counter individually — exact
+/// whenever the client is quiescent (every test and benchmark reads stats
+/// between operations, not racing them).
+#[derive(Debug, Default)]
+pub(crate) struct AtomicIoStats {
+    pub(crate) reads: std::sync::atomic::AtomicU64,
+    pub(crate) writes: std::sync::atomic::AtomicU64,
+    pub(crate) deletes: std::sync::atomic::AtomicU64,
+    pub(crate) locks: std::sync::atomic::AtomicU64,
+    pub(crate) bytes_read: std::sync::atomic::AtomicU64,
+    pub(crate) bytes_written: std::sync::atomic::AtomicU64,
+    pub(crate) remote_rpcs: std::sync::atomic::AtomicU64,
+    pub(crate) cache_hits: std::sync::atomic::AtomicU64,
+}
+
+impl AtomicIoStats {
+    pub(crate) fn snapshot(&self) -> IoStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        IoStats {
+            reads: self.reads.load(Relaxed),
+            writes: self.writes.load(Relaxed),
+            deletes: self.deletes.load(Relaxed),
+            locks: self.locks.load(Relaxed),
+            bytes_read: self.bytes_read.load(Relaxed),
+            bytes_written: self.bytes_written.load(Relaxed),
+            remote_rpcs: self.remote_rpcs.load(Relaxed),
+            cache_hits: self.cache_hits.load(Relaxed),
+        }
+    }
+}
+
 /// Shared bounds check for ranged reads: `[offset, offset + len)` must lie
 /// within `size`, with the sum computed overflow-safely — `offset + len`
 /// wraps for adversarial offsets near `u64::MAX`, which would otherwise

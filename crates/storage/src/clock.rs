@@ -48,9 +48,108 @@ impl SimClock {
         }
     }
 
+    /// Raises the clock to `t` if it is currently behind (CAS-max).
+    ///
+    /// Used by [`ClockLane`]: the global clock is the maximum over all
+    /// lanes, so the wall-clock of a multi-client round is the slowest
+    /// client's finish time, not the sum of every client's work.
+    pub fn advance_to(&self, t: Duration) {
+        let target = u64::try_from(t.as_nanos()).unwrap_or(u64::MAX);
+        let mut current = self.nanos.load(Ordering::Relaxed);
+        while current < target {
+            match self.nanos.compare_exchange_weak(
+                current,
+                target,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
     /// Convenience: elapsed virtual time since an earlier reading.
     pub fn since(&self, earlier: Duration) -> Duration {
         self.now().saturating_sub(earlier)
+    }
+
+    /// Opens a per-client channel on this clock, starting at the current
+    /// global time.
+    ///
+    /// Each lane accumulates its owner's RPC costs privately and raises
+    /// the shared clock to the lane's local time, so N clients issuing
+    /// RPCs concurrently overlap in simulated time: `now()` reads
+    /// `max(lanes)`, where a single shared clock would read `sum(costs)`.
+    /// Cloning a [`ClockLane`] shares the lane (costs still serialize) —
+    /// the pre-lane behaviour, used as the serial baseline.
+    pub fn lane(&self) -> ClockLane {
+        let start = u64::try_from(self.now().as_nanos()).unwrap_or(u64::MAX);
+        ClockLane { clock: self.clone(), local: Arc::new(AtomicU64::new(start)) }
+    }
+}
+
+/// One client's channel on a [`SimClock`]: a private virtual timeline
+/// whose advances raise (never rewind) the shared clock.
+#[derive(Debug, Clone)]
+pub struct ClockLane {
+    clock: SimClock,
+    local: Arc<AtomicU64>,
+}
+
+impl ClockLane {
+    /// The shared clock this lane feeds.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// This lane's local virtual time.
+    pub fn local_now(&self) -> Duration {
+        Duration::from_nanos(self.local.load(Ordering::Relaxed))
+    }
+
+    /// Advances the lane by `d` (saturating, like [`SimClock::advance`])
+    /// and raises the shared clock to the lane's new local time.
+    pub fn advance(&self, d: Duration) {
+        let add = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        let mut current = self.local.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_add(add);
+            match self.local.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.clock.advance_to(Duration::from_nanos(next));
+                    return;
+                }
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Raises the lane (and the shared clock) to `t` if behind.
+    ///
+    /// This is the happens-before edge of the simulation: a client
+    /// fetching an object another client wrote cannot observe the data
+    /// before the writer's lane finished storing it.
+    pub fn raise_to(&self, t: Duration) {
+        let target = u64::try_from(t.as_nanos()).unwrap_or(u64::MAX);
+        let mut current = self.local.load(Ordering::Relaxed);
+        while current < target {
+            match self.local.compare_exchange_weak(
+                current,
+                target,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+        self.clock.advance_to(t);
     }
 }
 
@@ -185,6 +284,71 @@ mod tests {
         let fresh = SimClock::new();
         fresh.advance(Duration::MAX);
         assert_eq!(fresh.now(), Duration::from_nanos(u64::MAX));
+    }
+
+    #[test]
+    fn lanes_overlap_in_simulated_time() {
+        // Two clients each doing 10 ms of RPC work concurrently: the
+        // shared clock reads 10 ms (the round's makespan), not 20 ms.
+        let clock = SimClock::new();
+        let a = clock.lane();
+        let b = clock.lane();
+        a.advance(Duration::from_millis(10));
+        b.advance(Duration::from_millis(10));
+        assert_eq!(clock.now(), Duration::from_millis(10));
+        assert_eq!(a.local_now(), Duration::from_millis(10));
+        // The slowest lane sets the makespan.
+        b.advance(Duration::from_millis(5));
+        assert_eq!(clock.now(), Duration::from_millis(15));
+    }
+
+    #[test]
+    fn shared_lane_serializes_like_the_old_clock() {
+        // Cloning a lane shares the local timeline: costs sum, which is
+        // exactly the pre-lane single-channel behaviour.
+        let clock = SimClock::new();
+        let lane = clock.lane();
+        let same = lane.clone();
+        lane.advance(Duration::from_millis(3));
+        same.advance(Duration::from_millis(4));
+        assert_eq!(clock.now(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn lane_starts_at_global_now() {
+        // A client connecting mid-simulation cannot issue RPCs in the
+        // past: its lane opens at the current global time.
+        let clock = SimClock::new();
+        clock.advance(Duration::from_secs(2));
+        let late = clock.lane();
+        assert_eq!(late.local_now(), Duration::from_secs(2));
+        late.advance(Duration::from_secs(1));
+        assert_eq!(clock.now(), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn raise_to_is_monotonic() {
+        let clock = SimClock::new();
+        let lane = clock.lane();
+        lane.advance(Duration::from_millis(8));
+        lane.raise_to(Duration::from_millis(3)); // behind: no-op
+        assert_eq!(lane.local_now(), Duration::from_millis(8));
+        lane.raise_to(Duration::from_millis(12));
+        assert_eq!(lane.local_now(), Duration::from_millis(12));
+        assert_eq!(clock.now(), Duration::from_millis(12));
+        // advance_to on the clock itself never rewinds either.
+        clock.advance_to(Duration::from_millis(1));
+        assert_eq!(clock.now(), Duration::from_millis(12));
+    }
+
+    #[test]
+    fn lane_advance_saturates() {
+        let clock = SimClock::new();
+        let lane = clock.lane();
+        lane.advance(Duration::from_nanos(u64::MAX - 5));
+        lane.advance(Duration::from_secs(1));
+        assert_eq!(lane.local_now(), Duration::from_nanos(u64::MAX));
+        assert_eq!(clock.now(), Duration::from_nanos(u64::MAX));
     }
 
     #[test]

@@ -11,13 +11,12 @@
 //! volume code runs unchanged here — the `portability` benchmark quantifies
 //! the latency/request-cost consequences.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use nexus_sync::Mutex;
-
-use crate::backend::{IoStats, ObjectStat, StorageBackend, StorageError};
-use crate::clock::{LatencyModel, SimClock};
+use crate::backend::{AtomicIoStats, IoStats, ObjectStat, StorageBackend, StorageError};
+use crate::clock::{ClockLane, LatencyModel, SimClock};
 use crate::mem::MemBackend;
 
 impl LatencyModel {
@@ -63,20 +62,50 @@ impl CloudBilling {
     }
 }
 
+/// Lock-free billing counters (request metering happens on every RPC, so
+/// a billing mutex would serialize otherwise-independent WAN requests).
+#[derive(Debug, Default)]
+struct AtomicCloudBilling {
+    put_requests: AtomicU64,
+    get_requests: AtomicU64,
+    list_requests: AtomicU64,
+    delete_requests: AtomicU64,
+    ingress_bytes: AtomicU64,
+    egress_bytes: AtomicU64,
+}
+
+impl AtomicCloudBilling {
+    fn snapshot(&self) -> CloudBilling {
+        CloudBilling {
+            put_requests: self.put_requests.load(Ordering::Relaxed),
+            get_requests: self.get_requests.load(Ordering::Relaxed),
+            list_requests: self.list_requests.load(Ordering::Relaxed),
+            delete_requests: self.delete_requests.load(Ordering::Relaxed),
+            ingress_bytes: self.ingress_bytes.load(Ordering::Relaxed),
+            egress_bytes: self.egress_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A simulated S3-style bucket; cheap to clone and share.
+///
+/// All request metering is lock-free and RPC time is charged to the
+/// store handle's [`ClockLane`], so independent handles on the same
+/// [`SimClock`] overlap their round trips in simulated time (clones share
+/// one lane and therefore serialize, like one client connection).
 #[derive(Clone)]
 pub struct CloudStore {
     objects: MemBackend,
-    clock: SimClock,
+    lane: ClockLane,
     latency: LatencyModel,
-    billing: Arc<Mutex<CloudBilling>>,
-    stats: Arc<Mutex<IoStats>>,
-    simulated_nanos: Arc<Mutex<u64>>,
+    billing: Arc<AtomicCloudBilling>,
+    stats: Arc<AtomicIoStats>,
+    simulated_nanos: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for CloudStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CloudStore").field("billing", &*self.billing.lock()).finish()
+        f.debug_struct("CloudStore").field("billing", &self.billing.snapshot()).finish()
     }
 }
 
@@ -90,24 +119,29 @@ impl CloudStore {
     pub fn with_latency(clock: SimClock, latency: LatencyModel) -> CloudStore {
         CloudStore {
             objects: MemBackend::new(),
-            clock,
+            lane: clock.lane(),
             latency,
-            billing: Arc::new(Mutex::new(CloudBilling::default())),
-            stats: Arc::new(Mutex::new(IoStats::default())),
-            simulated_nanos: Arc::new(Mutex::new(0)),
+            billing: Arc::new(AtomicCloudBilling::default()),
+            stats: Arc::new(AtomicIoStats::default()),
+            simulated_nanos: Arc::new(AtomicU64::new(0)),
         }
     }
 
     /// Accumulated billing counters.
     pub fn billing(&self) -> CloudBilling {
-        *self.billing.lock()
+        self.billing.snapshot()
+    }
+
+    /// The clock channel this store handle charges RPC time to.
+    pub fn lane(&self) -> &ClockLane {
+        &self.lane
     }
 
     fn charge(&self, bytes: usize) {
         let cost = self.latency.rpc_cost(bytes);
-        self.clock.advance(cost);
-        *self.simulated_nanos.lock() += cost.as_nanos() as u64;
-        self.stats.lock().remote_rpcs += 1;
+        self.lane.advance(cost);
+        self.simulated_nanos.fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
+        self.stats.remote_rpcs.fetch_add(1, Ordering::Relaxed);
     }
 
     /// One batched round trip over `objects` objects moving `bytes` total.
@@ -116,9 +150,9 @@ impl CloudStore {
             return;
         }
         let cost = self.latency.batch_rpc_cost(objects, bytes);
-        self.clock.advance(cost);
-        *self.simulated_nanos.lock() += cost.as_nanos() as u64;
-        self.stats.lock().remote_rpcs += 1;
+        self.lane.advance(cost);
+        self.simulated_nanos.fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
+        self.stats.remote_rpcs.fetch_add(1, Ordering::Relaxed);
     }
 
     fn lock_object(path: &str) -> String {
@@ -130,24 +164,20 @@ impl StorageBackend for CloudStore {
     fn put(&self, path: &str, data: &[u8]) -> Result<(), StorageError> {
         self.objects.put(path, data)?;
         self.charge(data.len());
-        let mut billing = self.billing.lock();
-        billing.put_requests += 1;
-        billing.ingress_bytes += data.len() as u64;
-        let mut stats = self.stats.lock();
-        stats.writes += 1;
-        stats.bytes_written += data.len() as u64;
+        self.billing.put_requests.fetch_add(1, Ordering::Relaxed);
+        self.billing.ingress_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
         Ok(())
     }
 
     fn get(&self, path: &str) -> Result<Vec<u8>, StorageError> {
         let data = self.objects.get(path)?;
         self.charge(data.len());
-        let mut billing = self.billing.lock();
-        billing.get_requests += 1;
-        billing.egress_bytes += data.len() as u64;
-        let mut stats = self.stats.lock();
-        stats.reads += 1;
-        stats.bytes_read += data.len() as u64;
+        self.billing.get_requests.fetch_add(1, Ordering::Relaxed);
+        self.billing.egress_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_read.fetch_add(data.len() as u64, Ordering::Relaxed);
         Ok(data)
     }
 
@@ -155,39 +185,37 @@ impl StorageBackend for CloudStore {
         // Object stores support ranged GETs natively.
         let data = self.objects.get_range(path, offset, len)?;
         self.charge(data.len());
-        let mut billing = self.billing.lock();
-        billing.get_requests += 1;
-        billing.egress_bytes += data.len() as u64;
-        let mut stats = self.stats.lock();
-        stats.reads += 1;
-        stats.bytes_read += len;
+        self.billing.get_requests.fetch_add(1, Ordering::Relaxed);
+        self.billing.egress_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_read.fetch_add(len, Ordering::Relaxed);
         Ok(data)
     }
 
     fn delete(&self, path: &str) -> Result<(), StorageError> {
         self.objects.delete(path)?;
         self.charge(0);
-        self.billing.lock().delete_requests += 1;
-        self.stats.lock().deletes += 1;
+        self.billing.delete_requests.fetch_add(1, Ordering::Relaxed);
+        self.stats.deletes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     fn exists(&self, path: &str) -> bool {
         self.charge(0);
-        self.billing.lock().get_requests += 1; // HEAD bills as GET-class
+        self.billing.get_requests.fetch_add(1, Ordering::Relaxed); // HEAD bills as GET-class
         self.objects.exists(path)
     }
 
     fn stat(&self, path: &str) -> Result<ObjectStat, StorageError> {
         self.charge(0);
-        self.billing.lock().get_requests += 1;
+        self.billing.get_requests.fetch_add(1, Ordering::Relaxed);
         self.objects.stat(path)
     }
 
     fn list(&self, prefix: &str) -> Vec<String> {
         let names = self.objects.list(prefix);
         self.charge(names.iter().map(|n| n.len() + 64).sum());
-        self.billing.lock().list_requests += 1;
+        self.billing.list_requests.fetch_add(1, Ordering::Relaxed);
         names
     }
 
@@ -196,8 +224,8 @@ impl StorageBackend for CloudStore {
         // objects (conditional PUT). One request either way.
         let lock_path = Self::lock_object(path);
         self.charge(16);
-        self.billing.lock().put_requests += 1;
-        self.stats.lock().locks += 1;
+        self.billing.put_requests.fetch_add(1, Ordering::Relaxed);
+        self.stats.locks.fetch_add(1, Ordering::Relaxed);
         let owner_bytes = owner.to_le_bytes();
         if self.objects.exists(&lock_path) {
             let holder = self.objects.get(&lock_path).unwrap_or_default();
@@ -215,7 +243,7 @@ impl StorageBackend for CloudStore {
             if holder == owner.to_le_bytes() {
                 let _ = self.objects.delete(&lock_path);
                 self.charge(0);
-                self.billing.lock().delete_requests += 1;
+                self.billing.delete_requests.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -235,12 +263,10 @@ impl StorageBackend for CloudStore {
                 Ok(data) => {
                     total_bytes += data.len();
                     served += 1;
-                    let mut billing = self.billing.lock();
-                    billing.get_requests += 1;
-                    billing.egress_bytes += data.len() as u64;
-                    let mut stats = self.stats.lock();
-                    stats.reads += 1;
-                    stats.bytes_read += data.len() as u64;
+                    self.billing.get_requests.fetch_add(1, Ordering::Relaxed);
+                    self.billing.egress_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+                    self.stats.reads.fetch_add(1, Ordering::Relaxed);
+                    self.stats.bytes_read.fetch_add(data.len() as u64, Ordering::Relaxed);
                     out.push(Ok(data));
                 }
                 Err(e) => out.push(Err(e)),
@@ -264,12 +290,10 @@ impl StorageBackend for CloudStore {
                 Ok(()) => {
                     total_bytes += data.len();
                     served += 1;
-                    let mut billing = self.billing.lock();
-                    billing.put_requests += 1;
-                    billing.ingress_bytes += data.len() as u64;
-                    let mut stats = self.stats.lock();
-                    stats.writes += 1;
-                    stats.bytes_written += data.len() as u64;
+                    self.billing.put_requests.fetch_add(1, Ordering::Relaxed);
+                    self.billing.ingress_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+                    self.stats.writes.fetch_add(1, Ordering::Relaxed);
+                    self.stats.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
                     out.push(Ok(()));
                 }
                 Err(e) => out.push(Err(e)),
@@ -287,18 +311,18 @@ impl StorageBackend for CloudStore {
         }
         // Serial `stat` bills a HEAD whether or not the key exists; the
         // batch keeps that per-key billing.
-        self.billing.lock().get_requests += paths.len() as u64;
+        self.billing.get_requests.fetch_add(paths.len() as u64, Ordering::Relaxed);
         let out = paths.iter().map(|p| self.objects.stat(p)).collect();
         self.charge_batch(paths.len(), 0);
         out
     }
 
     fn stats(&self) -> IoStats {
-        *self.stats.lock()
+        self.stats.snapshot()
     }
 
     fn simulated_time(&self) -> Duration {
-        Duration::from_nanos(*self.simulated_nanos.lock())
+        Duration::from_nanos(self.simulated_nanos.load(Ordering::Relaxed))
     }
 }
 

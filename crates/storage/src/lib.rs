@@ -37,10 +37,11 @@ pub mod clock;
 pub mod dir;
 pub mod malicious;
 pub mod mem;
+pub mod shard;
 
 pub use backend::{IoStats, ObjectStat, StorageBackend, StorageError};
 pub use batch::BatchWriter;
-pub use clock::{LatencyModel, SimClock};
+pub use clock::{ClockLane, LatencyModel, SimClock};
 pub use cloud::{CloudBilling, CloudStore};
 pub use dir::DirBackend;
 pub use malicious::MaliciousBackend;

@@ -3,13 +3,22 @@
 //! The simplest [`StorageBackend`]: a versioned object map with advisory
 //! locks. Used directly in unit tests and as the server-side store of the
 //! AFS simulator.
+//!
+//! The store is sharded: objects, advisory locks, and I/O counters live in
+//! a 16-way UUID-byte-sharded lock array ([`crate::shard`]) instead of the
+//! single `RwLock<Inner>` epoch the store used to be — independent clients
+//! touching different objects no longer serialize on one lock word.
+//! Batched operations still get their atomicity: `put_many`/`get_many`
+//! acquire every shard the batch touches in ascending index order and hold
+//! them simultaneously, so readers see either none or all of a concurrent
+//! `put_many` for the paths they look at, exactly as under the single
+//! epoch.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use nexus_sync::RwLock;
-
 use crate::backend::{IoStats, ObjectStat, StorageBackend, StorageError};
+use crate::shard::ShardedRwLock;
 
 #[derive(Debug, Clone)]
 struct Object {
@@ -17,11 +26,43 @@ struct Object {
     version: u64,
 }
 
+/// One shard: its slice of the object map, the advisory locks, and the
+/// I/O counters for traffic it served (global stats are the shard sum).
 #[derive(Debug, Default)]
-struct Inner {
+struct Shard {
     objects: BTreeMap<String, Object>,
     locks: HashMap<String, u64>,
     stats: IoStats,
+}
+
+impl Shard {
+    fn put(&mut self, path: &str, data: &[u8]) -> u64 {
+        let version = self.objects.get(path).map(|o| o.version + 1).unwrap_or(1);
+        self.objects
+            .insert(path.to_string(), Object { data: Arc::new(data.to_vec()), version });
+        self.stats.writes += 1;
+        self.stats.bytes_written += data.len() as u64;
+        version
+    }
+
+    fn get_arc(&mut self, path: &str) -> Result<(Arc<Vec<u8>>, u64), StorageError> {
+        match self.objects.get(path) {
+            Some(obj) => {
+                let (data, version) = (obj.data.clone(), obj.version);
+                self.stats.reads += 1;
+                self.stats.bytes_read += data.len() as u64;
+                Ok((data, version))
+            }
+            None => Err(StorageError::NotFound(path.to_string())),
+        }
+    }
+
+    fn stat(&self, path: &str) -> Result<ObjectStat, StorageError> {
+        self.objects
+            .get(path)
+            .map(|o| ObjectStat { size: o.data.len() as u64, version: o.version })
+            .ok_or_else(|| StorageError::NotFound(path.to_string()))
+    }
 }
 
 /// A thread-safe in-memory object store; cheap to clone and share.
@@ -37,18 +78,25 @@ struct Inner {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct MemBackend {
-    inner: Arc<RwLock<Inner>>,
+    shards: ShardedRwLock<Shard>,
 }
 
 impl MemBackend {
-    /// Creates an empty store.
+    /// Creates an empty store (16 shards).
     pub fn new() -> MemBackend {
         MemBackend::default()
     }
 
+    /// Creates an empty store with a custom shard count.
+    pub fn with_shards(n: usize) -> MemBackend {
+        MemBackend { shards: ShardedRwLock::with_shards(n) }
+    }
+
     /// Number of stored objects.
     pub fn len(&self) -> usize {
-        self.inner.read().objects.len()
+        (0..self.shards.shard_count())
+            .map(|i| self.shards.read_shard(i).objects.len())
+            .sum()
     }
 
     /// True when no objects are stored.
@@ -58,33 +106,31 @@ impl MemBackend {
 
     /// Total payload bytes stored.
     pub fn total_bytes(&self) -> u64 {
-        self.inner.read().objects.values().map(|o| o.data.len() as u64).sum()
+        (0..self.shards.shard_count())
+            .map(|i| {
+                self.shards
+                    .read_shard(i)
+                    .objects
+                    .values()
+                    .map(|o| o.data.len() as u64)
+                    .sum::<u64>()
+            })
+            .sum()
     }
 
     pub(crate) fn get_arc(&self, path: &str) -> Result<(Arc<Vec<u8>>, u64), StorageError> {
-        let mut inner = self.inner.write();
-        match inner.objects.get(path) {
-            Some(obj) => {
-                let (data, version) = (obj.data.clone(), obj.version);
-                inner.stats.reads += 1;
-                inner.stats.bytes_read += data.len() as u64;
-                Ok((data, version))
-            }
-            None => Err(StorageError::NotFound(path.to_string())),
-        }
+        self.shards.write(path).get_arc(path)
     }
 
+    /// Stores an object and reports the version it got (AFS server use).
+    pub(crate) fn put_versioned(&self, path: &str, data: &[u8]) -> u64 {
+        self.shards.write(path).put(path, data)
+    }
 }
 
 impl StorageBackend for MemBackend {
     fn put(&self, path: &str, data: &[u8]) -> Result<(), StorageError> {
-        let mut inner = self.inner.write();
-        let version = inner.objects.get(path).map(|o| o.version + 1).unwrap_or(1);
-        inner
-            .objects
-            .insert(path.to_string(), Object { data: Arc::new(data.to_vec()), version });
-        inner.stats.writes += 1;
-        inner.stats.bytes_written += data.len() as u64;
+        self.shards.write(path).put(path, data);
         Ok(())
     }
 
@@ -93,123 +139,128 @@ impl StorageBackend for MemBackend {
     }
 
     fn get_range(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>, StorageError> {
-        let mut inner = self.inner.write();
-        let obj = inner
+        let mut shard = self.shards.write(path);
+        let obj = shard
             .objects
             .get(path)
             .ok_or_else(|| StorageError::NotFound(path.to_string()))?;
         crate::backend::check_range(path, offset, len, obj.data.len() as u64)?;
         let out = obj.data[offset as usize..(offset + len) as usize].to_vec();
-        inner.stats.reads += 1;
-        inner.stats.bytes_read += len;
+        shard.stats.reads += 1;
+        shard.stats.bytes_read += len;
         Ok(out)
     }
 
     fn delete(&self, path: &str) -> Result<(), StorageError> {
-        let mut inner = self.inner.write();
-        if inner.objects.remove(path).is_none() {
+        let mut shard = self.shards.write(path);
+        if shard.objects.remove(path).is_none() {
             return Err(StorageError::NotFound(path.to_string()));
         }
-        inner.stats.deletes += 1;
+        shard.stats.deletes += 1;
         Ok(())
     }
 
     fn exists(&self, path: &str) -> bool {
-        self.inner.read().objects.contains_key(path)
+        self.shards.read(path).objects.contains_key(path)
     }
 
     fn stat(&self, path: &str) -> Result<ObjectStat, StorageError> {
-        let inner = self.inner.read();
-        inner
-            .objects
-            .get(path)
-            .map(|o| ObjectStat { size: o.data.len() as u64, version: o.version })
-            .ok_or_else(|| StorageError::NotFound(path.to_string()))
+        self.shards.read(path).stat(path)
     }
 
     fn list(&self, prefix: &str) -> Vec<String> {
-        self.inner
-            .read()
-            .objects
-            .keys()
-            .filter(|k| k.starts_with(prefix))
-            .cloned()
-            .collect()
+        let mut out: Vec<String> = (0..self.shards.shard_count())
+            .flat_map(|i| {
+                self.shards
+                    .read_shard(i)
+                    .objects
+                    .keys()
+                    .filter(|k| k.starts_with(prefix))
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     fn get_many(&self, paths: &[String]) -> Vec<Result<Vec<u8>, StorageError>> {
-        // One lock epoch for the whole batch: readers see either none or
+        // One epoch over every shard the batch touches (ascending-order
+        // acquisition, held simultaneously): readers see either none or
         // all of a concurrent `put_many`, never an interleaving.
-        let mut inner = self.inner.write();
+        let group = self.shards.group(paths.iter().map(|p| p.as_str()));
+        let mut guards = self.shards.write_group(&group);
         paths
             .iter()
-            .map(|path| match inner.objects.get(path) {
-                Some(obj) => {
-                    let data = obj.data.as_ref().clone();
-                    inner.stats.reads += 1;
-                    inner.stats.bytes_read += data.len() as u64;
-                    Ok(data)
-                }
-                None => Err(StorageError::NotFound(path.clone())),
+            .enumerate()
+            .map(|(i, path)| {
+                guards[group.slot(i)]
+                    .get_arc(path)
+                    .map(|(data, _)| data.as_ref().clone())
             })
             .collect()
     }
 
     fn put_many(&self, items: &[(String, Vec<u8>)]) -> Vec<Result<(), StorageError>> {
-        // Applied atomically under one write-lock epoch; BatchWriter relies
-        // on this when flushing a metadata commit.
-        let mut inner = self.inner.write();
+        // Applied atomically under one multi-shard write epoch; BatchWriter
+        // relies on this when flushing a metadata commit.
+        let group = self.shards.group(items.iter().map(|(p, _)| p.as_str()));
+        let mut guards = self.shards.write_group(&group);
         items
             .iter()
-            .map(|(path, data)| {
-                let version = inner.objects.get(path).map(|o| o.version + 1).unwrap_or(1);
-                inner
-                    .objects
-                    .insert(path.clone(), Object { data: Arc::new(data.clone()), version });
-                inner.stats.writes += 1;
-                inner.stats.bytes_written += data.len() as u64;
+            .enumerate()
+            .map(|(i, (path, data))| {
+                guards[group.slot(i)].put(path, data);
                 Ok(())
             })
             .collect()
     }
 
     fn stat_many(&self, paths: &[String]) -> Vec<Result<ObjectStat, StorageError>> {
-        let inner = self.inner.read();
+        let group = self.shards.group(paths.iter().map(|p| p.as_str()));
+        let guards = self.shards.read_group(&group);
         paths
             .iter()
-            .map(|path| {
-                inner
-                    .objects
-                    .get(path)
-                    .map(|o| ObjectStat { size: o.data.len() as u64, version: o.version })
-                    .ok_or_else(|| StorageError::NotFound(path.clone()))
-            })
+            .enumerate()
+            .map(|(i, path)| guards[group.slot(i)].stat(path))
             .collect()
     }
 
     fn lock(&self, path: &str, owner: u64) -> Result<(), StorageError> {
-        let mut inner = self.inner.write();
-        match inner.locks.get(path) {
+        let mut shard = self.shards.write(path);
+        match shard.locks.get(path) {
             Some(&holder) if holder != owner => {
                 Err(StorageError::LockContended(path.to_string()))
             }
             _ => {
-                inner.locks.insert(path.to_string(), owner);
-                inner.stats.locks += 1;
+                shard.locks.insert(path.to_string(), owner);
+                shard.stats.locks += 1;
                 Ok(())
             }
         }
     }
 
     fn unlock(&self, path: &str, owner: u64) {
-        let mut inner = self.inner.write();
-        if inner.locks.get(path) == Some(&owner) {
-            inner.locks.remove(path);
+        let mut shard = self.shards.write(path);
+        if shard.locks.get(path) == Some(&owner) {
+            shard.locks.remove(path);
         }
     }
 
     fn stats(&self) -> IoStats {
-        self.inner.read().stats
+        let mut total = IoStats::default();
+        for i in 0..self.shards.shard_count() {
+            let s = self.shards.read_shard(i).stats;
+            total.reads += s.reads;
+            total.writes += s.writes;
+            total.deletes += s.deletes;
+            total.locks += s.locks;
+            total.bytes_read += s.bytes_read;
+            total.bytes_written += s.bytes_written;
+            total.remote_rpcs += s.remote_rpcs;
+            total.cache_hits += s.cache_hits;
+        }
+        total
     }
 }
 
@@ -281,6 +332,20 @@ mod tests {
     }
 
     #[test]
+    fn list_sorted_across_shards() {
+        // Paths landing in different shards still come back globally
+        // sorted, as the old single-BTreeMap store guaranteed.
+        let store = MemBackend::new();
+        let mut names: Vec<String> =
+            (0..64u32).map(|i| format!("{:02x}object{i}", (i * 37) % 256)).collect();
+        for n in &names {
+            store.put(n, b"x").unwrap();
+        }
+        names.sort_unstable();
+        assert_eq!(store.list(""), names);
+    }
+
+    #[test]
     fn locks_are_exclusive_but_reentrant_per_owner() {
         let store = MemBackend::new();
         store.lock("a", 1).unwrap();
@@ -328,6 +393,58 @@ mod tests {
         assert_eq!((s.writes, s.reads), (3, 2));
         assert_eq!(s.bytes_written, 3 + 3 + 5);
         assert_eq!(s.bytes_read, 3 + 5);
+    }
+
+    #[test]
+    fn batches_stay_atomic_across_shards() {
+        // A put_many spanning several shards is never observed
+        // half-applied by a concurrent get_many of the same paths — the
+        // guarantee the single RwLock epoch used to give.
+        let store = MemBackend::new();
+        // First-byte hex prefixes pin these to three different shards.
+        let paths = ["01aaaa".to_string(), "02bbbb".to_string(), "0fcccc".to_string()];
+        let flip: Vec<(String, Vec<u8>)> =
+            paths.iter().map(|p| (p.clone(), vec![0u8; 8])).collect();
+        store.put_many(&flip);
+        std::thread::scope(|s| {
+            let writer = store.clone();
+            let wp = paths.clone();
+            s.spawn(move || {
+                for gen in 1..=250u8 {
+                    let items: Vec<(String, Vec<u8>)> =
+                        wp.iter().map(|p| (p.clone(), vec![gen; 8])).collect();
+                    writer.put_many(&items);
+                }
+            });
+            let reader = store.clone();
+            let rp = paths.to_vec();
+            s.spawn(move || {
+                for _ in 0..300 {
+                    let got = reader.get_many(&rp);
+                    let first = got[0].as_ref().unwrap().clone();
+                    for r in &got {
+                        assert_eq!(
+                            r.as_ref().unwrap(),
+                            &first,
+                            "torn batch: shards diverged mid-put_many"
+                        );
+                    }
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn custom_shard_counts_behave() {
+        for n in [1usize, 3, 16, 64] {
+            let store = MemBackend::with_shards(n);
+            for i in 0..32 {
+                store.put(&format!("{i:02x}name"), &[i as u8]).unwrap();
+            }
+            assert_eq!(store.len(), 32);
+            assert_eq!(store.list("").len(), 32);
+            assert_eq!(store.stats().writes, 32);
+        }
     }
 
     #[test]

@@ -226,6 +226,28 @@ pub mod shrink {
     pub fn none<T>(_: &T) -> Vec<T> {
         Vec::new()
     }
+
+    /// Candidates for a stateful operation sequence: everything [`vec`]
+    /// proposes (empty, halves, single-op drops), then the sequence with
+    /// each adjacent pair swapped (capped at 32 swaps).
+    ///
+    /// Order-sensitive properties — cache invalidation, lock hand-off,
+    /// accounting — often fail only because of *where* an op sits, not
+    /// that it exists. A pure subsequence shrinker gets stuck at a local
+    /// minimum where removing any op makes the failure vanish; a reorder
+    /// step can still simplify by moving the conflicting pair next to each
+    /// other. Length-reducing candidates come first so the greedy walk
+    /// prefers shorter cases and the swaps cannot ping-pong (the runner's
+    /// step cap bounds same-length walks).
+    pub fn ops<T: Clone>(v: &[T]) -> Vec<Vec<T>> {
+        let mut out = vec(v);
+        for i in 0..v.len().saturating_sub(1).min(32) {
+            let mut swapped = v.to_vec();
+            swapped.swap(i, i + 1);
+            out.push(swapped);
+        }
+        out
+    }
 }
 
 /// Where a failing case came from.
@@ -517,6 +539,49 @@ mod tests {
             assert!(cand.len() < v.len());
         }
         assert!(shrink::vec(&Vec::<u8>::new()).is_empty());
+    }
+
+    #[test]
+    fn shrink_ops_adds_adjacent_swaps_after_reductions() {
+        let v = vec![1u8, 2, 3];
+        let cands = shrink::ops(&v);
+        let reductions = shrink::vec(&v);
+        assert_eq!(&cands[..reductions.len()], &reductions[..], "length-reducing first");
+        assert!(cands[reductions.len()..].contains(&vec![2, 1, 3]));
+        assert!(cands[reductions.len()..].contains(&vec![1, 3, 2]));
+        assert!(cands.iter().all(|c| c.len() <= v.len()));
+        assert!(shrink::ops(&Vec::<u8>::new()).is_empty());
+        // A one-op sequence has no pair to swap: only reductions to empty.
+        assert!(shrink::ops(&[9u8]).iter().all(|c| c.is_empty()));
+    }
+
+    #[test]
+    fn reorder_shrink_escapes_subsequence_local_minima() {
+        // Property fails iff a 2 appears somewhere before a 1 — removing
+        // either element makes it pass, so `shrink::vec` alone cannot get
+        // below the original pair positions; the swap candidates walk the
+        // pair together until the case is the minimal adjacent [2, 1].
+        let failure = Runner::new("adjacent_pair_minimum")
+            .cases(0)
+            .regression(vec![2u8, 7, 9, 1])
+            .run_result(
+                |g| g.byte_vec(0, 4),
+                |case| shrink::ops(case),
+                |case| {
+                    let bad = case
+                        .iter()
+                        .position(|&x| x == 2)
+                        .zip(case.iter().position(|&x| x == 1))
+                        .is_some_and(|(i2, i1)| i2 < i1);
+                    if bad {
+                        Err("2 before 1".to_string())
+                    } else {
+                        Ok(())
+                    }
+                },
+            )
+            .expect_err("regression case must fail");
+        assert_eq!(failure.case, vec![2, 1], "swaps + drops reach the minimal pair");
     }
 
     #[test]

@@ -3,8 +3,10 @@
 //! benchmarks.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use nexus_core::{NexusConfig, NexusVolume, UserKeys};
+use nexus_core::{NexusConfig, NexusVolume, Rights, UserKeys, VolumeJoiner};
+use nexus_pool::ThreadPool;
 use nexus_sgx::{AttestationService, Platform};
 use nexus_storage::afs::{AfsClient, AfsServer};
 use nexus_storage::{LatencyModel, SimClock};
@@ -86,6 +88,158 @@ impl TestRig {
     }
 }
 
+/// N authenticated NEXUS clients (one owner + N−1 grantees, each a full
+/// enclave on its own machine) over one shared AFS server, ready to be
+/// driven concurrently from [`nexus_pool`] workers.
+///
+/// Two flavors, identical except for clock wiring:
+///
+/// - [`ConcurrentRig::build`] puts each client's AFS connection on its own
+///   [`ClockLane`], so independent clients' RPC round trips overlap in
+///   simulated time and a round's wall-clock is the *slowest* client;
+/// - [`ConcurrentRig::build_serial`] hands every client one shared lane,
+///   reproducing the old single-channel scheduler where all clients' RPC
+///   costs sum — the serial baseline multi-client benchmarks compare
+///   against.
+///
+/// Setup (platform seeds, user keys, grant flow, per-client directories)
+/// is deterministic and identical in both flavors, so the resulting
+/// server states are byte-comparable.
+pub struct ConcurrentRig {
+    server: AfsServer,
+    clock: SimClock,
+    clients: Vec<NexusFs>,
+}
+
+impl ConcurrentRig {
+    /// Builds an N-client rig with a private clock lane per client.
+    pub fn build(n: usize, latency: LatencyModel, config: NexusConfig) -> ConcurrentRig {
+        ConcurrentRig::build_inner(n, latency, config, false)
+    }
+
+    /// Builds an N-client rig where every client charges one shared lane.
+    pub fn build_serial(n: usize, latency: LatencyModel, config: NexusConfig) -> ConcurrentRig {
+        ConcurrentRig::build_inner(n, latency, config, true)
+    }
+
+    fn build_inner(
+        n: usize,
+        latency: LatencyModel,
+        config: NexusConfig,
+        shared_lane: bool,
+    ) -> ConcurrentRig {
+        assert!(n >= 1, "a rig needs at least one client");
+        let server = AfsServer::new();
+        let clock = SimClock::new();
+        let ias = AttestationService::new();
+        let lane = clock.lane();
+        let connect = |server: &AfsServer| -> Arc<AfsClient> {
+            if shared_lane {
+                Arc::new(AfsClient::connect_on_lane(server, lane.clone(), latency))
+            } else {
+                Arc::new(AfsClient::connect(server, clock.clone(), latency))
+            }
+        };
+
+        let owner_machine = Platform::seeded(1);
+        ias.register_platform(&owner_machine);
+        let owner = UserKeys::from_seed("owner", &[11u8; 32]);
+        let owner_afs = connect(&server);
+        let (owner_volume, _) =
+            NexusVolume::create(&owner_machine, owner_afs.clone(), &ias, &owner, config)
+                .expect("create volume");
+        owner_volume.authenticate(&owner).expect("owner auth");
+        // Per-client working directories, created serially by the owner so
+        // setup is deterministic regardless of lane wiring.
+        for c in 0..n {
+            owner_volume.mkdir(&Self::dir(c)).expect("mkdir");
+        }
+
+        let mut clients = vec![NexusFs::new(owner_volume, owner_afs)];
+        for i in 1..n {
+            let machine = Platform::seeded(100 + i as u64);
+            ias.register_platform(&machine);
+            let mut seed = [0u8; 32];
+            seed[..8].copy_from_slice(&(0xA000 + i as u64).to_le_bytes());
+            let peer = UserKeys::from_seed(&format!("user{i}"), &seed);
+            let afs = connect(&server);
+            let joiner = VolumeJoiner::new(&machine, afs.clone());
+            joiner.publish_offer(&peer).expect("offer");
+            clients[0]
+                .volume()
+                .grant_access(&owner, &format!("user{i}"), &peer.public_key())
+                .expect("grant");
+            clients[0]
+                .volume()
+                .set_acl(&Self::dir(i), &format!("user{i}"), Rights::RW)
+                .expect("acl");
+            let sealed = joiner.accept_grant(&peer, &owner.public_key()).expect("accept");
+            let volume = NexusVolume::mount(&machine, afs.clone(), &ias, &sealed, config)
+                .expect("mount");
+            volume.authenticate(&peer).expect("peer auth");
+            clients.push(NexusFs::new(volume, afs));
+        }
+        ConcurrentRig { server, clock, clients }
+    }
+
+    /// Client `c`'s private working directory.
+    pub fn dir(c: usize) -> String {
+        format!("c{c}")
+    }
+
+    /// The shared AFS server (ciphertext inventory, callback state).
+    pub fn server(&self) -> &AfsServer {
+        &self.server
+    }
+
+    /// The shared virtual clock (reads the slowest lane).
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The authenticated clients, owner first.
+    pub fn clients(&self) -> &[NexusFs] {
+        &self.clients
+    }
+
+    /// Drops every client's AFS cache (cold-cache runs).
+    pub fn flush_all_caches(&self) {
+        for fs in &self.clients {
+            fs.client().flush_cache();
+        }
+    }
+
+    /// Drives `f(client_index, fs)` on every client from a worker pool and
+    /// returns the simulated makespan: all lanes are first raised to "now"
+    /// so the round starts synchronized, and the elapsed shared-clock time
+    /// (the slowest client's lane) is the round's wall-clock.
+    pub fn run(&self, f: impl Fn(usize, &NexusFs) + Sync) -> Duration {
+        let t0 = self.sync_lanes();
+        let pool = ThreadPool::new(self.clients.len());
+        pool.par_map_indexed(&self.clients, |i, fs| f(i, fs));
+        self.clock.now() - t0
+    }
+
+    /// Like [`ConcurrentRig::run`] but on the calling thread, one client
+    /// after another — with [`ConcurrentRig::build_serial`] this is the
+    /// old serial world end to end.
+    pub fn run_serial(&self, f: impl Fn(usize, &NexusFs)) -> Duration {
+        let t0 = self.sync_lanes();
+        for (i, fs) in self.clients.iter().enumerate() {
+            f(i, fs);
+        }
+        self.clock.now() - t0
+    }
+
+    fn sync_lanes(&self) -> Duration {
+        let now = self.clock.now();
+        for fs in &self.clients {
+            fs.client().lane().raise_to(now);
+        }
+        self.clock.now()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,5 +252,45 @@ mod tests {
         let afs = rig.plain_afs();
         assert_eq!(nexus.name(), "nexus");
         assert_eq!(afs.name(), "openafs");
+    }
+
+    #[test]
+    fn concurrent_rig_clients_share_one_volume() {
+        let rig = ConcurrentRig::build(3, LatencyModel::instant(), NexusConfig::default());
+        assert_eq!(rig.clients().len(), 3);
+        let makespan = rig.run(|i, fs| {
+            fs.write_file(&format!("{}/hello", ConcurrentRig::dir(i)), b"from a worker")
+                .expect("write");
+        });
+        assert!(makespan >= std::time::Duration::ZERO);
+        // Every client's file is visible to the owner through the shared
+        // server, in that client's own directory.
+        for i in 0..3 {
+            assert_eq!(
+                rig.clients()[0]
+                    .read_file(&format!("{}/hello", ConcurrentRig::dir(i)))
+                    .expect("read"),
+                b"from a worker"
+            );
+        }
+    }
+
+    #[test]
+    fn serial_rig_replays_the_same_bytes() {
+        let work = |i: usize, fs: &NexusFs| {
+            for k in 0..3 {
+                fs.write_file(&format!("{}/f{k}", ConcurrentRig::dir(i)), &[i as u8; 64])
+                    .expect("write");
+            }
+        };
+        let conc = ConcurrentRig::build(2, LatencyModel::paper_calibrated(), NexusConfig::default());
+        let serial =
+            ConcurrentRig::build_serial(2, LatencyModel::paper_calibrated(), NexusConfig::default());
+        let conc_span = conc.run(work);
+        let serial_span = serial.run_serial(work);
+        // Deterministic setup + disjoint directories: identical ciphertext.
+        assert_eq!(conc.server().object_inventory(), serial.server().object_inventory());
+        // Lanes overlap in the concurrent world, sum in the serial one.
+        assert!(conc_span < serial_span, "{conc_span:?} vs {serial_span:?}");
     }
 }

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Perf harness: runs the micro_datapath and micro_rpcbatch benches and
-# emits the machine-readable BENCH_*.json documents at the repo root.
+# Perf harness: runs the micro_datapath, micro_rpcbatch, and
+# micro_mclient benches and emits the machine-readable BENCH_*.json
+# documents at the repo root.
 #
-#   scripts/bench.sh           full sizes, writes ./BENCH_datapath.json
-#                              and ./BENCH_rpcbatch.json
+#   scripts/bench.sh           full sizes, writes ./BENCH_datapath.json,
+#                              ./BENCH_rpcbatch.json, ./BENCH_mclient.json
 #   scripts/bench.sh --smoke   reduced sizes for CI (scripts/verify.sh);
 #                              writes target/BENCH_*.smoke.json so the
 #                              checked-in artifacts are never clobbered
@@ -13,8 +14,9 @@
 # downstream tooling reads); the full run additionally enforces the
 # acceptance floors: a single-thread batched-GCM win, >= 2x chunk
 # throughput at 4 threads (measured on >= 4-core hosts, ideal-pipeline
-# modeled otherwise — see "speedup_basis"), and >= 1.5x fewer storage
-# RPCs with lower simulated latency for the batched workloads.
+# modeled otherwise — see "speedup_basis"), >= 1.5x fewer storage
+# RPCs with lower simulated latency for the batched workloads, and
+# >= 3x aggregate metadata throughput at 16 concurrent clients vs 1.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,16 +24,19 @@ cd "$(dirname "$0")/.."
 mode="full"
 out="BENCH_datapath.json"
 out_rpc="BENCH_rpcbatch.json"
+out_mc="BENCH_mclient.json"
 flags=()
 if [ "${1:-}" = "--smoke" ]; then
     mode="smoke"
     out="target/BENCH_datapath.smoke.json"
     out_rpc="target/BENCH_rpcbatch.smoke.json"
+    out_mc="target/BENCH_mclient.smoke.json"
     flags+=(--smoke)
 fi
 
-echo "== cargo build --release (micro_datapath, micro_rpcbatch) =="
-cargo build --release --offline -p nexus-bench --bin micro_datapath --bin micro_rpcbatch
+echo "== cargo build --release (micro_datapath, micro_rpcbatch, micro_mclient) =="
+cargo build --release --offline -p nexus-bench \
+    --bin micro_datapath --bin micro_rpcbatch --bin micro_mclient
 
 echo "== micro_datapath ($mode) =="
 mkdir -p "$(dirname "$out")"
@@ -96,6 +101,47 @@ if mode == "full":
             f"{wl}: batched simulated latency must be lower"
 meta, bulk = doc["metadata_heavy"]["rpc_ratio"], doc["bulk_read"]["rpc_ratio"]
 print(f"ok: {path} valid; metadata x{meta:.2f}, bulk-read x{bulk:.2f} fewer RPCs")
+EOF
+
+echo "== micro_mclient ($mode) =="
+mkdir -p "$(dirname "$out_mc")"
+./target/release/micro_mclient "${flags[@]}" --json "$out_mc"
+
+echo "== validate $out_mc =="
+python3 - "$out_mc" "$mode" <<'EOF'
+import json, sys
+path, mode = sys.argv[1], sys.argv[2]
+with open(path) as f:
+    doc = json.load(f)
+for key in ("bench", "smoke", "files_per_client", "chunk_bytes",
+            "latency_model", "clients", "worlds_identical", "scaling",
+            "runs"):
+    assert key in doc, f"{path}: missing key {key!r}"
+assert doc["worlds_identical"] is True, \
+    "concurrent and serial worlds must store identical bytes"
+for run in doc["runs"]:
+    for key in ("batching", "clients", "metadata_heavy", "bulk_read"):
+        assert key in run, f"{path}: run missing {key!r}"
+    for mix in ("metadata_heavy", "bulk_read"):
+        for key in ("ops", "conc_makespan_ms", "serial_makespan_ms",
+                    "agg_ops_per_sec", "overlap_speedup"):
+            assert key in run[mix], f"{path}: missing runs[].{mix}.{key}"
+# Recompute the headline scaling ratio from the raw cells rather than
+# trusting the emitter's arithmetic: aggregate metadata-heavy throughput,
+# batching on, largest client count over smallest.
+cells = {r["clients"]: r["metadata_heavy"]["agg_ops_per_sec"]
+         for r in doc["runs"] if r["batching"]}
+lo, hi = min(cells), max(cells)
+scaling = cells[hi] / cells[lo]
+if mode == "full":
+    # Acceptance floor (smoke runs fewer clients and only guards the
+    # emitter itself).
+    assert hi >= 16, f"full run must include 16 clients, max was {hi}"
+    assert scaling >= 3.0, \
+        f"need >= 3x aggregate metadata throughput at {hi} vs {lo} " \
+        f"clients, got x{scaling:.2f}"
+print(f"ok: {path} valid; metadata throughput x{scaling:.2f} "
+      f"from {lo} to {hi} clients (batching on)")
 EOF
 
 echo "bench: OK"

@@ -34,6 +34,27 @@ if [ -n "$offenders" ]; then
 fi
 echo "ok: dependency graph is nexus-* workspace crates only"
 
+echo "== sharded-store lock audit =="
+# The multi-client engine depends on every backend store being sharded
+# (DESIGN.md §10). A whole-store `Mutex<...>`/`RwLock<...>` field in the
+# storage structs would silently re-serialize all clients without failing
+# any functional test, so code (not comments) in the store modules must
+# only take locks through the shard layer. `ShardedMutex`/`ShardedRwLock`
+# don't match: \b rejects a word character before the type name.
+relocked=$(grep -nE '\b(Mutex|RwLock)<' \
+        crates/storage/src/mem.rs \
+        crates/storage/src/afs.rs \
+        crates/storage/src/cloud.rs \
+    | grep -vE '^[^:]+:[0-9]+:\s*//' || true)
+if [ -n "$relocked" ]; then
+    echo "FAIL: whole-store lock in a sharded storage module:" >&2
+    echo "$relocked" >&2
+    echo "Use nexus_storage::shard::{ShardedMutex, ShardedRwLock} so" >&2
+    echo "independent clients do not contend on one lock word." >&2
+    exit 1
+fi
+echo "ok: mem/afs/cloud stores lock only through the shard layer"
+
 echo "== cargo build --release --offline =="
 cargo build --release --workspace --offline
 
