@@ -1,0 +1,241 @@
+//! Hardened-vs-fast crypto lane micro-benchmark, and the emitter behind
+//! `BENCH_ct.json` (run via `scripts/bench.sh`).
+//!
+//! Two halves:
+//!
+//! 1. **Throughput** — the same four hot operations timed under both
+//!    [`CryptoProfile`]s: raw AES block encryption through the 8-block
+//!    batch entry, AES-GCM seal and open over a bulk payload, and the
+//!    AES-GCM-SIV keywrap (16-byte plaintext, the metadata object-key
+//!    wrap shape). The slowdown ratios quantify what the constant-time
+//!    lane costs.
+//! 2. **Leak classification** — the dudect-style experiment from
+//!    `nexus-testkit::timing`, run over the deterministic cold-cache
+//!    model fed by `Aes::encrypt_block_trace`: the table-driven Fast lane
+//!    must be *flagged* (Welch's t above the 4.5 threshold) and the
+//!    bitsliced ConstantTime lane must *pass*. An informational
+//!    wall-clock t is also reported but never gates anything — real
+//!    timers are too noisy for CI.
+//!
+//! Flags: `--smoke` (small sizes, for `scripts/verify.sh`), `--json PATH`
+//! (write the machine-readable document).
+
+use std::time::{Duration, Instant};
+
+use nexus_bench::json::Json;
+use nexus_bench::{arg_flag, arg_string, measure_micro, nanos, rule};
+use nexus_crypto::aes::{Aes, KeySize};
+use nexus_crypto::gcm::AesGcm;
+use nexus_crypto::gcm_siv::AesGcmSiv;
+use nexus_crypto::CryptoProfile;
+use nexus_testkit::timing::{analyze, CacheModel, Class, LEAK_T_THRESHOLD};
+use nexus_workloads::fileio::file_contents;
+
+fn mibps(bytes: usize, d: Duration) -> f64 {
+    bytes as f64 / d.as_secs_f64().max(1e-12) / (1024.0 * 1024.0)
+}
+
+/// Throughput of one lane across the four hot operations.
+struct LaneNumbers {
+    aes_block: Duration,
+    aes_block_bytes: usize,
+    gcm_seal: Duration,
+    gcm_open: Duration,
+    gcm_bytes: usize,
+    keywrap: Duration,
+    keywrap_ops: usize,
+}
+
+fn measure_lane(profile: CryptoProfile, gcm_bytes: usize) -> LaneNumbers {
+    // Raw AES through the 8-block batch entry (the shape both GCM modes
+    // drive internally).
+    let aes = Aes::with_profile(&[0x3c; 16], KeySize::Aes128, profile);
+    let n_batches = (gcm_bytes / (16 * 8)).max(1);
+    let aes_block_bytes = n_batches * 16 * 8;
+    let aes_block = measure_micro(|| {
+        let mut blocks = [[0u8; 16]; 8];
+        for i in 0..n_batches {
+            blocks[0][0] = i as u8;
+            aes.encrypt_blocks8(&mut blocks);
+        }
+        blocks
+    });
+
+    let gcm = AesGcm::with_profile(&[0x11; 32], profile);
+    let pt = file_contents(gcm_bytes, 0xc7);
+    let nonce = [2u8; 12];
+    let sealed = gcm.seal(&nonce, b"aad", &pt);
+    let gcm_seal = measure_micro(|| gcm.seal(&nonce, b"aad", &pt));
+    let gcm_open = measure_micro(|| gcm.open(&nonce, b"aad", &sealed).unwrap());
+
+    // Keywrap: the metadata path wraps a fresh 16-byte object key per
+    // update, so ops/s matters more than bulk throughput here.
+    let siv = AesGcmSiv::with_profile(&[0x22; 32], profile);
+    let object_key = [0x55u8; 16];
+    let keywrap_ops = 256;
+    let keywrap = measure_micro(|| {
+        let mut last = Vec::new();
+        for i in 0..keywrap_ops {
+            let mut n = [0u8; 12];
+            n[0] = i as u8;
+            n[1] = (i >> 8) as u8;
+            last = siv.seal(&n, b"preamble", &object_key);
+        }
+        last
+    });
+
+    LaneNumbers { aes_block, aes_block_bytes, gcm_seal, gcm_open, gcm_bytes, keywrap, keywrap_ops }
+}
+
+/// Modelled cold-cache cost of one traced block encryption.
+fn model_cost(aes: &Aes, block: &[u8; 16]) -> f64 {
+    let mut b = *block;
+    let mut trace = Vec::new();
+    aes.encrypt_block_trace(&mut b, &mut trace);
+    let mut cache = CacheModel::new();
+    for (table, idx) in trace {
+        let entry_size = if table == 4 { 1u32 } else { 4u32 };
+        cache.access(table, idx as u32 * entry_size);
+    }
+    cache.cost()
+}
+
+/// Deterministic-model leak classification for one lane.
+fn classify_model(profile: CryptoProfile, per_class: usize) -> nexus_testkit::timing::LeakReport {
+    let aes = Aes::with_profile(&[0x3c; 16], KeySize::Aes128, profile);
+    let fixed = [0xa5u8; 16];
+    analyze(0x5eed_c7_1ea4, per_class, |class, g| {
+        let block = match class {
+            Class::Fixed => fixed,
+            Class::Random => g.bytes::<16>(),
+        };
+        model_cost(&aes, &block)
+    })
+}
+
+/// Informational wall-clock t for one lane (never used for pass/fail).
+fn classify_wallclock(profile: CryptoProfile, per_class: usize) -> f64 {
+    let aes = Aes::with_profile(&[0x3c; 16], KeySize::Aes128, profile);
+    let fixed = [0xa5u8; 16];
+    analyze(0xc10c_4, per_class, |class, g| {
+        let mut block = match class {
+            Class::Fixed => fixed,
+            Class::Random => g.bytes::<16>(),
+        };
+        let start = Instant::now();
+        for _ in 0..16 {
+            aes.encrypt_block(&mut block);
+        }
+        start.elapsed().as_nanos() as f64
+    })
+    .t
+}
+
+fn main() {
+    let smoke = arg_flag("--smoke");
+    let gcm_bytes = if smoke { 8 * 1024 } else { 64 * 1024 };
+    let per_class = if smoke { 800 } else { 2000 };
+
+    rule(78);
+    println!("micro_ct — hardened (bitsliced/clmul) vs fast (table) crypto lanes");
+    println!("payload {gcm_bytes} B; leak model {per_class} samples/class; median of 5 batched samples");
+    rule(78);
+
+    let fast = measure_lane(CryptoProfile::Fast, gcm_bytes);
+    let hard = measure_lane(CryptoProfile::ConstantTime, gcm_bytes);
+    for (name, lane) in [("fast", &fast), ("hardened", &hard)] {
+        println!(
+            "{name:>9}  aes-block {:>10} ({:>7.1} MiB/s)   gcm seal {:>10} ({:>7.1} MiB/s)",
+            nanos(lane.aes_block),
+            mibps(lane.aes_block_bytes, lane.aes_block),
+            nanos(lane.gcm_seal),
+            mibps(lane.gcm_bytes, lane.gcm_seal),
+        );
+        println!(
+            "{:>9}  gcm open  {:>10} ({:>7.1} MiB/s)   keywrap  {:>10} ({:>9.0} ops/s)",
+            "",
+            nanos(lane.gcm_open),
+            mibps(lane.gcm_bytes, lane.gcm_open),
+            nanos(lane.keywrap),
+            lane.keywrap_ops as f64 / lane.keywrap.as_secs_f64().max(1e-12),
+        );
+    }
+    let slowdown = |f: Duration, h: Duration| h.as_secs_f64() / f.as_secs_f64().max(1e-12);
+    println!(
+        "slowdown  aes-block x{:.2}   gcm seal x{:.2}   gcm open x{:.2}   keywrap x{:.2}",
+        slowdown(fast.aes_block, hard.aes_block),
+        slowdown(fast.gcm_seal, hard.gcm_seal),
+        slowdown(fast.gcm_open, hard.gcm_open),
+        slowdown(fast.keywrap, hard.keywrap),
+    );
+
+    let model_fast = classify_model(CryptoProfile::Fast, per_class);
+    let model_hard = classify_model(CryptoProfile::ConstantTime, per_class);
+    let table_flagged = model_fast.leaking;
+    let ct_passes = !model_hard.leaking;
+    println!(
+        "leak model   fast t = {:.1} ({})   hardened t = {:.1} ({})   threshold {}",
+        model_fast.t,
+        if table_flagged { "FLAGGED" } else { "missed!" },
+        model_hard.t,
+        if ct_passes { "passes" } else { "LEAKS!" },
+        LEAK_T_THRESHOLD,
+    );
+    let wall_fast = classify_wallclock(CryptoProfile::Fast, per_class.min(1000));
+    let wall_hard = classify_wallclock(CryptoProfile::ConstantTime, per_class.min(1000));
+    println!("leak wall-clock (informational): fast t = {wall_fast:.1}, hardened t = {wall_hard:.1}");
+    rule(78);
+
+    let lane_json = |lane: &LaneNumbers| {
+        Json::obj()
+            .field("aes_block_mibps", Json::Num(mibps(lane.aes_block_bytes, lane.aes_block)))
+            .field("gcm_seal_mibps", Json::Num(mibps(lane.gcm_bytes, lane.gcm_seal)))
+            .field("gcm_open_mibps", Json::Num(mibps(lane.gcm_bytes, lane.gcm_open)))
+            .field(
+                "keywrap_ops_per_s",
+                Json::Num(lane.keywrap_ops as f64 / lane.keywrap.as_secs_f64().max(1e-12)),
+            )
+    };
+    if let Some(path) = arg_string("--json") {
+        let doc = Json::obj()
+            .field("bench", Json::Str("ct".into()))
+            .field("emitter", Json::Str("nexus-bench micro_ct (scripts/bench.sh)".into()))
+            .field("smoke", Json::Bool(smoke))
+            .field("payload_bytes", Json::Int(gcm_bytes as i64))
+            .field("fast", lane_json(&fast))
+            .field("constant_time", lane_json(&hard))
+            .field(
+                "slowdown",
+                Json::obj()
+                    .field("aes_block", Json::Num(slowdown(fast.aes_block, hard.aes_block)))
+                    .field("gcm_seal", Json::Num(slowdown(fast.gcm_seal, hard.gcm_seal)))
+                    .field("gcm_open", Json::Num(slowdown(fast.gcm_open, hard.gcm_open)))
+                    .field("keywrap", Json::Num(slowdown(fast.keywrap, hard.keywrap))),
+            )
+            .field(
+                "leak_model",
+                Json::obj()
+                    .field("description", Json::Str(
+                        "dudect-style Welch's t over a deterministic cold-cache cost model \
+                         fed by the table-access trace; fixed vs random plaintext classes"
+                            .into(),
+                    ))
+                    .field("samples_per_class", Json::Int(per_class as i64))
+                    .field("threshold", Json::Num(LEAK_T_THRESHOLD))
+                    .field("fast_t", Json::Num(model_fast.t))
+                    .field("constant_time_t", Json::Num(model_hard.t))
+                    .field("table_flagged", Json::Bool(table_flagged))
+                    .field("ct_passes", Json::Bool(ct_passes)),
+            )
+            .field(
+                "leak_wallclock_informational",
+                Json::obj()
+                    .field("fast_t", Json::Num(wall_fast))
+                    .field("constant_time_t", Json::Num(wall_hard)),
+            );
+        std::fs::write(&path, doc.render()).expect("write json");
+        println!("wrote {path}");
+    }
+    assert!(table_flagged, "deterministic model failed to flag the table lane");
+    assert!(ct_passes, "deterministic model flagged the constant-time lane");
+}

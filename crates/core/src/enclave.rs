@@ -10,12 +10,13 @@
 use std::collections::HashMap;
 
 use nexus_crypto::sha2::Sha256;
+use nexus_crypto::CryptoProfile;
 use nexus_sgx::EnclaveEnv;
 use nexus_storage::StorageBackend;
 
 use crate::acl::{Rights, UserId};
 use crate::error::{NexusError, Result};
-use crate::metadata::crypto::{open_object, seal_object, ObjectKind, Preamble, RootKey};
+use crate::metadata::crypto::{open_object_with, seal_object_with, ObjectKind, Preamble, RootKey};
 use crate::metadata::dirnode::{Bucket, Dirnode};
 use crate::metadata::filenode::Filenode;
 use crate::metadata::supernode::Supernode;
@@ -50,6 +51,12 @@ pub struct NexusConfig {
     /// shard degenerates to a single-lock cache (useful as a contention
     /// baseline). Clamped to at least 1.
     pub cache_shards: usize,
+    /// Which `nexus-crypto` implementation lane the enclave uses for every
+    /// seal/open: `Fast` (table-driven AES + Shoup GHASH) or `ConstantTime`
+    /// (bitsliced AES + carryless-multiply GHASH, no secret-indexed memory
+    /// access). The two lanes are byte-compatible, so the profile can differ
+    /// between clients of one volume.
+    pub crypto_profile: CryptoProfile,
 }
 
 impl Default for NexusConfig {
@@ -62,6 +69,7 @@ impl Default for NexusConfig {
             batch_rpcs: true,
             prefetch_window: 4,
             cache_shards: crate::cache::SHARD_COUNT,
+            crypto_profile: CryptoProfile::default(),
         }
     }
 }
@@ -366,6 +374,7 @@ fn load_dirnode_once(
     expected_parent: Option<NexusUuid>,
 ) -> Result<Dirnode> {
     let use_cache = state.config().cache_metadata;
+    let profile = state.config().crypto_profile;
     let mounted = state.mounted()?;
     if use_cache {
         if let Some((CachedNode::Dir(dir), cached_ver)) = mounted.meta_cache.get(&uuid) {
@@ -387,7 +396,7 @@ fn load_dirnode_once(
     let mounted = state.mounted()?;
     let storage_version = io.version(&uuid).unwrap_or(0);
     let rootkey = mounted.rootkey;
-    let (preamble, body) = open_object(&rootkey, &blob)?;
+    let (preamble, body) = open_object_with(&rootkey, profile, &blob)?;
     admit(mounted, &preamble, &uuid, ObjectKind::Dirnode, expected_parent)?;
     let dir = Dirnode::decode_main(uuid, preamble.parent, &body)?;
     io.env.epc_alloc(body.len());
@@ -423,9 +432,10 @@ pub(crate) fn load_bucket(
             "bucket {slot_uuid} does not match the MAC in its dirnode"
         )));
     }
+    let profile = state.config().crypto_profile;
     let mounted = state.mounted()?;
     let rootkey = mounted.rootkey;
-    let (preamble, body) = open_object(&rootkey, &blob)?;
+    let (preamble, body) = open_object_with(&rootkey, profile, &blob)?;
     admit(mounted, &preamble, &slot_uuid, ObjectKind::DirBucket, Some(dir.uuid))?;
     let bucket = Bucket::decode(&body)?;
     dir.buckets[idx].bucket = Some(bucket);
@@ -524,6 +534,7 @@ pub(crate) fn stage_dirnode(
     commit: &mut MetaCommit,
     mut dir: Dirnode,
 ) -> Result<()> {
+    let profile = state.config().crypto_profile;
     let mounted = state.mounted()?;
     let rootkey = mounted.rootkey;
     for slot in dir.buckets.iter_mut() {
@@ -541,7 +552,7 @@ pub(crate) fn stage_dirnode(
             parent: dir.uuid,
             version,
         };
-        let blob = seal_object(&rootkey, &preamble, &bucket.encode(), |dest| {
+        let blob = seal_object_with(&rootkey, profile, &preamble, &bucket.encode(), |dest| {
             io.env.random_bytes(dest)
         });
         slot.re.mac = Sha256::digest(&blob);
@@ -556,7 +567,7 @@ pub(crate) fn stage_dirnode(
         parent: dir.parent,
         version,
     };
-    let blob = seal_object(&rootkey, &preamble, &dir.encode_main(), |dest| {
+    let blob = seal_object_with(&rootkey, profile, &preamble, &dir.encode_main(), |dest| {
         io.env.random_bytes(dest)
     });
     commit.manifest_updates.push((dir.uuid, Sha256::digest(&blob)));
@@ -572,6 +583,7 @@ pub(crate) fn stage_filenode(
     commit: &mut MetaCommit,
     fnode: Filenode,
 ) -> Result<()> {
+    let profile = state.config().crypto_profile;
     let mounted = state.mounted()?;
     let rootkey = mounted.rootkey;
     let version = next_version(mounted, &fnode.uuid);
@@ -581,7 +593,7 @@ pub(crate) fn stage_filenode(
         parent: fnode.parent,
         version,
     };
-    let blob = seal_object(&rootkey, &preamble, &fnode.encode(), |dest| {
+    let blob = seal_object_with(&rootkey, profile, &preamble, &fnode.encode(), |dest| {
         io.env.random_bytes(dest)
     });
     commit.manifest_updates.push((fnode.uuid, Sha256::digest(&blob)));
@@ -648,6 +660,7 @@ fn load_filenode_once(
     expected_parent: Option<NexusUuid>,
 ) -> Result<Filenode> {
     let use_cache = state.config().cache_metadata;
+    let profile = state.config().crypto_profile;
     let mounted = state.mounted()?;
     if use_cache {
         if let Some((CachedNode::File(fnode), cached_ver)) = mounted.meta_cache.get(&uuid) {
@@ -669,7 +682,7 @@ fn load_filenode_once(
     let mounted = state.mounted()?;
     let storage_version = io.version(&uuid).unwrap_or(0);
     let rootkey = mounted.rootkey;
-    let (preamble, body) = open_object(&rootkey, &blob)?;
+    let (preamble, body) = open_object_with(&rootkey, profile, &blob)?;
     admit(mounted, &preamble, &uuid, ObjectKind::Filenode, expected_parent)?;
     let fnode = Filenode::decode(&body)?;
     if fnode.uuid != uuid {
@@ -704,6 +717,7 @@ pub(crate) fn evict(state: &mut EnclaveState, uuid: &NexusUuid) {
 
 /// Seals and stores the supernode (after user list changes).
 pub(crate) fn store_supernode(state: &mut EnclaveState, io: &MetaIo<'_>) -> Result<()> {
+    let profile = state.config().crypto_profile;
     let mounted = state.mounted()?;
     let rootkey = mounted.rootkey;
     let uuid = mounted.supernode_uuid;
@@ -716,7 +730,9 @@ pub(crate) fn store_supernode(state: &mut EnclaveState, io: &MetaIo<'_>) -> Resu
         version,
     };
     let body = mounted.supernode.encode();
-    let blob = seal_object(&rootkey, &preamble, &body, |dest| io.env.random_bytes(dest));
+    let blob = seal_object_with(&rootkey, profile, &preamble, &body, |dest| {
+        io.env.random_bytes(dest)
+    });
     io.put(&uuid, &blob)?;
     // The supernode participates in the freshness manifest too: a rolled
     // back user list would otherwise resurrect revoked identities for
@@ -730,10 +746,11 @@ pub(crate) fn store_supernode(state: &mut EnclaveState, io: &MetaIo<'_>) -> Resu
 pub(crate) fn fetch_supernode(
     io: &MetaIo<'_>,
     rootkey: &RootKey,
+    profile: CryptoProfile,
     uuid: NexusUuid,
 ) -> Result<(Supernode, u64)> {
     let blob = io.get(&uuid)?;
-    let (preamble, body) = open_object(rootkey, &blob)?;
+    let (preamble, body) = open_object_with(rootkey, profile, &blob)?;
     if preamble.uuid != uuid || preamble.kind != ObjectKind::Supernode {
         return Err(NexusError::Integrity("supernode identity mismatch".into()));
     }

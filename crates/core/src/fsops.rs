@@ -563,6 +563,7 @@ pub(crate) fn fs_encrypt(
     }
     let ciphertext = datapath::seal_chunks(
         nexus_pool::global(),
+        state.config().crypto_profile,
         &fnode.data_uuid,
         data,
         fnode.chunk_size as usize,
@@ -594,6 +595,7 @@ pub(crate) fn fs_decrypt(
     if config.batch_rpcs && window > 0 && n_chunks > window {
         return datapath::open_chunks_pipelined(
             nexus_pool::global(),
+            config.crypto_profile,
             &fnode,
             config.prefetch_window,
             |first, count| {
@@ -604,7 +606,7 @@ pub(crate) fn fs_decrypt(
         );
     }
     let ciphertext = io.get(&fnode.data_uuid)?;
-    decrypt_chunks(&fnode, &ciphertext, 0, n_chunks)
+    decrypt_chunks(config.crypto_profile, &fnode, &ciphertext, 0, n_chunks)
 }
 
 /// Bulk `nexus_fs_decrypt`: resolves every path, fetches **all** data
@@ -627,9 +629,10 @@ pub(crate) fn fs_decrypt_many(
     } else {
         fnodes.iter().map(|f| io.get(&f.data_uuid)).collect()
     };
+    let profile = state.config().crypto_profile;
     let mut out = Vec::with_capacity(fnodes.len());
     for (fnode, ciphertext) in fnodes.iter().zip(ciphertexts) {
-        out.push(decrypt_chunks(fnode, &ciphertext?, 0, fnode.chunks.len() as u64)?);
+        out.push(decrypt_chunks(profile, fnode, &ciphertext?, 0, fnode.chunks.len() as u64)?);
     }
     Ok(out)
 }
@@ -658,7 +661,7 @@ pub(crate) fn fs_read_range(
     let (span_start, _) = fnode.ciphertext_range(first);
     let (last_start, last_len) = fnode.ciphertext_range(last);
     let span = io.get_range(&fnode.data_uuid, span_start, last_start + last_len - span_start)?;
-    let plain = decrypt_chunks_at(&fnode, &span, first, last - first + 1)?;
+    let plain = decrypt_chunks_at(state.config().crypto_profile, &fnode, &span, first, last - first + 1)?;
     let skip = (offset - first * fnode.chunk_size as u64) as usize;
     Ok(plain[skip..skip + len as usize].to_vec())
 }
@@ -680,8 +683,14 @@ fn open_file_for_read(
 }
 
 /// Decrypts whole-file ciphertext (chunks `0..count`).
-fn decrypt_chunks(fnode: &Filenode, ciphertext: &[u8], first: u64, count: u64) -> Result<Vec<u8>> {
-    decrypt_chunks_at(fnode, ciphertext, first, count)
+fn decrypt_chunks(
+    profile: nexus_crypto::CryptoProfile,
+    fnode: &Filenode,
+    ciphertext: &[u8],
+    first: u64,
+    count: u64,
+) -> Result<Vec<u8>> {
+    decrypt_chunks_at(profile, fnode, ciphertext, first, count)
 }
 
 /// Decrypts `count` chunks starting at chunk `first`, where `ciphertext`
@@ -689,12 +698,13 @@ fn decrypt_chunks(fnode: &Filenode, ciphertext: &[u8], first: u64, count: u64) -
 /// out over the worker pool; see [`datapath`] for why the result (and any
 /// reported error) is identical to the serial loop.
 fn decrypt_chunks_at(
+    profile: nexus_crypto::CryptoProfile,
     fnode: &Filenode,
     ciphertext: &[u8],
     first: u64,
     count: u64,
 ) -> Result<Vec<u8>> {
-    datapath::open_chunks(nexus_pool::global(), fnode, ciphertext, first, count)
+    datapath::open_chunks(nexus_pool::global(), profile, fnode, ciphertext, first, count)
 }
 
 #[cfg(test)]

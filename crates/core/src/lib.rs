@@ -69,6 +69,7 @@ pub mod wire;
 
 pub use acl::{Acl, Rights, UserId};
 pub use enclave::{NexusConfig, Session};
+pub use nexus_crypto::CryptoProfile;
 pub use error::{NexusError, Result};
 pub use fsck::{FsckMode, FsckReport};
 pub use fsops::{DirRow, FileType, LookupInfo};

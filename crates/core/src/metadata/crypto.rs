@@ -16,6 +16,7 @@
 
 use nexus_crypto::gcm::AesGcm;
 use nexus_crypto::gcm_siv::AesGcmSiv;
+use nexus_crypto::CryptoProfile;
 
 use crate::error::{NexusError, Result};
 use crate::uuid::NexusUuid;
@@ -111,12 +112,26 @@ const SIV_NONCE_LEN: usize = 12;
 const WRAPPED_KEY_LEN: usize = 16 + 16; // key + GCM-SIV tag
 const GCM_NONCE_LEN: usize = 12;
 
-/// Encrypts a metadata body into the full on-storage representation.
+/// Encrypts a metadata body into the full on-storage representation using
+/// the default [`CryptoProfile::Fast`] lane.
 ///
 /// `fill_random` supplies enclave randomness for the fresh object key and
 /// nonces.
 pub fn seal_object(
     rootkey: &RootKey,
+    preamble: &Preamble,
+    body: &[u8],
+    fill_random: impl FnMut(&mut [u8]),
+) -> Vec<u8> {
+    seal_object_with(rootkey, CryptoProfile::Fast, preamble, body, fill_random)
+}
+
+/// [`seal_object`] with an explicit crypto profile. Both profiles produce
+/// byte-identical blobs; the profile only selects the implementation lane
+/// (table-driven vs constant-time) used for the key wrap and body seal.
+pub fn seal_object_with(
+    rootkey: &RootKey,
+    profile: CryptoProfile,
     preamble: &Preamble,
     body: &[u8],
     mut fill_random: impl FnMut(&mut [u8]),
@@ -131,7 +146,7 @@ pub fn seal_object(
     fill_random(&mut gcm_nonce);
 
     // Section 2: wrap the object key under the rootkey.
-    let siv = AesGcmSiv::new_256(rootkey);
+    let siv = AesGcmSiv::with_profile(rootkey, profile);
     let wrapped = siv.seal(&siv_nonce, &preamble_bytes, &object_key);
     debug_assert_eq!(wrapped.len(), WRAPPED_KEY_LEN);
 
@@ -139,8 +154,9 @@ pub fn seal_object(
     let mut aad = preamble_bytes.clone();
     aad.extend_from_slice(&siv_nonce);
     aad.extend_from_slice(&wrapped);
-    let gcm = AesGcm::new_128(&object_key);
+    let gcm = AesGcm::with_profile(&object_key, profile);
     let ciphertext = gcm.seal(&gcm_nonce, &aad, body);
+    nexus_crypto::ct::zeroize(&mut object_key);
 
     let mut out = Vec::with_capacity(
         preamble_bytes.len() + SIV_NONCE_LEN + WRAPPED_KEY_LEN + GCM_NONCE_LEN + ciphertext.len(),
@@ -153,7 +169,8 @@ pub fn seal_object(
     out
 }
 
-/// Verifies and decrypts a metadata object fetched from untrusted storage.
+/// Verifies and decrypts a metadata object fetched from untrusted storage,
+/// using the default [`CryptoProfile::Fast`] lane.
 ///
 /// # Errors
 ///
@@ -161,6 +178,16 @@ pub fn seal_object(
 /// when any authentication check fails (wrong rootkey, tampering, or a
 /// spliced preamble).
 pub fn open_object(rootkey: &RootKey, blob: &[u8]) -> Result<(Preamble, Vec<u8>)> {
+    open_object_with(rootkey, CryptoProfile::Fast, blob)
+}
+
+/// [`open_object`] with an explicit crypto profile. Accepts exactly the
+/// blobs the other profile produces.
+pub fn open_object_with(
+    rootkey: &RootKey,
+    profile: CryptoProfile,
+    blob: &[u8],
+) -> Result<(Preamble, Vec<u8>)> {
     let fixed = Preamble::ENCODED_LEN + SIV_NONCE_LEN + WRAPPED_KEY_LEN + GCM_NONCE_LEN + 16;
     if blob.len() < fixed {
         return Err(NexusError::Malformed("metadata object too short".into()));
@@ -171,19 +198,20 @@ pub fn open_object(rootkey: &RootKey, blob: &[u8]) -> Result<(Preamble, Vec<u8>)
     let (wrapped, rest) = rest.split_at(WRAPPED_KEY_LEN);
     let (gcm_nonce, ciphertext) = rest.split_at(GCM_NONCE_LEN);
 
-    let siv = AesGcmSiv::new_256(rootkey);
+    let siv = AesGcmSiv::with_profile(rootkey, profile);
     let siv_nonce_arr: [u8; 12] = siv_nonce.try_into().unwrap();
     let object_key = siv
         .open(&siv_nonce_arr, preamble_bytes, wrapped)
         .map_err(|_| NexusError::Integrity("metadata key unwrap failed".into()))?;
-    let object_key: [u8; 16] = object_key
+    let mut object_key: [u8; 16] = object_key
         .try_into()
         .map_err(|_| NexusError::Integrity("unwrapped key has wrong length".into()))?;
 
     let mut aad = preamble_bytes.to_vec();
     aad.extend_from_slice(siv_nonce);
     aad.extend_from_slice(wrapped);
-    let gcm = AesGcm::new_128(&object_key);
+    let gcm = AesGcm::with_profile(&object_key, profile);
+    nexus_crypto::ct::zeroize(&mut object_key);
     let gcm_nonce_arr: [u8; 12] = gcm_nonce.try_into().unwrap();
     let body = gcm
         .open(&gcm_nonce_arr, &aad, ciphertext)
@@ -220,6 +248,21 @@ mod tests {
         let (preamble, body) = open_object(&rk(), &blob).unwrap();
         assert_eq!(preamble, pre());
         assert_eq!(body, b"directory contents");
+    }
+
+    #[test]
+    fn profiles_produce_identical_blobs_and_interoperate() {
+        // Same deterministic randomness → the two lanes must emit the same
+        // bytes, and each must open what the other sealed.
+        let fast = seal_object_with(&rk(), CryptoProfile::Fast, &pre(), b"body", rand);
+        let ct = seal_object_with(&rk(), CryptoProfile::ConstantTime, &pre(), b"body", rand);
+        assert_eq!(fast, ct);
+        let (preamble, body) = open_object_with(&rk(), CryptoProfile::ConstantTime, &fast).unwrap();
+        assert_eq!(preamble, pre());
+        assert_eq!(body, b"body");
+        let (preamble, body) = open_object_with(&rk(), CryptoProfile::Fast, &ct).unwrap();
+        assert_eq!(preamble, pre());
+        assert_eq!(body, b"body");
     }
 
     #[test]

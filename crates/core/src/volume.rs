@@ -179,7 +179,7 @@ impl NexusVolume {
             state.config = Some(config);
             let (rootkey, uuid) = protocol::unseal_rootkey(env, &sealed_bytes)?;
             let io = MetaIo::new(env, b.as_ref());
-            let (supernode, version) = crate::enclave::fetch_supernode(&io, &rootkey, uuid)?;
+            let (supernode, version) = crate::enclave::fetch_supernode(&io, &rootkey, config.crypto_profile, uuid)?;
             state.mounted = Some(Mounted {
                 rootkey,
                 supernode_uuid: uuid,

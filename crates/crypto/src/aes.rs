@@ -1,9 +1,14 @@
 //! The AES block cipher (FIPS 197), supporting 128- and 256-bit keys.
 //!
-//! This is a straightforward table-free byte-oriented implementation intended
-//! for correctness and auditability rather than raw speed or side-channel
-//! resistance. It is the foundation for the [`crate::gcm`] and
-//! [`crate::gcm_siv`] AEAD modes used throughout NEXUS.
+//! Two lanes live behind one API (selected by [`CryptoProfile`] at key
+//! expansion): the default [`CryptoProfile::Fast`] lane encrypts through
+//! fused T-tables and decrypts byte-oriented, both indexing tables by
+//! secret-derived values; the [`CryptoProfile::ConstantTime`] lane routes
+//! every block operation through the bitsliced [`crate::aes_ct`] engine and
+//! expands keys with an algebraic S-box, so no memory access depends on key
+//! or data bytes. Both lanes are the foundation for the [`crate::gcm`] and
+//! [`crate::gcm_siv`] AEAD modes used throughout NEXUS and produce
+//! identical ciphertext.
 //!
 //! # Examples
 //!
@@ -19,8 +24,12 @@
 //! assert_eq!(block, original);
 //! ```
 
-/// The AES S-box.
-const SBOX: [u8; 256] = [
+use crate::aes_ct::{self, AesCt};
+use crate::CryptoProfile;
+
+/// The AES S-box (crate-visible so the bitsliced lane's tests can verify
+/// their algebraic S-box against it for all 256 inputs).
+pub(crate) const SBOX: [u8; 256] = [
     0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
     0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
     0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
@@ -42,7 +51,7 @@ const SBOX: [u8; 256] = [
 ];
 
 /// The inverse AES S-box.
-const INV_SBOX: [u8; 256] = [
+pub(crate) const INV_SBOX: [u8; 256] = [
     0x52, 0x09, 0x6a, 0xd5, 0x30, 0x36, 0xa5, 0x38, 0xbf, 0x40, 0xa3, 0x9e, 0x81, 0xf3, 0xd7,
     0xfb, 0x7c, 0xe3, 0x39, 0x82, 0x9b, 0x2f, 0xff, 0x87, 0x34, 0x8e, 0x43, 0x44, 0xc4, 0xde,
     0xe9, 0xcb, 0x54, 0x7b, 0x94, 0x32, 0xa6, 0xc2, 0x23, 0x3d, 0xee, 0x4c, 0x95, 0x0b, 0x42,
@@ -135,12 +144,17 @@ fn te_tables() -> &'static [[u32; 256]; 4] {
 }
 
 /// An expanded AES key, ready to encrypt or decrypt 16-byte blocks.
+///
+/// Round-key material (byte, word, and bitsliced-plane forms) is
+/// volatilely zeroized when the value is dropped.
 #[derive(Clone)]
 pub struct Aes {
     /// Expanded round keys, 4 words per round plus the initial whitening key.
     round_keys: Vec<[u8; 16]>,
     /// Round keys as big-endian column words, for the T-table fast path.
     round_keys_u32: Vec<[u32; 4]>,
+    /// Bitsliced engine, present only under [`CryptoProfile::ConstantTime`].
+    ct: Option<AesCt>,
     rounds: usize,
 }
 
@@ -159,7 +173,23 @@ impl Aes {
     /// Panics if `key.len()` does not match `size` (16 bytes for
     /// [`KeySize::Aes128`], 32 for [`KeySize::Aes256`]).
     pub fn new(key: &[u8], size: KeySize) -> Aes {
+        Aes::with_profile(key, size, CryptoProfile::Fast)
+    }
+
+    /// Expands a key for the given lane. Under
+    /// [`CryptoProfile::ConstantTime`] the schedule's SubWord runs through
+    /// the algebraic S-box (the key bytes themselves would otherwise index
+    /// the table) and block operations dispatch to the bitsliced engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len()` does not match `size`.
+    pub fn with_profile(key: &[u8], size: KeySize, profile: CryptoProfile) -> Aes {
         assert_eq!(key.len(), size.nk() * 4, "AES key length mismatch");
+        let sub: fn(u8) -> u8 = match profile {
+            CryptoProfile::Fast => |b| SBOX[b as usize],
+            CryptoProfile::ConstantTime => aes_ct::sbox_ct,
+        };
         let nk = size.nk();
         let nr = size.nr();
         let total_words = 4 * (nr + 1);
@@ -172,12 +202,12 @@ impl Aes {
             if i % nk == 0 {
                 temp.rotate_left(1);
                 for b in temp.iter_mut() {
-                    *b = SBOX[*b as usize];
+                    *b = sub(*b);
                 }
                 temp[0] ^= RCON[i / nk];
             } else if nk > 6 && i % nk == 4 {
                 for b in temp.iter_mut() {
-                    *b = SBOX[*b as usize];
+                    *b = sub(*b);
                 }
             }
             for j in 0..4 {
@@ -196,7 +226,17 @@ impl Aes {
             round_keys.push(rk);
             round_keys_u32.push(rk32);
         }
-        Aes { round_keys, round_keys_u32, rounds: nr }
+        crate::ct::zeroize(w.as_flattened_mut());
+        let ct = match profile {
+            CryptoProfile::Fast => None,
+            CryptoProfile::ConstantTime => Some(AesCt::from_round_keys(&round_keys)),
+        };
+        Aes { round_keys, round_keys_u32, ct, rounds: nr }
+    }
+
+    /// The lane this key was expanded for.
+    pub fn profile(&self) -> CryptoProfile {
+        if self.ct.is_some() { CryptoProfile::ConstantTime } else { CryptoProfile::Fast }
     }
 
     /// Expands a 16-byte AES-128 key.
@@ -217,8 +257,19 @@ impl Aes {
         Aes::new(key, KeySize::Aes256)
     }
 
-    /// Encrypts one 16-byte block in place (T-table fast path).
+    /// Encrypts one 16-byte block in place.
+    ///
+    /// The constant-time lane runs the block through the 8-wide bitsliced
+    /// engine with seven idle lanes rather than keeping a scalar path with
+    /// different timing behaviour.
     pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        if let Some(ct) = &self.ct {
+            let mut batch = [[0u8; 16]; 8];
+            batch[0] = *block;
+            ct.encrypt_blocks8(&mut batch);
+            *block = batch[0];
+            return;
+        }
         let te = te_tables();
         let rk = &self.round_keys_u32;
         let mut c = load_state(block, &rk[0]);
@@ -237,6 +288,10 @@ impl Aes {
     /// parallelism. This is what makes the batched GCM CTR keystream
     /// (`crate::gcm`) cheaper per byte.
     pub fn encrypt_blocks8(&self, blocks: &mut [[u8; 16]; 8]) {
+        if let Some(ct) = &self.ct {
+            ct.encrypt_blocks8(blocks);
+            return;
+        }
         let te = te_tables();
         let rk = &self.round_keys_u32;
         let mut states = [[0u32; 4]; 8];
@@ -271,6 +326,13 @@ impl Aes {
 
     /// Decrypts one 16-byte block in place.
     pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        if let Some(ct) = &self.ct {
+            let mut batch = [[0u8; 16]; 8];
+            batch[0] = *block;
+            ct.decrypt_blocks8(&mut batch);
+            *block = batch[0];
+            return;
+        }
         add_round_key(block, &self.round_keys[self.rounds]);
         inv_shift_rows(block);
         inv_sub_bytes(block);
@@ -282,7 +344,52 @@ impl Aes {
         }
         add_round_key(block, &self.round_keys[0]);
     }
+
+    /// Encrypts one block while recording every data-dependent table access
+    /// as `(table_id, index)` pairs — T-tables are ids 0..=3, the final
+    /// round's S-box is id 4. The constant-time lane performs no such
+    /// access, so its trace stays empty.
+    ///
+    /// This feeds the `nexus-testkit` timing-leak harness's deterministic
+    /// cache model; the ciphertext is always identical to
+    /// [`Aes::encrypt_block`].
+    #[doc(hidden)]
+    pub fn encrypt_block_trace(&self, block: &mut [u8; 16], trace: &mut Vec<(u8, u16)>) {
+        if self.ct.is_some() {
+            self.encrypt_block(block);
+            return;
+        }
+        let te = te_tables();
+        let rk = &self.round_keys_u32;
+        let mut c = load_state(block, &rk[0]);
+        for k in &rk[1..self.rounds] {
+            c = round_traced(te, &c, k, trace);
+        }
+        store_state(block, &final_round_traced(&c, &rk[self.rounds], trace));
+    }
+
+    /// Volatile best-effort clear of all round-key forms (also invoked by
+    /// `Drop`; kept separate so tests can observe the cleared state).
+    fn wipe(&mut self) {
+        for rk in self.round_keys.iter_mut() {
+            crate::ct::zeroize(rk);
+        }
+        for rk in self.round_keys_u32.iter_mut() {
+            crate::ct::zeroize_u32(rk);
+        }
+        if let Some(ct) = &mut self.ct {
+            ct.wipe();
+        }
+    }
 }
+
+impl Drop for Aes {
+    fn drop(&mut self) {
+        self.wipe();
+    }
+}
+
+impl crate::ct::ZeroizeOnDrop for Aes {}
 
 /// Loads a block into big-endian column words, applying the whitening key.
 #[inline(always)]
@@ -343,6 +450,52 @@ fn final_round(c: &[u32; 4], k: &[u32; 4]) -> [u32; 4] {
     ]
 }
 
+/// [`round`] with every T-table access appended to `trace`; identical
+/// output, used only by [`Aes::encrypt_block_trace`].
+fn round_traced(
+    te: &[[u32; 256]; 4],
+    c: &[u32; 4],
+    k: &[u32; 4],
+    trace: &mut Vec<(u8, u16)>,
+) -> [u32; 4] {
+    let mut out = [0u32; 4];
+    for i in 0..4 {
+        let idx = [
+            (c[i] >> 24) & 0xff,
+            (c[(i + 1) % 4] >> 16) & 0xff,
+            (c[(i + 2) % 4] >> 8) & 0xff,
+            c[(i + 3) % 4] & 0xff,
+        ];
+        let mut w = k[i];
+        for (t, ix) in idx.iter().enumerate() {
+            trace.push((t as u8, *ix as u16));
+            w ^= te[t][*ix as usize];
+        }
+        out[i] = w;
+    }
+    out
+}
+
+/// [`final_round`] with every S-box access appended to `trace` (table id 4).
+fn final_round_traced(c: &[u32; 4], k: &[u32; 4], trace: &mut Vec<(u8, u16)>) -> [u32; 4] {
+    let mut out = [0u32; 4];
+    for i in 0..4 {
+        let idx = [
+            (c[i] >> 24) & 0xff,
+            (c[(i + 1) % 4] >> 16) & 0xff,
+            (c[(i + 2) % 4] >> 8) & 0xff,
+            c[(i + 3) % 4] & 0xff,
+        ];
+        let mut w = 0u32;
+        for (pos, ix) in idx.iter().enumerate() {
+            trace.push((4, *ix as u16));
+            w |= (SBOX[*ix as usize] as u32) << (24 - 8 * pos as u32);
+        }
+        out[i] = w ^ k[i];
+    }
+    out
+}
+
 #[inline]
 fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
     for (s, k) in state.iter_mut().zip(rk.iter()) {
@@ -366,7 +519,7 @@ fn inv_sub_bytes(state: &mut [u8; 16]) {
 
 // State is column-major: state[4*c + r] is row r, column c.
 #[inline]
-fn shift_rows(state: &mut [u8; 16]) {
+pub(crate) fn shift_rows(state: &mut [u8; 16]) {
     let s = *state;
     for r in 1..4 {
         for c in 0..4 {
@@ -376,7 +529,7 @@ fn shift_rows(state: &mut [u8; 16]) {
 }
 
 #[inline]
-fn inv_shift_rows(state: &mut [u8; 16]) {
+pub(crate) fn inv_shift_rows(state: &mut [u8; 16]) {
     let s = *state;
     for r in 1..4 {
         for c in 0..4 {
@@ -386,7 +539,7 @@ fn inv_shift_rows(state: &mut [u8; 16]) {
 }
 
 #[inline]
-fn mix_columns(state: &mut [u8; 16]) {
+pub(crate) fn mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
         let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
         state[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
@@ -397,7 +550,7 @@ fn mix_columns(state: &mut [u8; 16]) {
 }
 
 #[inline]
-fn inv_mix_columns(state: &mut [u8; 16]) {
+pub(crate) fn inv_mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
         let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
         state[4 * c] =
@@ -409,6 +562,13 @@ fn inv_mix_columns(state: &mut [u8; 16]) {
         state[4 * c + 3] =
             gf_mul(col[0], 0x0b) ^ gf_mul(col[1], 0x0d) ^ gf_mul(col[2], 0x09) ^ gf_mul(col[3], 0x0e);
     }
+}
+
+/// Byte-level round transforms re-exported for the bitsliced lane's
+/// differential tests.
+#[cfg(test)]
+pub(crate) mod reference {
+    pub(crate) use super::{inv_mix_columns, inv_shift_rows, mix_columns, shift_rows};
 }
 
 #[cfg(test)]
@@ -510,6 +670,101 @@ mod tests {
                 }
                 assert_eq!(batch, singles);
             }
+        }
+    }
+
+    #[test]
+    fn fips197_vectors_pass_under_constant_time_profile() {
+        let cases: [(&str, &str, &str); 3] = [
+            (
+                "2b7e151628aed2a6abf7158809cf4f3c",
+                "3243f6a8885a308d313198a2e0370734",
+                "3925841d02dc09fbdc118597196a0b32",
+            ),
+            (
+                "000102030405060708090a0b0c0d0e0f",
+                "00112233445566778899aabbccddeeff",
+                "69c4e0d86a7b0430d8cdb78070b4c55a",
+            ),
+            (
+                "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+                "00112233445566778899aabbccddeeff",
+                "8ea2b7ca516745bfeafc49904b496089",
+            ),
+        ];
+        for (key_hex, plain_hex, cipher_hex) in cases {
+            let key = unhex(key_hex);
+            let size = if key.len() == 16 { KeySize::Aes128 } else { KeySize::Aes256 };
+            let aes = Aes::with_profile(&key, size, CryptoProfile::ConstantTime);
+            assert_eq!(aes.profile(), CryptoProfile::ConstantTime);
+            let mut block: [u8; 16] = unhex(plain_hex).try_into().unwrap();
+            aes.encrypt_block(&mut block);
+            assert_eq!(block.to_vec(), unhex(cipher_hex));
+            aes.decrypt_block(&mut block);
+            assert_eq!(block.to_vec(), unhex(plain_hex));
+        }
+    }
+
+    #[test]
+    fn ct_lane_matches_fast_lane() {
+        use crate::rng::{SecureRandom, SeededRandom};
+        let mut rng = SeededRandom::new(515);
+        for _ in 0..50 {
+            let key16: [u8; 16] = rng.bytes();
+            let key32: [u8; 32] = rng.bytes();
+            for (key, size) in [(&key16[..], KeySize::Aes128), (&key32[..], KeySize::Aes256)] {
+                let fast = Aes::with_profile(key, size, CryptoProfile::Fast);
+                let hard = Aes::with_profile(key, size, CryptoProfile::ConstantTime);
+                let mut batch = [[0u8; 16]; 8];
+                for b in batch.iter_mut() {
+                    *b = rng.bytes();
+                }
+                let mut fast_batch = batch;
+                let mut hard_batch = batch;
+                fast.encrypt_blocks8(&mut fast_batch);
+                hard.encrypt_blocks8(&mut hard_batch);
+                assert_eq!(fast_batch, hard_batch);
+                let mut single = batch[0];
+                hard.encrypt_block(&mut single);
+                assert_eq!(single, fast_batch[0]);
+                hard.decrypt_block(&mut single);
+                assert_eq!(single, batch[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn traced_encrypt_matches_and_ct_trace_is_empty() {
+        use crate::rng::{SecureRandom, SeededRandom};
+        let mut rng = SeededRandom::new(81);
+        for _ in 0..20 {
+            let key: [u8; 16] = rng.bytes();
+            let plain: [u8; 16] = rng.bytes();
+            let fast = Aes::new_128(&key);
+            let mut expect = plain;
+            fast.encrypt_block(&mut expect);
+            let mut traced = plain;
+            let mut trace = Vec::new();
+            fast.encrypt_block_trace(&mut traced, &mut trace);
+            assert_eq!(traced, expect);
+            // 16 T-table loads per middle round + 16 S-box loads at the end.
+            assert_eq!(trace.len(), 16 * 10);
+            let hard = Aes::with_profile(&key, KeySize::Aes128, CryptoProfile::ConstantTime);
+            let mut ct_block = plain;
+            let mut ct_trace = Vec::new();
+            hard.encrypt_block_trace(&mut ct_block, &mut ct_trace);
+            assert_eq!(ct_block, expect);
+            assert!(ct_trace.is_empty());
+        }
+    }
+
+    #[test]
+    fn wipe_clears_all_round_key_forms() {
+        for profile in [CryptoProfile::Fast, CryptoProfile::ConstantTime] {
+            let mut aes = Aes::with_profile(&[0x5au8; 16], KeySize::Aes128, profile);
+            aes.wipe();
+            assert!(aes.round_keys.iter().all(|rk| rk.iter().all(|&b| b == 0)));
+            assert!(aes.round_keys_u32.iter().all(|rk| rk.iter().all(|&w| w == 0)));
         }
     }
 

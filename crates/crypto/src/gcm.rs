@@ -18,7 +18,8 @@
 
 use crate::aes::{Aes, KeySize};
 use crate::ct::ct_eq;
-use crate::AeadError;
+use crate::ghash_ct::ghash_mul_ct;
+use crate::{AeadError, CryptoProfile};
 
 /// Length in bytes of the GCM authentication tag.
 pub const TAG_LEN: usize = 16;
@@ -83,14 +84,19 @@ pub(crate) fn table_mul(table: &ShoupTable, x: u128) -> u128 {
     z
 }
 
-/// A GHASH key: the H table, plus lazily built tables for H^1..H^8 that
-/// power the 8-blocks-per-pass batched update. The batch tables are built
-/// at most once per key and reused across every batch of the chunk.
+/// A GHASH key in one of two lanes. The Fast lane expands H into a Shoup
+/// table (plus lazily built tables for H^1..H^8 powering the
+/// 8-blocks-per-pass batched update); the ConstantTime lane keeps only the
+/// powers of H and multiplies through the table-free carryless path
+/// ([`crate::ghash_ct`]). All key material is volatilely zeroized on drop.
 #[derive(Clone)]
 struct GhashKey {
     h: u128,
-    table: Box<ShoupTable>,
-    /// `batch[k]` is the table for H^(k+1); index 7 is H^8.
+    /// `hpow[k]` is H^(k+1); index 7 is H^8 (used by both lanes' batches).
+    hpow: [u128; 8],
+    /// Shoup table for H — `Some` only in the Fast lane.
+    table: Option<Box<ShoupTable>>,
+    /// `batch[k]` is the table for H^(k+1); Fast lane only, built lazily.
     batch: std::sync::OnceLock<Box<[ShoupTable; 8]>>,
 }
 
@@ -101,30 +107,61 @@ impl std::fmt::Debug for GhashKey {
 }
 
 impl GhashKey {
-    fn new(h: u128) -> GhashKey {
-        GhashKey { h, table: build_table(h), batch: std::sync::OnceLock::new() }
+    fn new(h: u128, profile: CryptoProfile) -> GhashKey {
+        let table = match profile {
+            CryptoProfile::Fast => Some(build_table(h)),
+            CryptoProfile::ConstantTime => None,
+        };
+        let mut hpow = [0u128; 8];
+        hpow[0] = h;
+        for k in 1..8 {
+            hpow[k] = match &table {
+                Some(t) => table_mul(t, hpow[k - 1]),
+                None => ghash_mul_ct(hpow[k - 1], h),
+            };
+        }
+        GhashKey { h, hpow, table, batch: std::sync::OnceLock::new() }
     }
 
     /// Field multiplication of `x` by H.
     #[inline]
     fn mul(&self, x: u128) -> u128 {
-        table_mul(&self.table, x)
+        match &self.table {
+            Some(t) => table_mul(t, x),
+            None => ghash_mul_ct(x, self.h),
+        }
     }
 
-    /// Tables for H^1..H^8, built on first bulk use.
+    /// Tables for H^1..H^8, built on first bulk use (Fast lane only).
     fn batch_tables(&self) -> &[ShoupTable; 8] {
         self.batch.get_or_init(|| {
-            let mut pow = [0u128; 8];
-            pow[0] = self.h;
-            for k in 1..8 {
-                pow[k] = self.mul(pow[k - 1]);
-            }
             let mut tables = Box::new([[[0u128; 16]; 32]; 8]);
-            for (k, h) in pow.iter().enumerate() {
+            for (k, h) in self.hpow.iter().enumerate() {
                 tables[k] = *build_table(*h);
             }
             tables
         })
+    }
+
+    /// Volatile best-effort clear of H, its powers, and every derived
+    /// table (also invoked by `Drop`).
+    fn wipe(&mut self) {
+        crate::ct::zeroize_u128(std::slice::from_mut(&mut self.h));
+        crate::ct::zeroize_u128(&mut self.hpow);
+        if let Some(t) = &mut self.table {
+            crate::ct::zeroize_u128(t.as_flattened_mut());
+        }
+        if let Some(mut b) = self.batch.take() {
+            for t in b.iter_mut() {
+                crate::ct::zeroize_u128(t.as_flattened_mut());
+            }
+        }
+    }
+}
+
+impl Drop for GhashKey {
+    fn drop(&mut self) {
+        self.wipe();
     }
 }
 
@@ -156,7 +193,7 @@ impl<'k> Ghash<'k> {
     fn update_padded(&mut self, data: &[u8]) {
         let mut rest = data;
         if self.batch_enabled && data.len() >= GHASH_BATCH_MIN {
-            let tables = self.key.batch_tables();
+            let tables = self.key.table.is_some().then(|| self.key.batch_tables());
             let mut batches = data.chunks_exact(128);
             for batch in &mut batches {
                 let mut z = 0u128;
@@ -166,7 +203,10 @@ impl<'k> Ghash<'k> {
                     if j == 0 {
                         x ^= self.acc;
                     }
-                    z ^= table_mul(&tables[7 - j], x);
+                    z ^= match tables {
+                        Some(t) => table_mul(&t[7 - j], x),
+                        None => ghash_mul_ct(x, self.key.hpow[7 - j]),
+                    };
                 }
                 self.acc = z;
             }
@@ -215,14 +255,31 @@ impl AesGcm {
     ///
     /// Panics if the key is not 16 or 32 bytes long.
     pub fn new(key: &[u8]) -> AesGcm {
-        let aes = match key.len() {
-            16 => Aes::new(key, KeySize::Aes128),
-            32 => Aes::new(key, KeySize::Aes256),
+        AesGcm::with_profile(key, CryptoProfile::Fast)
+    }
+
+    /// Creates a context in the given lane; the ConstantTime lane runs AES
+    /// bitsliced and GHASH through the table-free carryless multiply, with
+    /// output byte-identical to the Fast lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is not 16 or 32 bytes long.
+    pub fn with_profile(key: &[u8], profile: CryptoProfile) -> AesGcm {
+        let size = match key.len() {
+            16 => KeySize::Aes128,
+            32 => KeySize::Aes256,
             n => panic!("AES-GCM key must be 16 or 32 bytes, got {n}"),
         };
+        let aes = Aes::with_profile(key, size, profile);
         let mut h_block = [0u8; 16];
         aes.encrypt_block(&mut h_block);
-        AesGcm { aes, h: GhashKey::new(u128::from_be_bytes(h_block)) }
+        AesGcm { aes, h: GhashKey::new(u128::from_be_bytes(h_block), profile) }
+    }
+
+    /// The lane this context was created for.
+    pub fn profile(&self) -> CryptoProfile {
+        self.aes.profile()
     }
 
     /// Creates an AES-128-GCM context.
@@ -437,6 +494,8 @@ impl AesGcm {
     }
 }
 
+impl crate::ct::ZeroizeOnDrop for AesGcm {}
+
 /// Increments the last 32 bits of a counter block (big-endian).
 fn inc32(block: &mut [u8; 16]) {
     let mut ctr = u32::from_be_bytes(block[12..16].try_into().unwrap());
@@ -449,14 +508,18 @@ mod tests {
     use super::*;
     use crate::test_util::{hex, unhex};
 
+    /// Every vector runs under both lanes: the ConstantTime profile must
+    /// reproduce the NIST ciphertext and tag bit-for-bit.
     fn check(key: &str, iv: &str, pt: &str, aad: &str, ct: &str, tag: &str) {
-        let gcm = AesGcm::new(&unhex(key));
-        let nonce: [u8; 12] = unhex(iv).try_into().unwrap();
-        let (c, t) = gcm.seal_detached(&nonce, &unhex(aad), &unhex(pt));
-        assert_eq!(hex(&c), ct, "ciphertext");
-        assert_eq!(hex(&t), tag, "tag");
-        let p = gcm.open_detached(&nonce, &unhex(aad), &c, &t).unwrap();
-        assert_eq!(hex(&p), pt, "roundtrip");
+        for profile in [CryptoProfile::Fast, CryptoProfile::ConstantTime] {
+            let gcm = AesGcm::with_profile(&unhex(key), profile);
+            let nonce: [u8; 12] = unhex(iv).try_into().unwrap();
+            let (c, t) = gcm.seal_detached(&nonce, &unhex(aad), &unhex(pt));
+            assert_eq!(hex(&c), ct, "ciphertext ({profile:?})");
+            assert_eq!(hex(&t), tag, "tag ({profile:?})");
+            let p = gcm.open_detached(&nonce, &unhex(aad), &c, &t).unwrap();
+            assert_eq!(hex(&p), pt, "roundtrip ({profile:?})");
+        }
     }
 
     #[test]
@@ -600,6 +663,48 @@ mod tests {
                 assert_eq!(tag_fast, tag_ref, "tag diverged at len {len}");
                 assert_eq!(gcm.open(&nonce, b"aad", &gcm.seal(&nonce, b"aad", &pt)).unwrap(), pt);
             }
+        }
+    }
+
+    /// The two lanes must agree bit-for-bit at every alignment, including
+    /// lengths that cross the 8-block CTR batch and `GHASH_BATCH_MIN`
+    /// thresholds (the CT lane batches GHASH through powers of H too).
+    #[test]
+    fn constant_time_lane_matches_fast_lane() {
+        use crate::rng::{SecureRandom, SeededRandom};
+        let mut rng = SeededRandom::new(0xc7);
+        for key in [vec![0x33u8; 16], vec![0x44u8; 32]] {
+            let fast = AesGcm::with_profile(&key, CryptoProfile::Fast);
+            let hard = AesGcm::with_profile(&key, CryptoProfile::ConstantTime);
+            for len in [0usize, 1, 16, 127, 128, 129, 1000, 8191, 8192, 8193, 20_000] {
+                let mut pt = vec![0u8; len];
+                rng.fill(&mut pt);
+                let mut nonce = [0u8; 12];
+                rng.fill(&mut nonce);
+                let (ct_f, tag_f) = fast.seal_detached(&nonce, b"aad", &pt);
+                let (ct_c, tag_c) = hard.seal_detached(&nonce, b"aad", &pt);
+                assert_eq!(ct_f, ct_c, "ciphertext diverged at len {len}");
+                assert_eq!(tag_f, tag_c, "tag diverged at len {len}");
+                // Cross-lane open: sealed Fast, opened ConstantTime.
+                assert_eq!(hard.open_detached(&nonce, b"aad", &ct_f, &tag_f).unwrap(), pt);
+            }
+        }
+    }
+
+    #[test]
+    fn ghash_key_wipe_clears_tables_and_powers() {
+        for profile in [CryptoProfile::Fast, CryptoProfile::ConstantTime] {
+            let mut key = GhashKey::new(0x1234_5678_9abc_def0_u128, profile);
+            if key.table.is_some() {
+                key.batch_tables();
+            }
+            key.wipe();
+            assert_eq!(key.h, 0);
+            assert_eq!(key.hpow, [0u128; 8]);
+            if let Some(t) = &key.table {
+                assert!(t.iter().all(|row| row.iter().all(|&v| v == 0)));
+            }
+            assert!(key.batch.get().is_none(), "batch tables dropped on wipe");
         }
     }
 

@@ -18,7 +18,8 @@
 use crate::aes::{Aes, KeySize};
 use crate::ct::ct_eq;
 use crate::gcm::{build_table, table_mul, ShoupTable, GHASH_BATCH_MIN};
-use crate::AeadError;
+use crate::ghash_ct::ghash_mul_ct;
+use crate::{AeadError, CryptoProfile};
 
 /// Length in bytes of the GCM-SIV authentication tag.
 pub const TAG_LEN: usize = 16;
@@ -68,20 +69,37 @@ fn byte_reverse(b: &[u8; 16]) -> [u8; 16] {
 #[derive(Clone)]
 struct PolyvalKey {
     h: u128,
-    /// `batch[k]` is the table for H^(k+1); index 7 is H^8.
+    /// Lane selection: ConstantTime skips every Shoup table and multiplies
+    /// through [`crate::ghash_ct`].
+    profile: CryptoProfile,
+    /// `batch[k]` is the table for H^(k+1); index 7 is H^8 (Fast lane only).
     batch: std::cell::OnceCell<Box<[ShoupTable; 8]>>,
 }
 
 impl PolyvalKey {
+    /// Scalar multiplication by H in the lane's arithmetic.
+    #[inline]
+    fn mul(&self, x: u128) -> u128 {
+        match self.profile {
+            CryptoProfile::Fast => ghash_mul(x, self.h),
+            CryptoProfile::ConstantTime => ghash_mul_ct(x, self.h),
+        }
+    }
+
+    /// Powers H^1..H^8 for the batched Horner recurrence (index 7 = H^8).
+    fn h_powers(&self) -> [u128; 8] {
+        let mut pow = [0u128; 8];
+        pow[0] = self.h;
+        for k in 1..8 {
+            pow[k] = self.mul(pow[k - 1]);
+        }
+        pow
+    }
+
     fn batch_tables(&self) -> &[ShoupTable; 8] {
         self.batch.get_or_init(|| {
-            let mut pow = [0u128; 8];
-            pow[0] = self.h;
-            for k in 1..8 {
-                pow[k] = ghash_mul(pow[k - 1], self.h);
-            }
             let mut tables = Box::new([[[0u128; 16]; 32]; 8]);
-            for (k, h) in pow.iter().enumerate() {
+            for (k, h) in self.h_powers().iter().enumerate() {
                 tables[k] = *build_table(*h);
             }
             tables
@@ -107,17 +125,17 @@ impl std::fmt::Debug for Polyval {
 }
 
 impl Polyval {
-    fn new(h: &[u8; 16]) -> Polyval {
+    fn new(h: &[u8; 16], profile: CryptoProfile) -> Polyval {
         let h_ghash = mul_x_ghash(u128::from_be_bytes(byte_reverse(h)));
         Polyval {
-            key: PolyvalKey { h: h_ghash, batch: std::cell::OnceCell::new() },
+            key: PolyvalKey { h: h_ghash, profile, batch: std::cell::OnceCell::new() },
             acc: 0,
             batch_enabled: true,
         }
     }
 
-    fn new_scalar(h: &[u8; 16]) -> Polyval {
-        let mut pv = Polyval::new(h);
+    fn new_scalar(h: &[u8; 16], profile: CryptoProfile) -> Polyval {
+        let mut pv = Polyval::new(h, profile);
         pv.batch_enabled = false;
         pv
     }
@@ -131,7 +149,14 @@ impl Polyval {
     fn update_padded(&mut self, data: &[u8]) {
         let mut rest = data;
         if self.batch_enabled && data.len() >= GHASH_BATCH_MIN {
-            let tables = self.key.batch_tables();
+            // The CT lane recomputes the eight H powers per bulk update (7
+            // scalar multiplies, amortized over >= 512 block multiplies)
+            // rather than keeping another cached table of key material.
+            let tables = match self.key.profile {
+                CryptoProfile::Fast => Some(self.key.batch_tables()),
+                CryptoProfile::ConstantTime => None,
+            };
+            let hpow = self.key.h_powers();
             let mut batches = rest.chunks_exact(128);
             for batch in &mut batches {
                 let mut z = 0u128;
@@ -141,7 +166,10 @@ impl Polyval {
                     if j == 0 {
                         x ^= self.acc;
                     }
-                    z ^= table_mul(&tables[7 - j], x);
+                    z ^= match tables {
+                        Some(t) => table_mul(&t[7 - j], x),
+                        None => ghash_mul_ct(x, hpow[7 - j]),
+                    };
                 }
                 self.acc = z;
             }
@@ -156,18 +184,39 @@ impl Polyval {
 
     fn update_block(&mut self, block: &[u8; 16]) {
         let x = u128::from_be_bytes(byte_reverse(block));
-        self.acc = ghash_mul(self.acc ^ x, self.key.h);
+        self.acc = self.key.mul(self.acc ^ x);
     }
 
     fn finalize(self) -> [u8; 16] {
         byte_reverse(&self.acc.to_be_bytes())
     }
+
+    /// Volatile best-effort clear of the mapped key, accumulator, and any
+    /// cached batch tables (also invoked by `Drop`).
+    fn wipe(&mut self) {
+        crate::ct::zeroize_u128(std::slice::from_mut(&mut self.key.h));
+        crate::ct::zeroize_u128(std::slice::from_mut(&mut self.acc));
+        if let Some(mut b) = self.key.batch.take() {
+            for t in b.iter_mut() {
+                crate::ct::zeroize_u128(t.as_flattened_mut());
+            }
+        }
+    }
+}
+
+impl Drop for Polyval {
+    fn drop(&mut self) {
+        self.wipe();
+    }
 }
 
 /// An AES-GCM-SIV sealing/opening context bound to one key-generating key.
+///
+/// The key-generating key is volatilely zeroized on drop.
 #[derive(Clone)]
 pub struct AesGcmSiv {
     key_generating_key: Vec<u8>,
+    profile: CryptoProfile,
 }
 
 impl std::fmt::Debug for AesGcmSiv {
@@ -183,12 +232,28 @@ impl AesGcmSiv {
     ///
     /// Panics if the key is not 16 or 32 bytes.
     pub fn new(key: &[u8]) -> AesGcmSiv {
+        AesGcmSiv::with_profile(key, CryptoProfile::Fast)
+    }
+
+    /// Creates a context in the given lane; the ConstantTime lane runs AES
+    /// bitsliced and POLYVAL through the table-free carryless multiply,
+    /// with output byte-identical to the Fast lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is not 16 or 32 bytes.
+    pub fn with_profile(key: &[u8], profile: CryptoProfile) -> AesGcmSiv {
         assert!(
             key.len() == 16 || key.len() == 32,
             "AES-GCM-SIV key must be 16 or 32 bytes, got {}",
             key.len()
         );
-        AesGcmSiv { key_generating_key: key.to_vec() }
+        AesGcmSiv { key_generating_key: key.to_vec(), profile }
+    }
+
+    /// The lane this context was created for.
+    pub fn profile(&self) -> CryptoProfile {
+        self.profile
     }
 
     /// Creates an AES-128-GCM-SIV context.
@@ -204,8 +269,8 @@ impl AesGcmSiv {
     /// Per-nonce key derivation (RFC 8452 §4).
     fn derive_keys(&self, nonce: &[u8; NONCE_LEN]) -> ([u8; 16], Vec<u8>) {
         let kgk = match self.key_generating_key.len() {
-            16 => Aes::new(&self.key_generating_key, KeySize::Aes128),
-            _ => Aes::new(&self.key_generating_key, KeySize::Aes256),
+            16 => Aes::with_profile(&self.key_generating_key, KeySize::Aes128, self.profile),
+            _ => Aes::with_profile(&self.key_generating_key, KeySize::Aes256, self.profile),
         };
         let half = |counter: u32| -> [u8; 8] {
             let mut block = [0u8; 16];
@@ -246,7 +311,9 @@ impl AesGcmSiv {
         plaintext: &[u8],
         batch: bool,
     ) -> [u8; 16] {
-        let mut pv = if batch { Polyval::new(auth_key) } else { Polyval::new_scalar(auth_key) };
+        let profile = enc.profile();
+        let mut pv =
+            if batch { Polyval::new(auth_key, profile) } else { Polyval::new_scalar(auth_key, profile) };
         pv.update_padded(aad);
         pv.update_padded(plaintext);
         let mut len_block = [0u8; 16];
@@ -260,6 +327,16 @@ impl AesGcmSiv {
         s[15] &= 0x7f;
         enc.encrypt_block(&mut s);
         s
+    }
+
+    /// Builds the per-nonce record-encryption cipher and volatilely clears
+    /// the raw derived key bytes (the expanded form lives inside the
+    /// returned [`Aes`], which zeroizes itself on drop).
+    fn enc_cipher(&self, enc_key: &mut Vec<u8>) -> Aes {
+        let size = if enc_key.len() == 16 { KeySize::Aes128 } else { KeySize::Aes256 };
+        let enc = Aes::with_profile(enc_key, size, self.profile);
+        crate::ct::zeroize(enc_key);
+        enc
     }
 
     /// AES-CTR with the GCM-SIV convention: 32-bit little-endian counter in
@@ -286,12 +363,10 @@ impl AesGcmSiv {
         aad: &[u8],
         plaintext: &[u8],
     ) -> (Vec<u8>, [u8; TAG_LEN]) {
-        let (auth_key, enc_key) = self.derive_keys(nonce);
-        let enc = match enc_key.len() {
-            16 => Aes::new(&enc_key, KeySize::Aes128),
-            _ => Aes::new(&enc_key, KeySize::Aes256),
-        };
+        let (mut auth_key, mut enc_key) = self.derive_keys(nonce);
+        let enc = self.enc_cipher(&mut enc_key);
         let tag = Self::polyval_tag(&auth_key, &enc, nonce, aad, plaintext);
+        crate::ct::zeroize(&mut auth_key);
         let mut ct = plaintext.to_vec();
         Self::ctr_xor(&enc, &tag, &mut ct);
         (ct, tag)
@@ -307,12 +382,10 @@ impl AesGcmSiv {
         aad: &[u8],
         plaintext: &[u8],
     ) -> (Vec<u8>, [u8; TAG_LEN]) {
-        let (auth_key, enc_key) = self.derive_keys(nonce);
-        let enc = match enc_key.len() {
-            16 => Aes::new(&enc_key, KeySize::Aes128),
-            _ => Aes::new(&enc_key, KeySize::Aes256),
-        };
+        let (mut auth_key, mut enc_key) = self.derive_keys(nonce);
+        let enc = self.enc_cipher(&mut enc_key);
         let tag = Self::polyval_tag_inner(&auth_key, &enc, nonce, aad, plaintext, false);
+        crate::ct::zeroize(&mut auth_key);
         let mut ct = plaintext.to_vec();
         Self::ctr_xor(&enc, &tag, &mut ct);
         (ct, tag)
@@ -337,14 +410,12 @@ impl AesGcmSiv {
         ciphertext: &[u8],
         tag: &[u8; TAG_LEN],
     ) -> Result<Vec<u8>, AeadError> {
-        let (auth_key, enc_key) = self.derive_keys(nonce);
-        let enc = match enc_key.len() {
-            16 => Aes::new(&enc_key, KeySize::Aes128),
-            _ => Aes::new(&enc_key, KeySize::Aes256),
-        };
+        let (mut auth_key, mut enc_key) = self.derive_keys(nonce);
+        let enc = self.enc_cipher(&mut enc_key);
         let mut pt = ciphertext.to_vec();
         Self::ctr_xor(&enc, tag, &mut pt);
         let expected = Self::polyval_tag(&auth_key, &enc, nonce, aad, &pt);
+        crate::ct::zeroize(&mut auth_key);
         if !ct_eq(&expected, tag) {
             return Err(AeadError);
         }
@@ -371,18 +442,30 @@ impl AesGcmSiv {
     }
 }
 
+impl Drop for AesGcmSiv {
+    fn drop(&mut self) {
+        crate::ct::zeroize(&mut self.key_generating_key);
+    }
+}
+
+impl crate::ct::ZeroizeOnDrop for AesGcmSiv {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::test_util::{hex, unhex};
 
+    /// Every vector runs under both lanes: the ConstantTime profile must
+    /// reproduce the RFC 8452 ciphertext and tag bit-for-bit.
     fn check(key: &str, nonce: &str, pt: &str, aad: &str, expect_ct_and_tag: &str) {
-        let siv = AesGcmSiv::new(&unhex(key));
-        let n: [u8; 12] = unhex(nonce).try_into().unwrap();
-        let sealed = siv.seal(&n, &unhex(aad), &unhex(pt));
-        assert_eq!(hex(&sealed), expect_ct_and_tag);
-        let opened = siv.open(&n, &unhex(aad), &sealed).unwrap();
-        assert_eq!(hex(&opened), pt);
+        for profile in [CryptoProfile::Fast, CryptoProfile::ConstantTime] {
+            let siv = AesGcmSiv::with_profile(&unhex(key), profile);
+            let n: [u8; 12] = unhex(nonce).try_into().unwrap();
+            let sealed = siv.seal(&n, &unhex(aad), &unhex(pt));
+            assert_eq!(hex(&sealed), expect_ct_and_tag, "sealed ({profile:?})");
+            let opened = siv.open(&n, &unhex(aad), &sealed).unwrap();
+            assert_eq!(hex(&opened), pt, "roundtrip ({profile:?})");
+        }
     }
 
     // Vectors from RFC 8452 appendix C.1 (AES-128-GCM-SIV).
@@ -485,6 +568,42 @@ mod tests {
             let pt: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
             let sealed = siv.seal(&[9u8; 12], b"ctx", &pt);
             assert_eq!(siv.open(&[9u8; 12], b"ctx", &sealed).unwrap(), pt, "len={len}");
+        }
+    }
+
+    /// The two lanes must agree bit-for-bit, including keywrap-sized
+    /// inputs and lengths that cross the POLYVAL batching threshold.
+    #[test]
+    fn constant_time_lane_matches_fast_lane() {
+        use crate::rng::{SecureRandom, SeededRandom};
+        let mut rng = SeededRandom::new(0x517);
+        for key in [vec![0x66u8; 16], vec![0x77u8; 32]] {
+            let fast = AesGcmSiv::with_profile(&key, CryptoProfile::Fast);
+            let hard = AesGcmSiv::with_profile(&key, CryptoProfile::ConstantTime);
+            for len in [0usize, 16, 32, 127, 128, 129, 1000, 8191, 8192, 8193, 20_000] {
+                let mut pt = vec![0u8; len];
+                rng.fill(&mut pt);
+                let mut nonce = [0u8; 12];
+                rng.fill(&mut nonce);
+                let (ct_f, tag_f) = fast.seal_detached(&nonce, b"wrap", &pt);
+                let (ct_c, tag_c) = hard.seal_detached(&nonce, b"wrap", &pt);
+                assert_eq!(ct_f, ct_c, "ciphertext diverged at len {len}");
+                assert_eq!(tag_f, tag_c, "tag diverged at len {len}");
+                // Cross-lane open: wrapped Fast, unwrapped ConstantTime.
+                assert_eq!(hard.open_detached(&nonce, b"wrap", &ct_f, &tag_f).unwrap(), pt);
+            }
+        }
+    }
+
+    #[test]
+    fn polyval_wipe_clears_key_and_accumulator() {
+        for profile in [CryptoProfile::Fast, CryptoProfile::ConstantTime] {
+            let mut pv = Polyval::new(&[0x5au8; 16], profile);
+            pv.update_padded(&[0x11u8; 64]);
+            pv.wipe();
+            assert_eq!(pv.key.h, 0);
+            assert_eq!(pv.acc, 0);
+            assert!(pv.key.batch.get().is_none());
         }
     }
 

@@ -32,7 +32,13 @@ pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> [u8; 32] {
     let inner_digest = inner.finalize();
     let mut outer = Sha256::new();
     outer.update(&opad).update(&inner_digest);
-    outer.finalize()
+    let tag = outer.finalize();
+    // The padded key and both derived pads are key material; clear them
+    // before the stack frames are reused.
+    crate::ct::zeroize(&mut k);
+    crate::ct::zeroize(&mut ipad);
+    crate::ct::zeroize(&mut opad);
+    tag
 }
 
 /// Computes HMAC-SHA-512 over `msg` with `key`.
@@ -54,7 +60,11 @@ pub fn hmac_sha512(key: &[u8], msg: &[u8]) -> [u8; 64] {
     let inner_digest = inner.finalize();
     let mut outer = Sha512::new();
     outer.update(&opad).update(&inner_digest);
-    outer.finalize()
+    let tag = outer.finalize();
+    crate::ct::zeroize(&mut k);
+    crate::ct::zeroize(&mut ipad);
+    crate::ct::zeroize(&mut opad);
+    tag
 }
 
 /// HKDF (RFC 5869) with SHA-256: extract step.

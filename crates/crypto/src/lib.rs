@@ -23,11 +23,23 @@
 //!
 //! ## Hardening note
 //!
-//! These implementations are written for correctness and auditability, not
-//! side-channel resistance: table lookups and scalar branches are not
-//! constant time (tag comparisons are, via [`ct::ct_eq`]). This mirrors the
-//! threat model of the paper, where the *client* platform running the
-//! enclave is trusted.
+//! Two runtime profiles share every public API ([`CryptoProfile`]):
+//!
+//! - [`CryptoProfile::Fast`] encrypts through AES T-tables and Shoup-table
+//!   GHASH/POLYVAL — written for correctness and auditability, but its
+//!   table lookups are indexed by secret-derived values and therefore leak
+//!   through caches;
+//! - [`CryptoProfile::ConstantTime`] routes AES through a bitsliced,
+//!   table-free implementation ([`aes_ct`]) and GHASH/POLYVAL through a
+//!   masked carryless multiply ([`ghash_ct`]); no memory access or branch
+//!   in those hot paths depends on key or message bytes.
+//!
+//! Both lanes produce byte-identical output (differentially tested on every
+//! RFC vector and by the cross-profile property suite), and the
+//! `nexus-testkit` timing-leak harness flags the Fast lane while passing
+//! the hardened one. Tag comparisons are branchless in both profiles
+//! ([`ct::ct_eq`]), and key-holding types volatilely zeroize their material
+//! on `Drop` ([`ct::zeroize`]).
 //!
 //! ## Example
 //!
@@ -44,15 +56,33 @@
 //! ```
 
 pub mod aes;
+pub(crate) mod aes_ct;
 pub mod ct;
 pub mod ed25519;
 pub mod field25519;
 pub mod gcm;
 pub mod gcm_siv;
+pub(crate) mod ghash_ct;
 pub mod hmac;
 pub mod rng;
 pub mod sha2;
 pub mod x25519;
+
+/// Which implementation lane the symmetric hot paths (AES, GHASH/POLYVAL)
+/// run through. See the crate-level hardening note.
+///
+/// The two profiles are bit-for-bit compatible: ciphertexts and tags are
+/// identical, so data sealed under one profile opens under the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CryptoProfile {
+    /// Table-driven lane: AES T-tables, Shoup-table GHASH/POLYVAL.
+    /// Fastest, but secret-indexed loads leak through caches.
+    #[default]
+    Fast,
+    /// Hardened lane: bitsliced AES and masked carryless-multiply
+    /// GHASH/POLYVAL; no secret-dependent memory access or branch.
+    ConstantTime,
+}
 
 /// Authenticated decryption failed: the ciphertext or its associated data
 /// was modified, or the wrong key/nonce was used.

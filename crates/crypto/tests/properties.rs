@@ -8,6 +8,7 @@ use nexus_crypto::gcm_siv::AesGcmSiv;
 use nexus_crypto::hmac::{hkdf, hmac_sha256};
 use nexus_crypto::sha2::{Sha256, Sha512};
 use nexus_crypto::x25519;
+use nexus_crypto::CryptoProfile;
 use nexus_testkit::{shrink, tk_assert, tk_assert_eq, tk_assert_ne, Runner};
 
 const CASES: u32 = 64;
@@ -186,6 +187,47 @@ fn hkdf_output_lengths_are_exact() {
             // Prefix property: shorter outputs are prefixes of longer ones.
             let longer = hkdf(b"salt", ikm, b"info", len + 13);
             tk_assert_eq!(&longer[..*len], &okm[..]);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn constant_time_profile_matches_fast_profile() {
+    // Satellite of the constant-time lane: both implementation profiles
+    // must be byte-identical for every key/nonce/AAD/length, including
+    // lengths straddling the 8-block (128-byte) batch boundary, and each
+    // must open what the other sealed.
+    const BOUNDARY_LENS: [usize; 10] = [0, 1, 15, 16, 17, 112, 127, 128, 129, 257];
+    Runner::new("constant_time_profile_matches_fast_profile").cases(CASES).run(
+        |g| {
+            let pt = if g.u8() % 2 == 0 {
+                let len = BOUNDARY_LENS[(g.u64() % BOUNDARY_LENS.len() as u64) as usize];
+                g.byte_vec(len, len)
+            } else {
+                g.byte_vec(0, 600)
+            };
+            (g.bytes::<32>(), g.bytes::<12>(), g.byte_vec(0, 64), pt)
+        },
+        |(key, nonce, aad, pt)| {
+            shrink::bytes(pt).into_iter().map(|pt| (*key, *nonce, aad.clone(), pt)).collect()
+        },
+        |(key, nonce, aad, pt)| {
+            let fast = AesGcm::with_profile(key, CryptoProfile::Fast);
+            let hard = AesGcm::with_profile(key, CryptoProfile::ConstantTime);
+            let sealed_fast = fast.seal(nonce, aad, pt);
+            let sealed_hard = hard.seal(nonce, aad, pt);
+            tk_assert_eq!(sealed_fast, sealed_hard);
+            tk_assert_eq!(hard.open(nonce, aad, &sealed_fast).unwrap(), *pt);
+            tk_assert_eq!(fast.open(nonce, aad, &sealed_hard).unwrap(), *pt);
+
+            let fast = AesGcmSiv::with_profile(key, CryptoProfile::Fast);
+            let hard = AesGcmSiv::with_profile(key, CryptoProfile::ConstantTime);
+            let sealed_fast = fast.seal(nonce, aad, pt);
+            let sealed_hard = hard.seal(nonce, aad, pt);
+            tk_assert_eq!(sealed_fast, sealed_hard);
+            tk_assert_eq!(hard.open(nonce, aad, &sealed_fast).unwrap(), *pt);
+            tk_assert_eq!(fast.open(nonce, aad, &sealed_hard).unwrap(), *pt);
             Ok(())
         },
     );

@@ -6,6 +6,7 @@
 //! [`SealPolicy::MrEnclave`]) not by any other enclave either. NEXUS seals
 //! the volume rootkey this way between runs (paper §IV).
 
+use nexus_crypto::ct::{ct_eq, zeroize};
 use nexus_crypto::gcm::AesGcm;
 use nexus_crypto::hmac::hkdf;
 
@@ -84,8 +85,9 @@ impl SealedData {
         plaintext: &[u8],
         aad: &[u8],
     ) -> SealedData {
-        let key = Self::sealing_key(platform, measurement, policy);
+        let mut key = Self::sealing_key(platform, measurement, policy);
         let gcm = AesGcm::new_256(&key);
+        zeroize(&mut key);
         let header_aad = Self::aad(policy, platform.id(), measurement, aad);
         let ciphertext = gcm.seal(nonce, &header_aad, plaintext);
         SealedData {
@@ -103,17 +105,21 @@ impl SealedData {
         measurement: Measurement,
         aad: &[u8],
     ) -> Result<Vec<u8>, SealError> {
-        if self.platform_id != platform.id() {
+        // Identity comparisons run branchless byte-wise: the unsealing
+        // enclave's timing must not reveal how much of the expected
+        // platform id or measurement a probe matched.
+        if !ct_eq(&self.platform_id.0, &platform.id().0) {
             return Err(SealError::WrongPlatform);
         }
-        if self.policy == SealPolicy::MrEnclave && self.measurement != measurement {
+        if self.policy == SealPolicy::MrEnclave && !ct_eq(&self.measurement.0, &measurement.0) {
             return Err(SealError::WrongEnclave);
         }
         // Key derivation uses the *current* enclave's identity, so even a
         // forged header cannot trick a different enclave into deriving the
         // original key.
-        let key = Self::sealing_key(platform, measurement, self.policy);
+        let mut key = Self::sealing_key(platform, measurement, self.policy);
         let gcm = AesGcm::new_256(&key);
+        zeroize(&mut key);
         let header_aad = Self::aad(self.policy, self.platform_id, self.measurement, aad);
         gcm.open(&self.nonce, &header_aad, &self.ciphertext)
             .map_err(|_| SealError::Corrupted)

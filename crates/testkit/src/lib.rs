@@ -174,6 +174,8 @@ impl Gen {
     }
 }
 
+pub mod timing;
+
 /// Canonical shrink-candidate sets: smaller-but-similar variants of a
 /// failing case, ordered most-aggressive first so the greedy walk makes
 /// big jumps before fine steps.

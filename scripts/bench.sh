@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Perf harness: runs the micro_datapath, micro_rpcbatch, and
-# micro_mclient benches and emits the machine-readable BENCH_*.json
+# Perf harness: runs the micro_datapath, micro_rpcbatch, micro_mclient,
+# and micro_ct benches and emits the machine-readable BENCH_*.json
 # documents at the repo root.
 #
 #   scripts/bench.sh           full sizes, writes ./BENCH_datapath.json,
-#                              ./BENCH_rpcbatch.json, ./BENCH_mclient.json
+#                              ./BENCH_rpcbatch.json, ./BENCH_mclient.json,
+#                              ./BENCH_ct.json
 #   scripts/bench.sh --smoke   reduced sizes for CI (scripts/verify.sh);
 #                              writes target/BENCH_*.smoke.json so the
 #                              checked-in artifacts are never clobbered
@@ -25,18 +26,20 @@ mode="full"
 out="BENCH_datapath.json"
 out_rpc="BENCH_rpcbatch.json"
 out_mc="BENCH_mclient.json"
+out_ct="BENCH_ct.json"
 flags=()
 if [ "${1:-}" = "--smoke" ]; then
     mode="smoke"
     out="target/BENCH_datapath.smoke.json"
     out_rpc="target/BENCH_rpcbatch.smoke.json"
     out_mc="target/BENCH_mclient.smoke.json"
+    out_ct="target/BENCH_ct.smoke.json"
     flags+=(--smoke)
 fi
 
-echo "== cargo build --release (micro_datapath, micro_rpcbatch, micro_mclient) =="
+echo "== cargo build --release (micro_datapath, micro_rpcbatch, micro_mclient, micro_ct) =="
 cargo build --release --offline -p nexus-bench \
-    --bin micro_datapath --bin micro_rpcbatch --bin micro_mclient
+    --bin micro_datapath --bin micro_rpcbatch --bin micro_mclient --bin micro_ct
 
 echo "== micro_datapath ($mode) =="
 mkdir -p "$(dirname "$out")"
@@ -142,6 +145,39 @@ if mode == "full":
         f"clients, got x{scaling:.2f}"
 print(f"ok: {path} valid; metadata throughput x{scaling:.2f} "
       f"from {lo} to {hi} clients (batching on)")
+EOF
+
+echo "== micro_ct ($mode) =="
+mkdir -p "$(dirname "$out_ct")"
+./target/release/micro_ct "${flags[@]}" --json "$out_ct"
+
+echo "== validate $out_ct =="
+python3 - "$out_ct" "$mode" <<'EOF'
+import json, sys
+path, mode = sys.argv[1], sys.argv[2]
+with open(path) as f:
+    doc = json.load(f)
+for key in ("bench", "smoke", "payload_bytes", "fast", "constant_time",
+            "slowdown", "leak_model", "leak_wallclock_informational"):
+    assert key in doc, f"{path}: missing key {key!r}"
+for lane in ("fast", "constant_time"):
+    for key in ("aes_block_mibps", "gcm_seal_mibps", "gcm_open_mibps",
+                "keywrap_ops_per_s"):
+        assert key in doc[lane], f"{path}: missing {lane}.{key}"
+        assert doc[lane][key] > 0, f"{path}: {lane}.{key} must be positive"
+lm = doc["leak_model"]
+for key in ("samples_per_class", "threshold", "fast_t", "constant_time_t",
+            "table_flagged", "ct_passes"):
+    assert key in lm, f"{path}: missing leak_model.{key}"
+# The classification gates in BOTH modes: the deterministic cache-model
+# experiment is noise-free, so there is no "too noisy for CI" excuse here.
+assert lm["table_flagged"] is True, \
+    "timing harness must flag the table-driven AES lane as leaking"
+assert lm["ct_passes"] is True, \
+    "timing harness must pass the bitsliced constant-time lane"
+print(f"ok: {path} valid; fast t={lm['fast_t']:.1f} flagged, "
+      f"hardened t={lm['constant_time_t']:.1f} passes "
+      f"(threshold {lm['threshold']})")
 EOF
 
 echo "bench: OK"

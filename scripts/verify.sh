@@ -55,11 +55,39 @@ if [ -n "$relocked" ]; then
 fi
 echo "ok: mem/afs/cloud stores lock only through the shard layer"
 
+echo "== constant-time module audit =="
+# The hardened lane's whole point is to never index memory by secret- or
+# message-derived values, so the ct-suffixed modules must not reference
+# the lookup tables or the Shoup table-multiply at all. Only the code
+# before `#[cfg(test)]` is policed: the test modules *should* reference
+# the tables, since they differentially verify the two lanes agree.
+ct_offenders=$(for f in crates/crypto/src/aes_ct.rs crates/crypto/src/ghash_ct.rs; do
+        awk -v f="$f" '/^#\[cfg\(test\)\]/{exit} {print f":"FNR":"$0}' "$f"
+    done \
+    | grep -E 'SBOX\[|INV_SBOX\[|ShoupTable|table_mul|GHASH_TABLE' \
+    | grep -vE '^[^:]+:[0-9]+:\s*//' || true)
+if [ -n "$ct_offenders" ]; then
+    echo "FAIL: table indexing inside a constant-time module:" >&2
+    echo "$ct_offenders" >&2
+    echo "aes_ct.rs / ghash_ct.rs must stay table-free (bitsliced S-box," >&2
+    echo "carryless-multiply GHASH); see DESIGN.md §11." >&2
+    exit 1
+fi
+echo "ok: aes_ct.rs / ghash_ct.rs are table-free outside their test modules"
+
 echo "== cargo build --release --offline =="
 cargo build --release --workspace --offline
 
 echo "== cargo test -q --offline =="
 cargo test -q --workspace --offline
+
+echo "== timing-leak harness smoke =="
+# Redundant with the workspace test run above, but invoked by target name
+# so deleting the leak test fails loudly here ("no test target named")
+# instead of silently shrinking coverage. The harness must flag the
+# table-driven lane and pass the bitsliced lane, deterministically.
+cargo test -q -p nexus-crypto --offline --test timing_leak > /dev/null
+echo "ok: table lane flagged, constant-time lane passes"
 
 echo "== bench smoke (JSON emitter) =="
 scripts/bench.sh --smoke
