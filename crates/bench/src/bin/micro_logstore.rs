@@ -1,0 +1,212 @@
+//! Real-I/O micro-benchmark for the durable backends, and the emitter
+//! behind `BENCH_logstore.json` (run via `scripts/bench.sh`).
+//!
+//! Unlike the virtual-clock benches, everything here is wall-clock over
+//! real files in a scratch directory under `target/`:
+//!
+//! 1. **Put/get throughput** — N objects of S bytes through `LogBackend`
+//!    (one record append + one fsync per put) vs the fixed `DirBackend`
+//!    (two full temp-fsync-rename-dirfsync commits per put: object +
+//!    version sidecar). The log-structured layout is the whole point:
+//!    durability per put costs one sequential append, not four scattered
+//!    metadata operations.
+//! 2. **Recovery time vs log length** — an overwrite-heavy history of L
+//!    puts over a small key set, reopened cold in both modes: checkpoints
+//!    disabled (recovery replays all L records) and periodic checkpoints
+//!    (recovery loads the last snapshot + a bounded tail). Both recovered
+//!    worlds are verified identical before any number is reported —
+//!    checkpointing must change recovery *time*, never recovered *state*.
+//!
+//! Flags: `--smoke` (small sizes, for `scripts/verify.sh`), `--json PATH`,
+//! `--objects N`, `--value-bytes S`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use nexus_bench::json::Json;
+use nexus_bench::{arg_flag, arg_string, arg_usize, rule};
+use nexus_storage::{DirBackend, LogBackend, LogConfig, StorageBackend};
+
+/// Overwrite-heavy recovery workload: L puts spread over this many paths,
+/// so a checkpoint compacts almost the whole history away.
+const RECOVERY_PATHS: usize = 16;
+const RECOVERY_VALUE_BYTES: usize = 256;
+const CHECKPOINT_EVERY: u64 = 256;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nexus-benchlog-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn value(seed: usize, len: usize) -> Vec<u8> {
+    (0..len).map(|i| (seed.wrapping_mul(31).wrapping_add(i) & 0xFF) as u8).collect()
+}
+
+struct Throughput {
+    put_ops_per_s: f64,
+    get_ops_per_s: f64,
+    put_mibps: f64,
+    get_mibps: f64,
+}
+
+fn throughput(store: &dyn StorageBackend, objects: usize, value_bytes: usize) -> Throughput {
+    let values: Vec<Vec<u8>> = (0..objects).map(|i| value(i, value_bytes)).collect();
+    let t0 = Instant::now();
+    for (i, v) in values.iter().enumerate() {
+        store.put(&format!("obj-{i}"), v).expect("bench put");
+    }
+    let put_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    for (i, v) in values.iter().enumerate() {
+        assert_eq!(&store.get(&format!("obj-{i}")).expect("bench get"), v);
+    }
+    let get_s = t0.elapsed().as_secs_f64();
+    let mib = (objects * value_bytes) as f64 / (1024.0 * 1024.0);
+    Throughput {
+        put_ops_per_s: objects as f64 / put_s,
+        get_ops_per_s: objects as f64 / get_s,
+        put_mibps: mib / put_s,
+        get_mibps: mib / get_s,
+    }
+}
+
+fn throughput_json(t: &Throughput) -> Json {
+    Json::obj()
+        .field("put_ops_per_s", Json::Num(t.put_ops_per_s))
+        .field("get_ops_per_s", Json::Num(t.get_ops_per_s))
+        .field("put_mibps", Json::Num(t.put_mibps))
+        .field("get_mibps", Json::Num(t.get_mibps))
+}
+
+/// Writes an L-put overwrite history, then measures a cold reopen.
+/// Returns (open_ms, recovered world fingerprint).
+fn recovery_run(ops: usize, checkpoint_every: u64) -> (f64, Vec<(String, Vec<u8>, u64)>) {
+    let root = scratch(&format!("recovery-{ops}-{checkpoint_every}"));
+    {
+        let log = LogBackend::open_with(
+            &root,
+            // Durability is not under test here (recovery time is), so the
+            // history is written with per-put fsync off to keep the setup
+            // phase fast; the final state is identical either way.
+            LogConfig { fsync: false, checkpoint_every, fault_hook: None },
+        )
+        .expect("open for history");
+        for i in 0..ops {
+            let path = format!("key-{}", i % RECOVERY_PATHS);
+            log.put(&path, &value(i, RECOVERY_VALUE_BYTES)).expect("history put");
+        }
+    }
+    let t0 = Instant::now();
+    let log = LogBackend::open(&root).expect("recovery open");
+    let open_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut world: Vec<(String, Vec<u8>, u64)> = log
+        .list("")
+        .into_iter()
+        .map(|p| {
+            let data = log.get(&p).expect("recovered get");
+            let version = log.stat(&p).expect("recovered stat").version;
+            (p, data, version)
+        })
+        .collect();
+    world.sort();
+    let _ = std::fs::remove_dir_all(&root);
+    (open_ms, world)
+}
+
+fn main() {
+    let smoke = arg_flag("--smoke");
+    let objects = arg_usize("--objects", if smoke { 64 } else { 512 });
+    let value_bytes = arg_usize("--value-bytes", if smoke { 4 * 1024 } else { 32 * 1024 });
+    let recovery_sweep: Vec<usize> =
+        if smoke { vec![256, 1024] } else { vec![1024, 4096, 16384] };
+
+    rule(78);
+    println!("micro_logstore — real-I/O durability: log-structured vs per-file commits");
+    println!(
+        "{objects} objects x {} KiB; recovery sweep {recovery_sweep:?} ops over \
+         {RECOVERY_PATHS} keys",
+        value_bytes / 1024
+    );
+    rule(78);
+
+    // Throughput: both backends with their full durability discipline.
+    let log_root = scratch("log-throughput");
+    let log = LogBackend::open(&log_root).expect("open log");
+    let log_t = throughput(&log, objects, value_bytes);
+    drop(log);
+    let _ = std::fs::remove_dir_all(&log_root);
+
+    let dir_root = scratch("dir-throughput");
+    let dir = DirBackend::open(&dir_root).expect("open dir");
+    let dir_t = throughput(&dir, objects, value_bytes);
+    drop(dir);
+    let _ = std::fs::remove_dir_all(&dir_root);
+
+    let put_ratio = log_t.put_ops_per_s / dir_t.put_ops_per_s;
+    println!(
+        "log backend    put {:>9.0} ops/s ({:>8.1} MiB/s)   get {:>9.0} ops/s ({:>8.1} MiB/s)",
+        log_t.put_ops_per_s, log_t.put_mibps, log_t.get_ops_per_s, log_t.get_mibps
+    );
+    println!(
+        "dir backend    put {:>9.0} ops/s ({:>8.1} MiB/s)   get {:>9.0} ops/s ({:>8.1} MiB/s)",
+        dir_t.put_ops_per_s, dir_t.put_mibps, dir_t.get_ops_per_s, dir_t.get_mibps
+    );
+    println!("log/dir durable-put ratio: x{put_ratio:.2}");
+    rule(78);
+
+    // Recovery sweep: replay-everything vs checkpoint+tail, same history.
+    let mut sweep_ops: Vec<i64> = Vec::new();
+    let mut replay_ms: Vec<f64> = Vec::new();
+    let mut ckpt_ms: Vec<f64> = Vec::new();
+    let mut recovered_identical = true;
+    for &ops in &recovery_sweep {
+        let (r_ms, r_world) = recovery_run(ops, 0);
+        let (c_ms, c_world) = recovery_run(ops, CHECKPOINT_EVERY);
+        recovered_identical &= r_world == c_world;
+        assert_eq!(
+            r_world.len(),
+            RECOVERY_PATHS.min(ops),
+            "recovery must reconstruct every live key"
+        );
+        println!(
+            "recovery @ {ops:>6} ops   full replay {r_ms:>8.2} ms   \
+             checkpoint+tail {c_ms:>8.2} ms",
+        );
+        sweep_ops.push(ops as i64);
+        replay_ms.push(r_ms);
+        ckpt_ms.push(c_ms);
+    }
+    assert!(recovered_identical, "checkpointing changed the recovered state");
+    println!("recovered worlds identical across both recovery modes");
+    rule(78);
+
+    if let Some(path) = arg_string("--json") {
+        let doc = Json::obj()
+            .field("bench", Json::Str("logstore".into()))
+            .field("emitter", Json::Str("nexus-bench micro_logstore (scripts/bench.sh)".into()))
+            .field("smoke", Json::Bool(smoke))
+            .field("objects", Json::Int(objects as i64))
+            .field("value_bytes", Json::Int(value_bytes as i64))
+            .field(
+                "throughput",
+                Json::obj()
+                    .field("log", throughput_json(&log_t))
+                    .field("dir", throughput_json(&dir_t))
+                    .field("put_ratio_log_over_dir", Json::Num(put_ratio)),
+            )
+            .field(
+                "recovery",
+                Json::obj()
+                    .field("paths", Json::Int(RECOVERY_PATHS as i64))
+                    .field("value_bytes", Json::Int(RECOVERY_VALUE_BYTES as i64))
+                    .field("checkpoint_every", Json::Int(CHECKPOINT_EVERY as i64))
+                    .field("log_ops", Json::ints(sweep_ops.iter().copied()))
+                    .field("replay_ms", Json::nums(replay_ms.iter().copied()))
+                    .field("checkpointed_ms", Json::nums(ckpt_ms.iter().copied())),
+            )
+            .field("recovered_state_identical", Json::Bool(recovered_identical));
+        std::fs::write(&path, doc.render()).expect("write json");
+        println!("wrote {path}");
+    }
+}

@@ -162,7 +162,15 @@ impl NexusVolume {
     /// returned inside the report.
     pub fn fsck(&self, mode: FsckMode) -> Result<FsckReport> {
         let inventory = self.backend().list("");
-        self.enclave_fsck(mode, inventory)
+        let mut report = self.enclave_fsck(mode, inventory)?;
+        // Durable backends also audit their on-disk form (log/checkpoint
+        // integrity, version indices, stray files); RAM backends return
+        // nothing. These findings are storage-level, not tied to a volume
+        // path.
+        for finding in self.backend().audit_storage() {
+            report.errors.push(("[storage]".to_string(), finding));
+        }
+        Ok(report)
     }
 
     fn enclave_fsck(&self, mode: FsckMode, inventory: Vec<String>) -> Result<FsckReport> {
@@ -312,6 +320,51 @@ mod tests {
         assert!(matches!(v.gc(), Err(NexusError::AccessDenied(_))));
         // But alice with READ on root may fsck.
         assert!(v.fsck(FsckMode::Metadata).unwrap().is_clean());
+    }
+
+    #[test]
+    fn fsck_merges_storage_audit_findings() {
+        use nexus_storage::LogBackend;
+        let dir = std::env::temp_dir().join(format!(
+            "nexus-fsck-logstore-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let platform = Platform::seeded(0xF5C);
+        let ias = AttestationService::new();
+        ias.register_platform(&platform);
+        let backend = Arc::new(LogBackend::open(&dir).unwrap());
+        let owner = UserKeys::from_seed("o", &[1; 32]);
+        let (v, _) = NexusVolume::create(
+            &platform,
+            backend.clone(),
+            &ias,
+            &owner,
+            NexusConfig::default(),
+        )
+        .unwrap();
+        v.authenticate(&owner).unwrap();
+        v.write_file("f.txt", b"durable").unwrap();
+        // A healthy durable volume passes both the metadata walk and the
+        // storage-form audit.
+        let report = v.fsck(FsckMode::Deep).unwrap();
+        assert!(report.is_clean(), "{:?}", report.errors);
+        // Damage the on-disk form behind the backend's back: fsck must
+        // surface the storage-level finding even though every reachable
+        // object still verifies.
+        std::fs::write(dir.join("not-a-log-file"), b"junk").unwrap();
+        let report = v.fsck(FsckMode::Metadata).unwrap();
+        assert!(!report.is_clean());
+        assert!(
+            report
+                .errors
+                .iter()
+                .any(|(p, e)| p == "[storage]" && e.contains("not-a-log-file")),
+            "{:?}",
+            report.errors
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

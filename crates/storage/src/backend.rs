@@ -238,6 +238,15 @@ pub trait StorageBackend: Send + Sync {
     fn simulated_time(&self) -> Duration {
         Duration::ZERO
     }
+
+    /// Audits the backend's durable form (on-disk layout, checksums,
+    /// persisted indices) against its live state. Returns human-readable
+    /// findings; empty means clean. RAM-only backends have no durable form
+    /// to audit and keep the empty default. `fsck` merges these findings
+    /// into its volume report.
+    fn audit_storage(&self) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

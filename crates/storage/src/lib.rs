@@ -6,7 +6,13 @@
 //! - [`StorageBackend`] — the minimal "file access API" NEXUS stacks on
 //!   (whole-object get/put, ranged reads, delete, list, advisory locks);
 //! - [`MemBackend`] — an in-memory object store;
-//! - [`DirBackend`] — objects as real files in a local directory;
+//! - [`DirBackend`] — objects as real files in a local directory, written
+//!   crash-consistently (temp file + fsync + atomic rename) with a
+//!   persisted version index;
+//! - [`logstore`] — the log-structured durable backend ([`LogBackend`]):
+//!   append-only checksummed segments, periodic checkpoints committed by
+//!   atomic rename, and recovery replay that survives a crash at any
+//!   fault point ([`fault`]);
 //! - [`afs`] — a simulated AFS client/server pair with whole-file caching,
 //!   callback-based invalidation, open-to-close semantics, server-side
 //!   `flock`, and a virtual-clock latency model ([`SimClock`],
@@ -35,6 +41,8 @@ pub mod batch;
 pub mod cloud;
 pub mod clock;
 pub mod dir;
+pub mod fault;
+pub mod logstore;
 pub mod malicious;
 pub mod mem;
 pub mod shard;
@@ -44,6 +52,8 @@ pub use batch::BatchWriter;
 pub use clock::{ClockLane, LatencyModel, SimClock};
 pub use cloud::{CloudBilling, CloudStore};
 pub use dir::DirBackend;
+pub use fault::{FaultAction, FaultHook, FaultKind, FaultPoint};
+pub use logstore::{LogBackend, LogConfig};
 pub use malicious::MaliciousBackend;
 pub use mem::MemBackend;
 

@@ -194,6 +194,12 @@ impl<B: StorageBackend> StorageBackend for MaliciousBackend<B> {
     fn simulated_time(&self) -> Duration {
         self.inner.simulated_time()
     }
+
+    fn audit_storage(&self) -> Vec<String> {
+        // Attacks mangle the data plane, not the substrate's own durable
+        // form; hiding real corruption would defeat the audit.
+        self.inner.audit_storage()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,396 @@
+//! Differential crash-recovery suite for the log-structured backend.
+//!
+//! Two layers of evidence that `LogBackend` is crash-consistent:
+//!
+//! 1. **No-fault differential property** — seeded op sequences run against
+//!    `MemBackend` (the semantic oracle) and `LogBackend` side by side;
+//!    every per-op result must agree, the final worlds must match, and the
+//!    match must survive a reopen with a clean on-disk audit.
+//!
+//! 2. **Exhaustive fault sweep** — a fixed op sequence is replayed once
+//!    per `(fault point, fault kind)` cell, injecting a torn or dropped
+//!    I/O step exactly there (`nexus_testkit::faults::sweep` +
+//!    `nexus_storage::fault::FireAt`). After the induced crash the store
+//!    is reopened and its recovered world must be **prefix-consistent**:
+//!    equal to the oracle world after some micro-op count `j` with
+//!    `acked <= j <= acked + in-flight` — everything acknowledged before
+//!    the crash is durable, at most the in-flight operation (or a prefix
+//!    of an in-flight batch) may be missing, and nothing else ever
+//!    appears. The recovered store must also audit clean and accept new
+//!    writes.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use nexus_storage::fault::{CountHook, FireAt};
+use nexus_storage::{FaultKind, LogBackend, LogConfig, MemBackend, StorageBackend};
+use nexus_testkit::{faults, shrink, tk_assert, tk_assert_eq, Gen, Runner};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn tmp() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "nexus-crashrec-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Object paths the workloads draw from — including the `%`-adversarial
+/// names this PR's encoding fix is about.
+const PATHS: [&str; 5] = ["a", "b", "meta/uuid-1", "a%2Fb", "dir/deep/leaf"];
+
+/// One logical operation of the workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Op {
+    Put(usize, Vec<u8>),
+    Delete(usize),
+    Lock(usize, u64),
+    Unlock(usize, u64),
+    PutMany(Vec<(usize, Vec<u8>)>),
+    Checkpoint,
+}
+
+impl Op {
+    /// Micro-ops this op contributes to the durability timeline: each item
+    /// of a group-committed batch can land independently, so a batch is
+    /// `len` micro-ops; a checkpoint changes no logical state.
+    fn micro_count(&self) -> usize {
+        match self {
+            Op::PutMany(items) => items.len(),
+            Op::Checkpoint => 0,
+            _ => 1,
+        }
+    }
+}
+
+/// The logical world both backends must agree on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct World {
+    /// path -> (content, version)
+    objects: BTreeMap<String, (Vec<u8>, u64)>,
+    /// path -> lock owner
+    locks: BTreeMap<String, u64>,
+    lock_epoch: u64,
+}
+
+impl World {
+    fn empty() -> World {
+        World { objects: BTreeMap::new(), locks: BTreeMap::new(), lock_epoch: 0 }
+    }
+
+    /// Applies one micro-op with `MemBackend` semantics (versions start at
+    /// 1 and restart after delete; locks are exclusive but reentrant).
+    fn apply(&mut self, micro: &Micro) {
+        match micro {
+            Micro::Put(path, data) => {
+                let version = self.objects.get(path).map(|(_, v)| v + 1).unwrap_or(1);
+                self.objects.insert(path.clone(), (data.clone(), version));
+            }
+            Micro::Delete(path) => {
+                self.objects.remove(path);
+            }
+            Micro::Lock(path, owner) => match self.locks.get(path) {
+                Some(&holder) if holder != *owner => {}
+                _ => {
+                    self.locks.insert(path.clone(), *owner);
+                    self.lock_epoch += 1;
+                }
+            },
+            Micro::Unlock(path, owner) => {
+                if self.locks.get(path) == Some(owner) {
+                    self.locks.remove(path);
+                }
+            }
+        }
+    }
+}
+
+/// The micro-op alphabet of the timeline.
+#[derive(Debug, Clone)]
+enum Micro {
+    Put(String, Vec<u8>),
+    Delete(String),
+    Lock(String, u64),
+    Unlock(String, u64),
+}
+
+fn micros_of(op: &Op) -> Vec<Micro> {
+    match op {
+        Op::Put(p, data) => vec![Micro::Put(PATHS[*p].to_string(), data.clone())],
+        Op::Delete(p) => vec![Micro::Delete(PATHS[*p].to_string())],
+        Op::Lock(p, o) => vec![Micro::Lock(PATHS[*p].to_string(), *o)],
+        Op::Unlock(p, o) => vec![Micro::Unlock(PATHS[*p].to_string(), *o)],
+        Op::PutMany(items) => items
+            .iter()
+            .map(|(p, data)| Micro::Put(PATHS[*p].to_string(), data.clone()))
+            .collect(),
+        Op::Checkpoint => Vec::new(),
+    }
+}
+
+/// `timeline[j]` = the world after the first `j` micro-ops of `ops`.
+fn build_timeline(ops: &[Op]) -> Vec<World> {
+    let mut world = World::empty();
+    let mut timeline = vec![world.clone()];
+    for op in ops {
+        for micro in micros_of(op) {
+            world.apply(&micro);
+            timeline.push(world.clone());
+        }
+    }
+    timeline
+}
+
+/// Runs `ops` against `log` until completion or an injected crash.
+/// Returns `(acked_micros, inflight_micros)`: micro-ops of fully
+/// acknowledged ops, and of the op in flight when the crash hit (whose
+/// durability the crash leaves undetermined).
+fn run_ops(log: &LogBackend, ops: &[Op]) -> (usize, usize) {
+    let mut acked = 0;
+    for op in ops {
+        match op {
+            Op::Put(p, data) => {
+                let _ = log.put(PATHS[*p], data);
+            }
+            Op::Delete(p) => {
+                let _ = log.delete(PATHS[*p]);
+            }
+            Op::Lock(p, o) => {
+                let _ = log.lock(PATHS[*p], *o);
+            }
+            Op::Unlock(p, o) => log.unlock(PATHS[*p], *o),
+            Op::PutMany(items) => {
+                let batch: Vec<(String, Vec<u8>)> = items
+                    .iter()
+                    .map(|(p, d)| (PATHS[*p].to_string(), d.clone()))
+                    .collect();
+                let _ = log.put_many(&batch);
+            }
+            Op::Checkpoint => {
+                let _ = log.checkpoint_now();
+            }
+        }
+        if log.crashed() {
+            return (acked, op.micro_count());
+        }
+        acked += op.micro_count();
+    }
+    (acked, 0)
+}
+
+/// Reads the recovered backend's full logical world.
+fn snapshot_of(log: &LogBackend) -> World {
+    let mut objects = BTreeMap::new();
+    for path in log.list("") {
+        let data = log.get(&path).expect("listed object readable");
+        let version = log.stat(&path).expect("listed object stattable").version;
+        objects.insert(path, (data, version));
+    }
+    World {
+        objects,
+        locks: log.lock_holders().into_iter().collect(),
+        lock_epoch: log.lock_epoch(),
+    }
+}
+
+/// The deterministic workload the exhaustive sweep replays: every op kind,
+/// `%`-adversarial names, a semantic error (delete of a missing object),
+/// an explicit checkpoint, and enough post-checkpoint mutations that
+/// `checkpoint_every = 6` also fires an automatic one mid-stream.
+fn sweep_ops() -> Vec<Op> {
+    vec![
+        Op::Put(0, b"alpha-v1".to_vec()),
+        Op::Put(1, vec![0xB7; 300]),
+        Op::Lock(0, 1),
+        Op::PutMany(vec![
+            (0, b"alpha-v2".to_vec()),
+            (2, b"meta".to_vec()),
+            (0, b"alpha-v3".to_vec()),
+        ]),
+        Op::Delete(1),
+        Op::Unlock(0, 1),
+        Op::Lock(0, 2),
+        Op::Put(3, b"percent-literal".to_vec()),
+        Op::Checkpoint,
+        Op::Put(4, b"deep".to_vec()),
+        Op::Delete(1), // semantic NotFound: must not consume durability
+        Op::Lock(4, 2),
+        Op::PutMany(vec![(1, b"b-back".to_vec()), (4, b"deep-v2".to_vec())]),
+        Op::Unlock(0, 99), // non-owner unlock: silent no-op
+        Op::Put(0, b"alpha-v4".to_vec()),
+        Op::Put(2, b"meta-v2".to_vec()),
+        Op::Put(4, b"deep-v3".to_vec()),
+    ]
+}
+
+fn sweep_cfg(hook: Option<Arc<dyn nexus_storage::FaultHook>>) -> LogConfig {
+    LogConfig { fsync: true, checkpoint_every: 6, fault_hook: hook }
+}
+
+#[test]
+fn crash_at_every_fault_point_recovers_prefix_consistently() {
+    let ops = sweep_ops();
+    let timeline = build_timeline(&ops);
+
+    // Sizing pass: count the fault points the workload crosses.
+    let count = CountHook::new();
+    let root = tmp();
+    let log = LogBackend::open_with(&root, sweep_cfg(Some(count.clone()))).unwrap();
+    let (acked, inflight) = run_ops(&log, &ops);
+    assert_eq!(inflight, 0, "counting pass must not crash");
+    assert_eq!(acked + 1, timeline.len(), "timeline covers every micro-op");
+    let points = count.count();
+    assert!(points > 40, "workload must cross many fault points, got {points}");
+    drop(log);
+    let _ = std::fs::remove_dir_all(&root);
+
+    let stats = faults::sweep(
+        "logstore_crash_recovery",
+        points,
+        &[FaultKind::Torn, FaultKind::Drop],
+        |point, kind| {
+            let root = tmp();
+            let hook = FireAt::new(point, kind);
+            let log =
+                LogBackend::open_with(&root, sweep_cfg(Some(hook.clone()))).map_err(|e| e.to_string())?;
+            let (acked, inflight) = run_ops(&log, &ops);
+            tk_assert!(
+                log.crashed(),
+                "point {point} ({kind:?}) never fired — sweep out of sync"
+            );
+            let fired = hook.fired_at().unwrap_or_default();
+            drop(log);
+
+            // The crashed process is gone; recovery reads what's on disk.
+            let recovered = LogBackend::open(&root)
+                .map_err(|e| format!("reopen after crash at {fired}: {e}"))?;
+            let world = snapshot_of(&recovered);
+            let matched = (acked..=acked + inflight).any(|j| timeline[j] == world);
+            tk_assert!(
+                matched,
+                "crash at {fired}: recovered world matches no timeline prefix in \
+                 [{acked}, {}]\nrecovered: {world:?}",
+                acked + inflight
+            );
+            let findings = recovered.audit();
+            tk_assert!(findings.is_empty(), "crash at {fired}: audit found {findings:?}");
+
+            // The recovered store must keep working.
+            recovered
+                .put("post-recovery", b"alive")
+                .map_err(|e| format!("post-recovery put after {fired}: {e}"))?;
+            tk_assert_eq!(recovered.get("post-recovery").unwrap(), b"alive".to_vec());
+            let _ = std::fs::remove_dir_all(&root);
+            Ok(())
+        },
+    );
+    // Both kinds at every point actually ran.
+    assert_eq!(stats.runs, stats.points * 2);
+}
+
+/// Generates a random workload over the shared path pool.
+fn gen_ops(g: &mut Gen) -> Vec<Op> {
+    g.vec(1, 24, |g| match g.u64_below(12) {
+        0..=4 => Op::Put(g.index(PATHS.len()), g.byte_vec(0, 48)),
+        5 | 6 => Op::Delete(g.index(PATHS.len())),
+        7 => Op::Lock(g.index(PATHS.len()), 1 + g.u64_below(3)),
+        8 => Op::Unlock(g.index(PATHS.len()), 1 + g.u64_below(3)),
+        9 => Op::PutMany(g.vec(1, 4, |g| (g.index(PATHS.len()), g.byte_vec(0, 24)))),
+        _ => Op::Checkpoint,
+    })
+}
+
+#[test]
+fn logstore_agrees_with_membackend_and_survives_reopen() {
+    let mut case_idx = 0u64;
+    Runner::new("logstore_vs_membackend")
+        .cases(48)
+        .regression(sweep_ops())
+        // A batch spanning an automatic checkpoint boundary, then deletes.
+        .regression(vec![
+            Op::Put(0, b"1".to_vec()),
+            Op::Put(0, b"2".to_vec()),
+            Op::Put(0, b"3".to_vec()),
+            Op::Put(0, b"4".to_vec()),
+            Op::Put(0, b"5".to_vec()),
+            Op::PutMany(vec![(1, b"x".to_vec()), (2, b"y".to_vec()), (1, b"z".to_vec())]),
+            Op::Delete(0),
+            Op::Put(0, b"fresh".to_vec()),
+        ])
+        .run(gen_ops, |ops| shrink::ops(ops), |ops| {
+            case_idx += 1;
+            let root = std::env::temp_dir().join(format!(
+                "nexus-crashrec-diff-{}-{case_idx}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&root);
+            let mem = MemBackend::new();
+            let log = LogBackend::open_with(
+                &root,
+                LogConfig { fsync: true, checkpoint_every: 5, fault_hook: None },
+            )
+            .map_err(|e| e.to_string())?;
+
+            // Every per-op result must agree with the oracle.
+            for (i, op) in ops.iter().enumerate() {
+                match op {
+                    Op::Put(p, data) => {
+                        tk_assert_eq!(
+                            log.put(PATHS[*p], data),
+                            mem.put(PATHS[*p], data),
+                            "op {i}"
+                        );
+                    }
+                    Op::Delete(p) => {
+                        tk_assert_eq!(log.delete(PATHS[*p]), mem.delete(PATHS[*p]), "op {i}");
+                    }
+                    Op::Lock(p, o) => {
+                        tk_assert_eq!(log.lock(PATHS[*p], *o), mem.lock(PATHS[*p], *o), "op {i}");
+                    }
+                    Op::Unlock(p, o) => {
+                        log.unlock(PATHS[*p], *o);
+                        mem.unlock(PATHS[*p], *o);
+                    }
+                    Op::PutMany(items) => {
+                        let batch: Vec<(String, Vec<u8>)> = items
+                            .iter()
+                            .map(|(p, d)| (PATHS[*p].to_string(), d.clone()))
+                            .collect();
+                        tk_assert_eq!(log.put_many(&batch), mem.put_many(&batch), "op {i}");
+                    }
+                    Op::Checkpoint => {
+                        log.checkpoint_now().map_err(|e| e.to_string())?;
+                    }
+                }
+            }
+
+            let against_mem = |log: &LogBackend| -> Result<(), String> {
+                tk_assert_eq!(log.list(""), mem.list(""));
+                for path in PATHS {
+                    tk_assert_eq!(log.get(path), mem.get(path), "get {path:?}");
+                    tk_assert_eq!(log.stat(path), mem.stat(path), "stat {path:?}");
+                    tk_assert_eq!(log.exists(path), mem.exists(path), "exists {path:?}");
+                }
+                Ok(())
+            };
+            against_mem(&log)?;
+            let world_before = snapshot_of(&log);
+            let findings = log.audit();
+            tk_assert!(findings.is_empty(), "pre-reopen audit: {findings:?}");
+            drop(log);
+
+            // Reopen: versions, lock table, and epoch must all survive.
+            let log = LogBackend::open(&root).map_err(|e| e.to_string())?;
+            against_mem(&log)?;
+            tk_assert_eq!(snapshot_of(&log), world_before, "reopen changed the world");
+            let findings = log.audit();
+            tk_assert!(findings.is_empty(), "post-reopen audit: {findings:?}");
+            let _ = std::fs::remove_dir_all(&root);
+            Ok(())
+        });
+}

@@ -174,6 +174,7 @@ impl Gen {
     }
 }
 
+pub mod faults;
 pub mod timing;
 
 /// Canonical shrink-candidate sets: smaller-but-similar variants of a

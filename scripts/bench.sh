@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
 # Perf harness: runs the micro_datapath, micro_rpcbatch, micro_mclient,
-# and micro_ct benches and emits the machine-readable BENCH_*.json
-# documents at the repo root.
+# micro_ct, and micro_logstore benches and emits the machine-readable
+# BENCH_*.json documents at the repo root.
 #
 #   scripts/bench.sh           full sizes, writes ./BENCH_datapath.json,
 #                              ./BENCH_rpcbatch.json, ./BENCH_mclient.json,
-#                              ./BENCH_ct.json
+#                              ./BENCH_ct.json, ./BENCH_logstore.json
 #   scripts/bench.sh --smoke   reduced sizes for CI (scripts/verify.sh);
 #                              writes target/BENCH_*.smoke.json so the
 #                              checked-in artifacts are never clobbered
@@ -16,8 +16,10 @@
 # acceptance floors: a single-thread batched-GCM win, >= 2x chunk
 # throughput at 4 threads (measured on >= 4-core hosts, ideal-pipeline
 # modeled otherwise — see "speedup_basis"), >= 1.5x fewer storage
-# RPCs with lower simulated latency for the batched workloads, and
-# >= 3x aggregate metadata throughput at 16 concurrent clients vs 1.
+# RPCs with lower simulated latency for the batched workloads,
+# >= 3x aggregate metadata throughput at 16 concurrent clients vs 1,
+# and checkpointed recovery no slower than full-log replay at the
+# longest history in the logstore sweep.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -27,6 +29,7 @@ out="BENCH_datapath.json"
 out_rpc="BENCH_rpcbatch.json"
 out_mc="BENCH_mclient.json"
 out_ct="BENCH_ct.json"
+out_ls="BENCH_logstore.json"
 flags=()
 if [ "${1:-}" = "--smoke" ]; then
     mode="smoke"
@@ -34,12 +37,14 @@ if [ "${1:-}" = "--smoke" ]; then
     out_rpc="target/BENCH_rpcbatch.smoke.json"
     out_mc="target/BENCH_mclient.smoke.json"
     out_ct="target/BENCH_ct.smoke.json"
+    out_ls="target/BENCH_logstore.smoke.json"
     flags+=(--smoke)
 fi
 
-echo "== cargo build --release (micro_datapath, micro_rpcbatch, micro_mclient, micro_ct) =="
+echo "== cargo build --release (micro_datapath, micro_rpcbatch, micro_mclient, micro_ct, micro_logstore) =="
 cargo build --release --offline -p nexus-bench \
-    --bin micro_datapath --bin micro_rpcbatch --bin micro_mclient --bin micro_ct
+    --bin micro_datapath --bin micro_rpcbatch --bin micro_mclient --bin micro_ct \
+    --bin micro_logstore
 
 echo "== micro_datapath ($mode) =="
 mkdir -p "$(dirname "$out")"
@@ -178,6 +183,48 @@ assert lm["ct_passes"] is True, \
 print(f"ok: {path} valid; fast t={lm['fast_t']:.1f} flagged, "
       f"hardened t={lm['constant_time_t']:.1f} passes "
       f"(threshold {lm['threshold']})")
+EOF
+
+echo "== micro_logstore ($mode) =="
+mkdir -p "$(dirname "$out_ls")"
+./target/release/micro_logstore "${flags[@]}" --json "$out_ls"
+
+echo "== validate $out_ls =="
+python3 - "$out_ls" "$mode" <<'EOF'
+import json, sys
+path, mode = sys.argv[1], sys.argv[2]
+with open(path) as f:
+    doc = json.load(f)
+for key in ("bench", "smoke", "objects", "value_bytes", "throughput",
+            "recovery", "recovered_state_identical"):
+    assert key in doc, f"{path}: missing key {key!r}"
+for lane in ("log", "dir"):
+    for key in ("put_ops_per_s", "get_ops_per_s", "put_mibps", "get_mibps"):
+        assert key in doc["throughput"][lane], \
+            f"{path}: missing throughput.{lane}.{key}"
+        assert doc["throughput"][lane][key] > 0, \
+            f"{path}: throughput.{lane}.{key} must be positive"
+rec = doc["recovery"]
+for key in ("paths", "value_bytes", "checkpoint_every", "log_ops",
+            "replay_ms", "checkpointed_ms"):
+    assert key in rec, f"{path}: missing recovery.{key}"
+assert len(rec["log_ops"]) == len(rec["replay_ms"]) == len(rec["checkpointed_ms"]), \
+    "recovery sweep arrays must be parallel"
+# The correctness gate holds in BOTH modes: the two recovery paths
+# (full replay, checkpoint + tail) must reconstruct identical worlds.
+assert doc["recovered_state_identical"] is True, \
+    "checkpointed recovery must not change the recovered state"
+ratio = doc["throughput"]["put_ratio_log_over_dir"]
+if mode == "full":
+    # Acceptance floors (smoke sizes on a loaded CI box are too noisy).
+    assert ratio > 1.0, \
+        f"log-structured durable puts must beat per-file commits, got x{ratio:.2f}"
+    assert rec["checkpointed_ms"][-1] <= rec["replay_ms"][-1], \
+        "checkpointed recovery must not be slower than full replay " \
+        f"at {rec['log_ops'][-1]} ops"
+print(f"ok: {path} valid; durable-put x{ratio:.2f} log/dir, "
+      f"recovery @{rec['log_ops'][-1]} ops: replay {rec['replay_ms'][-1]:.2f} ms "
+      f"vs checkpointed {rec['checkpointed_ms'][-1]:.2f} ms")
 EOF
 
 echo "bench: OK"

@@ -81,6 +81,38 @@ cargo build --release --workspace --offline
 echo "== cargo test -q --offline =="
 cargo test -q --workspace --offline
 
+echo "== durable-backend commit-path audit =="
+# The torn-write bug this repo once shipped was a bare `std::fs::write`
+# on DirBackend's put path: no temp file, no fsync, no atomic rename. A
+# regression would pass every happy-path test and only lose data on a
+# crash, so police the source directly: non-test code in the storage
+# backends must never call `fs::write` (every durable commit goes through
+# the temp-fsync-rename-dirfsync helpers, DESIGN.md §12). Test modules
+# may use it — corrupting files on purpose is what they are for.
+torn=$(for f in crates/storage/src/*.rs; do
+        awk -v f="$f" '/^#\[cfg\(test\)\]/{exit} {print f":"FNR":"$0}' "$f"
+    done \
+    | grep -E '\bfs::write\s*\(' \
+    | grep -vE '^[^:]+:[0-9]+:\s*//' || true)
+if [ -n "$torn" ]; then
+    echo "FAIL: bare fs::write on a storage commit path:" >&2
+    echo "$torn" >&2
+    echo "Durable backends must commit via temp file + fsync + atomic" >&2
+    echo "rename + directory fsync (see DESIGN.md §12)." >&2
+    exit 1
+fi
+echo "ok: no bare fs::write in non-test storage backend code"
+
+echo "== crash-recovery suite =="
+# Invoked by target name so deleting the suite fails loudly ("no test
+# target named") instead of silently shrinking coverage. This is the
+# differential fault sweep: every I/O boundary of the log-structured
+# backend gets a torn and a dropped fault, and recovery must come back
+# prefix-consistent with the in-memory oracle.
+cargo test -q -p nexus-storage --offline --test crash_recovery > /dev/null
+cargo test -q -p nexus-storage --offline --test reopen > /dev/null
+echo "ok: fault sweep and reopen semantics pass for both durable backends"
+
 echo "== timing-leak harness smoke =="
 # Redundant with the workspace test run above, but invoked by target name
 # so deleting the leak test fails loudly here ("no test target named")
