@@ -53,10 +53,19 @@ pub struct NexusConfig {
     pub cache_shards: usize,
     /// Which `nexus-crypto` implementation lane the enclave uses for every
     /// seal/open: `Fast` (table-driven AES + Shoup GHASH) or `ConstantTime`
-    /// (bitsliced AES + carryless-multiply GHASH, no secret-indexed memory
-    /// access). The two lanes are byte-compatible, so the profile can differ
-    /// between clients of one volume.
+    /// — the default — which runs AES-NI + PCLMULQDQ where the CPU has
+    /// them and the bitsliced/carryless-multiply fallback elsewhere (no
+    /// secret-indexed memory access either way). The lanes are
+    /// byte-compatible, so the profile can differ between clients of one
+    /// volume.
     pub crypto_profile: CryptoProfile,
+    /// Force the `ConstantTime` profile onto its portable bitsliced
+    /// engine even when the CPU advertises AES-NI + PCLMULQDQ (the
+    /// `NEXUS_CRYPTO_FORCE_PORTABLE` environment variable does the same
+    /// without a config change). One-way for the process: applied at
+    /// volume create/mount, never un-forced. Useful for differential
+    /// debugging and for auditing the fallback on hardware-lane machines.
+    pub force_portable_crypto: bool,
 }
 
 impl Default for NexusConfig {
@@ -70,6 +79,7 @@ impl Default for NexusConfig {
             prefetch_window: 4,
             cache_shards: crate::cache::SHARD_COUNT,
             crypto_profile: CryptoProfile::default(),
+            force_portable_crypto: false,
         }
     }
 }

@@ -113,7 +113,7 @@ const WRAPPED_KEY_LEN: usize = 16 + 16; // key + GCM-SIV tag
 const GCM_NONCE_LEN: usize = 12;
 
 /// Encrypts a metadata body into the full on-storage representation using
-/// the default [`CryptoProfile::Fast`] lane.
+/// the default (hardened) [`CryptoProfile`] lane.
 ///
 /// `fill_random` supplies enclave randomness for the fresh object key and
 /// nonces.
@@ -123,7 +123,7 @@ pub fn seal_object(
     body: &[u8],
     fill_random: impl FnMut(&mut [u8]),
 ) -> Vec<u8> {
-    seal_object_with(rootkey, CryptoProfile::Fast, preamble, body, fill_random)
+    seal_object_with(rootkey, CryptoProfile::default(), preamble, body, fill_random)
 }
 
 /// [`seal_object`] with an explicit crypto profile. Both profiles produce
@@ -170,7 +170,7 @@ pub fn seal_object_with(
 }
 
 /// Verifies and decrypts a metadata object fetched from untrusted storage,
-/// using the default [`CryptoProfile::Fast`] lane.
+/// using the default (hardened) [`CryptoProfile`] lane.
 ///
 /// # Errors
 ///
@@ -178,7 +178,7 @@ pub fn seal_object_with(
 /// when any authentication check fails (wrong rootkey, tampering, or a
 /// spliced preamble).
 pub fn open_object(rootkey: &RootKey, blob: &[u8]) -> Result<(Preamble, Vec<u8>)> {
-    open_object_with(rootkey, CryptoProfile::Fast, blob)
+    open_object_with(rootkey, CryptoProfile::default(), blob)
 }
 
 /// [`open_object`] with an explicit crypto profile. Accepts exactly the

@@ -117,6 +117,9 @@ impl NexusVolume {
         let owner_name = owner.name.clone();
         let owner_key = owner.public_key();
         let (volume_id, sealed) = enclave.ecall(move |state, env| -> Result<(NexusUuid, Vec<u8>)> {
+            if config.force_portable_crypto {
+                nexus_crypto::cpu::set_force_portable(true);
+            }
             state.config = Some(config);
             let io = MetaIo::new(env, b.as_ref());
 
@@ -176,6 +179,9 @@ impl NexusVolume {
         let b = backend.clone();
         let sealed_bytes = sealed.0.clone();
         let volume_id = enclave.ecall(move |state, env| -> Result<NexusUuid> {
+            if config.force_portable_crypto {
+                nexus_crypto::cpu::set_force_portable(true);
+            }
             state.config = Some(config);
             let (rootkey, uuid) = protocol::unseal_rootkey(env, &sealed_bytes)?;
             let io = MetaIo::new(env, b.as_ref());

@@ -1,14 +1,17 @@
 //! The AES block cipher (FIPS 197), supporting 128- and 256-bit keys.
 //!
-//! Two lanes live behind one API (selected by [`CryptoProfile`] at key
-//! expansion): the default [`CryptoProfile::Fast`] lane encrypts through
-//! fused T-tables and decrypts byte-oriented, both indexing tables by
-//! secret-derived values; the [`CryptoProfile::ConstantTime`] lane routes
-//! every block operation through the bitsliced [`crate::aes_ct`] engine and
-//! expands keys with an algebraic S-box, so no memory access depends on key
-//! or data bytes. Both lanes are the foundation for the [`crate::gcm`] and
-//! [`crate::gcm_siv`] AEAD modes used throughout NEXUS and produce
-//! identical ciphertext.
+//! Three engines live behind one API, selected at key expansion
+//! ([`CryptoProfile`] / [`CryptoBackend`]): the [`CryptoProfile::Fast`]
+//! lane encrypts through fused T-tables and decrypts byte-oriented, both
+//! indexing tables by secret-derived values; the default
+//! [`CryptoProfile::ConstantTime`] profile resolves through
+//! [`crate::cpu`] to either the AES-NI engine ([`crate::aes_ni`], on
+//! x86_64 CPUs that have it — constant-time on dedicated silicon and
+//! faster than the tables) or the portable bitsliced [`crate::aes_ct`]
+//! engine, whose keys expand through an algebraic S-box so no memory
+//! access depends on key or data bytes. All lanes are the foundation for
+//! the [`crate::gcm`] and [`crate::gcm_siv`] AEAD modes used throughout
+//! NEXUS and produce identical ciphertext.
 //!
 //! # Examples
 //!
@@ -25,7 +28,9 @@
 //! ```
 
 use crate::aes_ct::{self, AesCt};
-use crate::CryptoProfile;
+#[cfg(target_arch = "x86_64")]
+use crate::aes_ni::AesNi;
+use crate::{CryptoBackend, CryptoProfile};
 
 /// The AES S-box (crate-visible so the bitsliced lane's tests can verify
 /// their algebraic S-box against it for all 256 inputs).
@@ -106,7 +111,7 @@ pub enum KeySize {
 
 impl KeySize {
     /// Number of 32-bit words in the key.
-    fn nk(self) -> usize {
+    pub(crate) fn nk(self) -> usize {
         match self {
             KeySize::Aes128 => 4,
             KeySize::Aes256 => 8,
@@ -114,7 +119,7 @@ impl KeySize {
     }
 
     /// Number of rounds.
-    fn nr(self) -> usize {
+    pub(crate) fn nr(self) -> usize {
         match self {
             KeySize::Aes128 => 10,
             KeySize::Aes256 => 14,
@@ -143,18 +148,31 @@ fn te_tables() -> &'static [[u32; 256]; 4] {
     })
 }
 
+/// The concrete engine block operations dispatch to (the internal side of
+/// [`CryptoBackend`]).
+#[derive(Clone)]
+enum Engine {
+    /// T-table fast lane (state lives in `Aes::round_keys_u32`).
+    Table,
+    /// Portable bitsliced constant-time lane.
+    Bitsliced(AesCt),
+    /// AES-NI constant-time lane.
+    #[cfg(target_arch = "x86_64")]
+    HwAccel(AesNi),
+}
+
 /// An expanded AES key, ready to encrypt or decrypt 16-byte blocks.
 ///
-/// Round-key material (byte, word, and bitsliced-plane forms) is
-/// volatilely zeroized when the value is dropped.
+/// Round-key material (byte, word, bitsliced-plane, and hardware-schedule
+/// forms) is volatilely zeroized when the value is dropped.
 #[derive(Clone)]
 pub struct Aes {
     /// Expanded round keys, 4 words per round plus the initial whitening key.
     round_keys: Vec<[u8; 16]>,
     /// Round keys as big-endian column words, for the T-table fast path.
     round_keys_u32: Vec<[u32; 4]>,
-    /// Bitsliced engine, present only under [`CryptoProfile::ConstantTime`].
-    ct: Option<AesCt>,
+    /// The engine block operations run through.
+    engine: Engine,
     rounds: usize,
 }
 
@@ -166,29 +184,68 @@ impl std::fmt::Debug for Aes {
 }
 
 impl Aes {
-    /// Expands a key of the given size.
+    /// Expands a key of the given size under the default profile
+    /// ([`CryptoProfile::ConstantTime`]).
     ///
     /// # Panics
     ///
     /// Panics if `key.len()` does not match `size` (16 bytes for
     /// [`KeySize::Aes128`], 32 for [`KeySize::Aes256`]).
     pub fn new(key: &[u8], size: KeySize) -> Aes {
-        Aes::with_profile(key, size, CryptoProfile::Fast)
+        Aes::with_profile(key, size, CryptoProfile::default())
     }
 
-    /// Expands a key for the given lane. Under
-    /// [`CryptoProfile::ConstantTime`] the schedule's SubWord runs through
-    /// the algebraic S-box (the key bytes themselves would otherwise index
-    /// the table) and block operations dispatch to the bitsliced engine.
+    /// Expands a key for the given lane. [`CryptoProfile::ConstantTime`]
+    /// resolves through [`crate::cpu::constant_time_backend`] to the
+    /// AES-NI engine when the CPU has it, else the bitsliced engine.
     ///
     /// # Panics
     ///
     /// Panics if `key.len()` does not match `size`.
     pub fn with_profile(key: &[u8], size: KeySize, profile: CryptoProfile) -> Aes {
+        Aes::with_backend(key, size, crate::cpu::backend_for(profile))
+    }
+
+    /// Expands a key for one *specific* engine, bypassing CPU dispatch.
+    /// Normal callers want [`Aes::with_profile`]; this exists so the
+    /// differential test suites and the `micro_ct` bench can pin each
+    /// lane regardless of host CPU or the force-portable override.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len()` does not match `size`, or if
+    /// [`CryptoBackend::HwAccel`] is requested on a CPU without
+    /// AES-NI/PCLMULQDQ (check [`crate::cpu::hw_accel_available`] first).
+    pub fn with_backend(key: &[u8], size: KeySize, backend: CryptoBackend) -> Aes {
         assert_eq!(key.len(), size.nk() * 4, "AES key length mismatch");
-        let sub: fn(u8) -> u8 = match profile {
-            CryptoProfile::Fast => |b| SBOX[b as usize],
-            CryptoProfile::ConstantTime => aes_ct::sbox_ct,
+        #[cfg(target_arch = "x86_64")]
+        if backend == CryptoBackend::HwAccel {
+            // The hardware schedule never runs key bytes through a memory
+            // table, and is much cheaper than the algebraic-S-box portable
+            // schedule; mirror its output into the byte/word forms used by
+            // the reference path and the wipe tests.
+            let ni = AesNi::new(key, size);
+            let nr = size.nr();
+            let mut round_keys = Vec::with_capacity(nr + 1);
+            let mut round_keys_u32 = Vec::with_capacity(nr + 1);
+            for rk in ni.round_keys() {
+                let mut rk32 = [0u32; 4];
+                for c in 0..4 {
+                    rk32[c] = u32::from_be_bytes(rk[c * 4..c * 4 + 4].try_into().unwrap());
+                }
+                round_keys.push(*rk);
+                round_keys_u32.push(rk32);
+            }
+            return Aes { round_keys, round_keys_u32, engine: Engine::HwAccel(ni), rounds: nr };
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        assert!(
+            backend != CryptoBackend::HwAccel,
+            "hardware crypto lane is x86_64-only; use CryptoBackend::Bitsliced"
+        );
+        let sub: fn(u8) -> u8 = match backend {
+            CryptoBackend::Table => |b| SBOX[b as usize],
+            _ => aes_ct::sbox_ct,
         };
         let nk = size.nk();
         let nr = size.nr();
@@ -227,16 +284,29 @@ impl Aes {
             round_keys_u32.push(rk32);
         }
         crate::ct::zeroize(w.as_flattened_mut());
-        let ct = match profile {
-            CryptoProfile::Fast => None,
-            CryptoProfile::ConstantTime => Some(AesCt::from_round_keys(&round_keys)),
+        let engine = match backend {
+            CryptoBackend::Table => Engine::Table,
+            _ => Engine::Bitsliced(AesCt::from_round_keys(&round_keys)),
         };
-        Aes { round_keys, round_keys_u32, ct, rounds: nr }
+        Aes { round_keys, round_keys_u32, engine, rounds: nr }
     }
 
-    /// The lane this key was expanded for.
+    /// The profile this key was expanded for.
     pub fn profile(&self) -> CryptoProfile {
-        if self.ct.is_some() { CryptoProfile::ConstantTime } else { CryptoProfile::Fast }
+        match self.engine {
+            Engine::Table => CryptoProfile::Fast,
+            _ => CryptoProfile::ConstantTime,
+        }
+    }
+
+    /// The concrete engine this key dispatches to.
+    pub fn backend(&self) -> CryptoBackend {
+        match self.engine {
+            Engine::Table => CryptoBackend::Table,
+            Engine::Bitsliced(_) => CryptoBackend::Bitsliced,
+            #[cfg(target_arch = "x86_64")]
+            Engine::HwAccel(_) => CryptoBackend::HwAccel,
+        }
     }
 
     /// Expands a 16-byte AES-128 key.
@@ -259,16 +329,24 @@ impl Aes {
 
     /// Encrypts one 16-byte block in place.
     ///
-    /// The constant-time lane runs the block through the 8-wide bitsliced
-    /// engine with seven idle lanes rather than keeping a scalar path with
-    /// different timing behaviour.
+    /// The bitsliced lane runs the block through the 8-wide engine with
+    /// seven idle lanes rather than keeping a scalar path with different
+    /// timing behaviour; the AES-NI lane has a true single-block pipeline.
     pub fn encrypt_block(&self, block: &mut [u8; 16]) {
-        if let Some(ct) = &self.ct {
-            let mut batch = [[0u8; 16]; 8];
-            batch[0] = *block;
-            ct.encrypt_blocks8(&mut batch);
-            *block = batch[0];
-            return;
+        match &self.engine {
+            Engine::Table => {}
+            Engine::Bitsliced(ct) => {
+                let mut batch = [[0u8; 16]; 8];
+                batch[0] = *block;
+                ct.encrypt_blocks8(&mut batch);
+                *block = batch[0];
+                return;
+            }
+            #[cfg(target_arch = "x86_64")]
+            Engine::HwAccel(ni) => {
+                ni.encrypt_block(block);
+                return;
+            }
         }
         let te = te_tables();
         let rk = &self.round_keys_u32;
@@ -288,9 +366,17 @@ impl Aes {
     /// parallelism. This is what makes the batched GCM CTR keystream
     /// (`crate::gcm`) cheaper per byte.
     pub fn encrypt_blocks8(&self, blocks: &mut [[u8; 16]; 8]) {
-        if let Some(ct) = &self.ct {
-            ct.encrypt_blocks8(blocks);
-            return;
+        match &self.engine {
+            Engine::Table => {}
+            Engine::Bitsliced(ct) => {
+                ct.encrypt_blocks8(blocks);
+                return;
+            }
+            #[cfg(target_arch = "x86_64")]
+            Engine::HwAccel(ni) => {
+                ni.encrypt_blocks8(blocks);
+                return;
+            }
         }
         let te = te_tables();
         let rk = &self.round_keys_u32;
@@ -326,12 +412,20 @@ impl Aes {
 
     /// Decrypts one 16-byte block in place.
     pub fn decrypt_block(&self, block: &mut [u8; 16]) {
-        if let Some(ct) = &self.ct {
-            let mut batch = [[0u8; 16]; 8];
-            batch[0] = *block;
-            ct.decrypt_blocks8(&mut batch);
-            *block = batch[0];
-            return;
+        match &self.engine {
+            Engine::Table => {}
+            Engine::Bitsliced(ct) => {
+                let mut batch = [[0u8; 16]; 8];
+                batch[0] = *block;
+                ct.decrypt_blocks8(&mut batch);
+                *block = batch[0];
+                return;
+            }
+            #[cfg(target_arch = "x86_64")]
+            Engine::HwAccel(ni) => {
+                ni.decrypt_block(block);
+                return;
+            }
         }
         add_round_key(block, &self.round_keys[self.rounds]);
         inv_shift_rows(block);
@@ -345,17 +439,34 @@ impl Aes {
         add_round_key(block, &self.round_keys[0]);
     }
 
+    /// Decrypts eight 16-byte blocks in place — the inverse of
+    /// [`Aes::encrypt_blocks8`]. Native batch on the bitsliced and AES-NI
+    /// engines; the table lane decrypts serially (its byte-oriented
+    /// inverse cipher gains nothing from interleaving).
+    pub fn decrypt_blocks8(&self, blocks: &mut [[u8; 16]; 8]) {
+        match &self.engine {
+            Engine::Table => {
+                for block in blocks.iter_mut() {
+                    self.decrypt_block(block);
+                }
+            }
+            Engine::Bitsliced(ct) => ct.decrypt_blocks8(blocks),
+            #[cfg(target_arch = "x86_64")]
+            Engine::HwAccel(ni) => ni.decrypt_blocks8(blocks),
+        }
+    }
+
     /// Encrypts one block while recording every data-dependent table access
     /// as `(table_id, index)` pairs — T-tables are ids 0..=3, the final
-    /// round's S-box is id 4. The constant-time lane performs no such
-    /// access, so its trace stays empty.
+    /// round's S-box is id 4. The constant-time lanes (bitsliced and
+    /// AES-NI alike) perform no such access, so their traces stay empty.
     ///
     /// This feeds the `nexus-testkit` timing-leak harness's deterministic
     /// cache model; the ciphertext is always identical to
     /// [`Aes::encrypt_block`].
     #[doc(hidden)]
     pub fn encrypt_block_trace(&self, block: &mut [u8; 16], trace: &mut Vec<(u8, u16)>) {
-        if self.ct.is_some() {
+        if !matches!(self.engine, Engine::Table) {
             self.encrypt_block(block);
             return;
         }
@@ -377,8 +488,11 @@ impl Aes {
         for rk in self.round_keys_u32.iter_mut() {
             crate::ct::zeroize_u32(rk);
         }
-        if let Some(ct) = &mut self.ct {
-            ct.wipe();
+        match &mut self.engine {
+            Engine::Table => {}
+            Engine::Bitsliced(ct) => ct.wipe(),
+            #[cfg(target_arch = "x86_64")]
+            Engine::HwAccel(ni) => ni.wipe(),
         }
     }
 }
@@ -740,7 +854,7 @@ mod tests {
         for _ in 0..20 {
             let key: [u8; 16] = rng.bytes();
             let plain: [u8; 16] = rng.bytes();
-            let fast = Aes::new_128(&key);
+            let fast = Aes::with_profile(&key, KeySize::Aes128, CryptoProfile::Fast);
             let mut expect = plain;
             fast.encrypt_block(&mut expect);
             let mut traced = plain;
@@ -749,19 +863,95 @@ mod tests {
             assert_eq!(traced, expect);
             // 16 T-table loads per middle round + 16 S-box loads at the end.
             assert_eq!(trace.len(), 16 * 10);
-            let hard = Aes::with_profile(&key, KeySize::Aes128, CryptoProfile::ConstantTime);
-            let mut ct_block = plain;
-            let mut ct_trace = Vec::new();
-            hard.encrypt_block_trace(&mut ct_block, &mut ct_trace);
-            assert_eq!(ct_block, expect);
-            assert!(ct_trace.is_empty());
+            // Both constant-time engines leave the trace empty.
+            for backend in ct_backends() {
+                let hard = Aes::with_backend(&key, KeySize::Aes128, backend);
+                let mut ct_block = plain;
+                let mut ct_trace = Vec::new();
+                hard.encrypt_block_trace(&mut ct_block, &mut ct_trace);
+                assert_eq!(ct_block, expect);
+                assert!(ct_trace.is_empty(), "{backend:?} lane recorded table accesses");
+            }
+        }
+    }
+
+    /// The constant-time backends testable on this host: always the
+    /// bitsliced engine, plus AES-NI where the CPU has it.
+    fn ct_backends() -> Vec<CryptoBackend> {
+        let mut backends = vec![CryptoBackend::Bitsliced];
+        if crate::cpu::hw_accel_available() {
+            backends.push(CryptoBackend::HwAccel);
+        }
+        backends
+    }
+
+    #[test]
+    fn default_profile_is_constant_time() {
+        let aes = Aes::new_128(&[0u8; 16]);
+        assert_eq!(aes.profile(), CryptoProfile::ConstantTime);
+        assert_ne!(aes.backend(), CryptoBackend::Table);
+    }
+
+    #[test]
+    fn hw_schedule_matches_portable_schedule() {
+        if !crate::cpu::hw_accel_available() {
+            return;
+        }
+        use crate::rng::{SecureRandom, SeededRandom};
+        let mut rng = SeededRandom::new(0x5c_4ed);
+        for _ in 0..20 {
+            let key16: [u8; 16] = rng.bytes();
+            let key32: [u8; 32] = rng.bytes();
+            for (key, size) in [(&key16[..], KeySize::Aes128), (&key32[..], KeySize::Aes256)] {
+                let hw = Aes::with_backend(key, size, CryptoBackend::HwAccel);
+                let sw = Aes::with_backend(key, size, CryptoBackend::Table);
+                // The AESKEYGENASSIST schedule must produce the exact
+                // FIPS 197 expansion in every mirrored form.
+                assert_eq!(hw.round_keys, sw.round_keys);
+                assert_eq!(hw.round_keys_u32, sw.round_keys_u32);
+            }
+        }
+    }
+
+    #[test]
+    fn all_backends_agree_on_every_operation() {
+        use crate::rng::{SecureRandom, SeededRandom};
+        let mut rng = SeededRandom::new(0x3_1a2e5);
+        for _ in 0..30 {
+            let key: [u8; 32] = rng.bytes();
+            let reference = Aes::with_backend(&key, KeySize::Aes256, CryptoBackend::Table);
+            let mut batch = [[0u8; 16]; 8];
+            for b in batch.iter_mut() {
+                *b = rng.bytes();
+            }
+            let mut expect = batch;
+            reference.encrypt_blocks8(&mut expect);
+            for backend in ct_backends() {
+                let aes = Aes::with_backend(&key, KeySize::Aes256, backend);
+                assert_eq!(aes.backend(), backend);
+                let mut enc = batch;
+                aes.encrypt_blocks8(&mut enc);
+                assert_eq!(enc, expect, "{backend:?} encrypt_blocks8");
+                aes.decrypt_blocks8(&mut enc);
+                assert_eq!(enc, batch, "{backend:?} decrypt_blocks8");
+                let mut single = batch[3];
+                aes.encrypt_block(&mut single);
+                assert_eq!(single, expect[3], "{backend:?} encrypt_block");
+                aes.decrypt_block(&mut single);
+                assert_eq!(single, batch[3], "{backend:?} decrypt_block");
+                let mut reference_path = batch[5];
+                aes.encrypt_block_reference(&mut reference_path);
+                assert_eq!(reference_path, expect[5], "{backend:?} reference path");
+            }
         }
     }
 
     #[test]
     fn wipe_clears_all_round_key_forms() {
-        for profile in [CryptoProfile::Fast, CryptoProfile::ConstantTime] {
-            let mut aes = Aes::with_profile(&[0x5au8; 16], KeySize::Aes128, profile);
+        let mut backends = vec![CryptoBackend::Table];
+        backends.extend(ct_backends());
+        for backend in backends {
+            let mut aes = Aes::with_backend(&[0x5au8; 16], KeySize::Aes128, backend);
             aes.wipe();
             assert!(aes.round_keys.iter().all(|rk| rk.iter().all(|&b| b == 0)));
             assert!(aes.round_keys_u32.iter().all(|rk| rk.iter().all(|&w| w == 0)));

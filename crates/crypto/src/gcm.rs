@@ -19,7 +19,7 @@
 use crate::aes::{Aes, KeySize};
 use crate::ct::ct_eq;
 use crate::ghash_ct::ghash_mul_ct;
-use crate::{AeadError, CryptoProfile};
+use crate::{AeadError, CryptoBackend, CryptoProfile};
 
 /// Length in bytes of the GCM authentication tag.
 pub const TAG_LEN: usize = 16;
@@ -84,20 +84,39 @@ pub(crate) fn table_mul(table: &ShoupTable, x: u128) -> u128 {
     z
 }
 
-/// A GHASH key in one of two lanes. The Fast lane expands H into a Shoup
-/// table (plus lazily built tables for H^1..H^8 powering the
-/// 8-blocks-per-pass batched update); the ConstantTime lane keeps only the
-/// powers of H and multiplies through the table-free carryless path
-/// ([`crate::ghash_ct`]). All key material is volatilely zeroized on drop.
+/// A GHASH key in one of three lanes. The Table lane expands H into a
+/// Shoup table (plus lazily built tables for H^1..H^8 powering the
+/// 8-blocks-per-pass batched update); the constant-time lanes keep only
+/// the powers of H and multiply either through PCLMULQDQ with aggregated
+/// reduction ([`crate::ghash_clmul`]) or the portable masked carryless
+/// path ([`crate::ghash_ct`]). All key material is volatilely zeroized on
+/// drop.
 #[derive(Clone)]
 struct GhashKey {
     h: u128,
-    /// `hpow[k]` is H^(k+1); index 7 is H^8 (used by both lanes' batches).
+    /// `hpow[k]` is H^(k+1); index 7 is H^8 (used by every lane's batch).
     hpow: [u128; 8],
-    /// Shoup table for H — `Some` only in the Fast lane.
+    /// Shoup table for H — `Some` only in the Table lane.
     table: Option<Box<ShoupTable>>,
-    /// `batch[k]` is the table for H^(k+1); Fast lane only, built lazily.
+    /// Multiplications run through PCLMULQDQ (set only when the paired
+    /// AES key dispatched to [`CryptoBackend::HwAccel`], so the two always
+    /// share one CPUID decision).
+    hw: bool,
+    /// `batch[k]` is the table for H^(k+1); Table lane only, built lazily.
     batch: std::sync::OnceLock<Box<[ShoupTable; 8]>>,
+}
+
+/// One constant-time field multiplication on whichever engine the key
+/// selected: PCLMULQDQ when `hw`, the masked portable multiply otherwise.
+#[inline]
+fn ct_mul(hw: bool, x: u128, y: u128) -> u128 {
+    #[cfg(target_arch = "x86_64")]
+    if hw {
+        return crate::ghash_clmul::ghash_mul_hw(x, y);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = hw;
+    ghash_mul_ct(x, y)
 }
 
 impl std::fmt::Debug for GhashKey {
@@ -107,20 +126,18 @@ impl std::fmt::Debug for GhashKey {
 }
 
 impl GhashKey {
-    fn new(h: u128, profile: CryptoProfile) -> GhashKey {
-        let table = match profile {
-            CryptoProfile::Fast => Some(build_table(h)),
-            CryptoProfile::ConstantTime => None,
-        };
+    fn new(h: u128, backend: CryptoBackend) -> GhashKey {
+        let table = (backend == CryptoBackend::Table).then(|| build_table(h));
+        let hw = backend == CryptoBackend::HwAccel;
         let mut hpow = [0u128; 8];
         hpow[0] = h;
         for k in 1..8 {
             hpow[k] = match &table {
                 Some(t) => table_mul(t, hpow[k - 1]),
-                None => ghash_mul_ct(hpow[k - 1], h),
+                None => ct_mul(hw, hpow[k - 1], h),
             };
         }
-        GhashKey { h, hpow, table, batch: std::sync::OnceLock::new() }
+        GhashKey { h, hpow, table, hw, batch: std::sync::OnceLock::new() }
     }
 
     /// Field multiplication of `x` by H.
@@ -128,11 +145,11 @@ impl GhashKey {
     fn mul(&self, x: u128) -> u128 {
         match &self.table {
             Some(t) => table_mul(t, x),
-            None => ghash_mul_ct(x, self.h),
+            None => ct_mul(self.hw, x, self.h),
         }
     }
 
-    /// Tables for H^1..H^8, built on first bulk use (Fast lane only).
+    /// Tables for H^1..H^8, built on first bulk use (Table lane only).
     fn batch_tables(&self) -> &[ShoupTable; 8] {
         self.batch.get_or_init(|| {
             let mut tables = Box::new([[[0u128; 16]; 32]; 8]);
@@ -193,24 +210,7 @@ impl<'k> Ghash<'k> {
     fn update_padded(&mut self, data: &[u8]) {
         let mut rest = data;
         if self.batch_enabled && data.len() >= GHASH_BATCH_MIN {
-            let tables = self.key.table.is_some().then(|| self.key.batch_tables());
-            let mut batches = data.chunks_exact(128);
-            for batch in &mut batches {
-                let mut z = 0u128;
-                for j in 0..8 {
-                    let block: [u8; 16] = batch[j * 16..j * 16 + 16].try_into().unwrap();
-                    let mut x = u128::from_be_bytes(block);
-                    if j == 0 {
-                        x ^= self.acc;
-                    }
-                    z ^= match tables {
-                        Some(t) => table_mul(&t[7 - j], x),
-                        None => ghash_mul_ct(x, self.key.hpow[7 - j]),
-                    };
-                }
-                self.acc = z;
-            }
-            rest = batches.remainder();
+            rest = self.update_batched(data);
         }
         let mut chunks = rest.chunks_exact(16);
         for chunk in &mut chunks {
@@ -223,6 +223,45 @@ impl<'k> Ghash<'k> {
             block[..tail.len()].copy_from_slice(tail);
             self.acc = self.key.mul(self.acc ^ u128::from_be_bytes(block));
         }
+    }
+
+    /// The 8-blocks-per-pass body of [`Ghash::update_padded`]; returns the
+    /// unprocessed remainder (< 128 bytes). On the PCLMULQDQ lane the
+    /// whole pass is one aggregated reduction: eight unreduced 256-bit
+    /// products XOR-summed, one pentanomial fold.
+    fn update_batched<'a>(&mut self, data: &'a [u8]) -> &'a [u8] {
+        #[cfg(target_arch = "x86_64")]
+        if self.key.hw {
+            let hs: [u128; 8] = std::array::from_fn(|j| self.key.hpow[7 - j]);
+            let mut batches = data.chunks_exact(128);
+            for batch in &mut batches {
+                let mut xs = [0u128; 8];
+                for (x, block) in xs.iter_mut().zip(batch.chunks_exact(16)) {
+                    *x = u128::from_be_bytes(block.try_into().unwrap());
+                }
+                xs[0] ^= self.acc;
+                self.acc = crate::ghash_clmul::ghash_mul_sum_hw(&xs, &hs);
+            }
+            return batches.remainder();
+        }
+        let tables = self.key.table.is_some().then(|| self.key.batch_tables());
+        let mut batches = data.chunks_exact(128);
+        for batch in &mut batches {
+            let mut z = 0u128;
+            for j in 0..8 {
+                let block: [u8; 16] = batch[j * 16..j * 16 + 16].try_into().unwrap();
+                let mut x = u128::from_be_bytes(block);
+                if j == 0 {
+                    x ^= self.acc;
+                }
+                z ^= match tables {
+                    Some(t) => table_mul(&t[7 - j], x),
+                    None => ghash_mul_ct(x, self.key.hpow[7 - j]),
+                };
+            }
+            self.acc = z;
+        }
+        batches.remainder()
     }
 
     fn update_block(&mut self, block: &[u8; 16]) {
@@ -249,37 +288,57 @@ impl std::fmt::Debug for AesGcm {
 }
 
 impl AesGcm {
-    /// Creates a context from a raw key of 16 or 32 bytes.
+    /// Creates a context from a raw key of 16 or 32 bytes, under the
+    /// default profile ([`CryptoProfile::ConstantTime`]).
     ///
     /// # Panics
     ///
     /// Panics if the key is not 16 or 32 bytes long.
     pub fn new(key: &[u8]) -> AesGcm {
-        AesGcm::with_profile(key, CryptoProfile::Fast)
+        AesGcm::with_profile(key, CryptoProfile::default())
     }
 
-    /// Creates a context in the given lane; the ConstantTime lane runs AES
-    /// bitsliced and GHASH through the table-free carryless multiply, with
-    /// output byte-identical to the Fast lane.
+    /// Creates a context in the given lane; the ConstantTime lane runs on
+    /// AES-NI + PCLMULQDQ when the CPU has them and bitsliced/masked
+    /// multiplies otherwise, with output byte-identical to the Fast lane
+    /// in every case.
     ///
     /// # Panics
     ///
     /// Panics if the key is not 16 or 32 bytes long.
     pub fn with_profile(key: &[u8], profile: CryptoProfile) -> AesGcm {
+        AesGcm::with_backend(key, crate::cpu::backend_for(profile))
+    }
+
+    /// Creates a context on one *specific* engine, bypassing CPU dispatch
+    /// (see [`Aes::with_backend`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is not 16 or 32 bytes long, or if
+    /// [`CryptoBackend::HwAccel`] is requested without hardware support.
+    pub fn with_backend(key: &[u8], backend: CryptoBackend) -> AesGcm {
         let size = match key.len() {
             16 => KeySize::Aes128,
             32 => KeySize::Aes256,
             n => panic!("AES-GCM key must be 16 or 32 bytes, got {n}"),
         };
-        let aes = Aes::with_profile(key, size, profile);
+        let aes = Aes::with_backend(key, size, backend);
         let mut h_block = [0u8; 16];
         aes.encrypt_block(&mut h_block);
-        AesGcm { aes, h: GhashKey::new(u128::from_be_bytes(h_block), profile) }
+        // Key the GHASH lane off the cipher's resolved backend so AES and
+        // GHASH never split across engines.
+        AesGcm { h: GhashKey::new(u128::from_be_bytes(h_block), aes.backend()), aes }
     }
 
-    /// The lane this context was created for.
+    /// The profile this context was created for.
     pub fn profile(&self) -> CryptoProfile {
         self.aes.profile()
+    }
+
+    /// The concrete engine this context dispatches to.
+    pub fn backend(&self) -> CryptoBackend {
+        self.aes.backend()
     }
 
     /// Creates an AES-128-GCM context.
@@ -508,17 +567,27 @@ mod tests {
     use super::*;
     use crate::test_util::{hex, unhex};
 
-    /// Every vector runs under both lanes: the ConstantTime profile must
-    /// reproduce the NIST ciphertext and tag bit-for-bit.
+    /// Every engine testable on this host: table and bitsliced always,
+    /// the AES-NI/PCLMULQDQ lane where the CPU has it.
+    fn backends() -> Vec<CryptoBackend> {
+        let mut v = vec![CryptoBackend::Table, CryptoBackend::Bitsliced];
+        if crate::cpu::hw_accel_available() {
+            v.push(CryptoBackend::HwAccel);
+        }
+        v
+    }
+
+    /// Every vector runs under all lanes: each must reproduce the NIST
+    /// ciphertext and tag bit-for-bit.
     fn check(key: &str, iv: &str, pt: &str, aad: &str, ct: &str, tag: &str) {
-        for profile in [CryptoProfile::Fast, CryptoProfile::ConstantTime] {
-            let gcm = AesGcm::with_profile(&unhex(key), profile);
+        for backend in backends() {
+            let gcm = AesGcm::with_backend(&unhex(key), backend);
             let nonce: [u8; 12] = unhex(iv).try_into().unwrap();
             let (c, t) = gcm.seal_detached(&nonce, &unhex(aad), &unhex(pt));
-            assert_eq!(hex(&c), ct, "ciphertext ({profile:?})");
-            assert_eq!(hex(&t), tag, "tag ({profile:?})");
+            assert_eq!(hex(&c), ct, "ciphertext ({backend:?})");
+            assert_eq!(hex(&t), tag, "tag ({backend:?})");
             let p = gcm.open_detached(&nonce, &unhex(aad), &c, &t).unwrap();
-            assert_eq!(hex(&p), pt, "roundtrip ({profile:?})");
+            assert_eq!(hex(&p), pt, "roundtrip ({backend:?})");
         }
     }
 
@@ -666,35 +735,43 @@ mod tests {
         }
     }
 
-    /// The two lanes must agree bit-for-bit at every alignment, including
+    /// Every lane must agree bit-for-bit at every alignment, including
     /// lengths that cross the 8-block CTR batch and `GHASH_BATCH_MIN`
-    /// thresholds (the CT lane batches GHASH through powers of H too).
+    /// thresholds (the CT lanes batch GHASH through powers of H too —
+    /// aggregated reduction on the PCLMULQDQ lane).
     #[test]
-    fn constant_time_lane_matches_fast_lane() {
+    fn constant_time_lanes_match_fast_lane() {
         use crate::rng::{SecureRandom, SeededRandom};
         let mut rng = SeededRandom::new(0xc7);
         for key in [vec![0x33u8; 16], vec![0x44u8; 32]] {
-            let fast = AesGcm::with_profile(&key, CryptoProfile::Fast);
-            let hard = AesGcm::with_profile(&key, CryptoProfile::ConstantTime);
+            let fast = AesGcm::with_backend(&key, CryptoBackend::Table);
+            let lanes: Vec<AesGcm> = backends()
+                .into_iter()
+                .filter(|&b| b != CryptoBackend::Table)
+                .map(|b| AesGcm::with_backend(&key, b))
+                .collect();
             for len in [0usize, 1, 16, 127, 128, 129, 1000, 8191, 8192, 8193, 20_000] {
                 let mut pt = vec![0u8; len];
                 rng.fill(&mut pt);
                 let mut nonce = [0u8; 12];
                 rng.fill(&mut nonce);
                 let (ct_f, tag_f) = fast.seal_detached(&nonce, b"aad", &pt);
-                let (ct_c, tag_c) = hard.seal_detached(&nonce, b"aad", &pt);
-                assert_eq!(ct_f, ct_c, "ciphertext diverged at len {len}");
-                assert_eq!(tag_f, tag_c, "tag diverged at len {len}");
-                // Cross-lane open: sealed Fast, opened ConstantTime.
-                assert_eq!(hard.open_detached(&nonce, b"aad", &ct_f, &tag_f).unwrap(), pt);
+                for hard in &lanes {
+                    let backend = hard.backend();
+                    let (ct_c, tag_c) = hard.seal_detached(&nonce, b"aad", &pt);
+                    assert_eq!(ct_f, ct_c, "ciphertext diverged at len {len} ({backend:?})");
+                    assert_eq!(tag_f, tag_c, "tag diverged at len {len} ({backend:?})");
+                    // Cross-lane open: sealed Fast, opened hardened.
+                    assert_eq!(hard.open_detached(&nonce, b"aad", &ct_f, &tag_f).unwrap(), pt);
+                }
             }
         }
     }
 
     #[test]
     fn ghash_key_wipe_clears_tables_and_powers() {
-        for profile in [CryptoProfile::Fast, CryptoProfile::ConstantTime] {
-            let mut key = GhashKey::new(0x1234_5678_9abc_def0_u128, profile);
+        for backend in backends() {
+            let mut key = GhashKey::new(0x1234_5678_9abc_def0_u128, backend);
             if key.table.is_some() {
                 key.batch_tables();
             }

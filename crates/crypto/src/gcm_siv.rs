@@ -19,7 +19,7 @@ use crate::aes::{Aes, KeySize};
 use crate::ct::ct_eq;
 use crate::gcm::{build_table, table_mul, ShoupTable, GHASH_BATCH_MIN};
 use crate::ghash_ct::ghash_mul_ct;
-use crate::{AeadError, CryptoProfile};
+use crate::{AeadError, CryptoBackend, CryptoProfile};
 
 /// Length in bytes of the GCM-SIV authentication tag.
 pub const TAG_LEN: usize = 16;
@@ -69,10 +69,11 @@ fn byte_reverse(b: &[u8; 16]) -> [u8; 16] {
 #[derive(Clone)]
 struct PolyvalKey {
     h: u128,
-    /// Lane selection: ConstantTime skips every Shoup table and multiplies
-    /// through [`crate::ghash_ct`].
-    profile: CryptoProfile,
-    /// `batch[k]` is the table for H^(k+1); index 7 is H^8 (Fast lane only).
+    /// Lane selection: the constant-time backends skip every Shoup table
+    /// and multiply through PCLMULQDQ ([`crate::ghash_clmul`]) or the
+    /// masked portable path ([`crate::ghash_ct`]).
+    backend: CryptoBackend,
+    /// `batch[k]` is the table for H^(k+1); index 7 is H^8 (Table lane only).
     batch: std::cell::OnceCell<Box<[ShoupTable; 8]>>,
 }
 
@@ -80,9 +81,11 @@ impl PolyvalKey {
     /// Scalar multiplication by H in the lane's arithmetic.
     #[inline]
     fn mul(&self, x: u128) -> u128 {
-        match self.profile {
-            CryptoProfile::Fast => ghash_mul(x, self.h),
-            CryptoProfile::ConstantTime => ghash_mul_ct(x, self.h),
+        match self.backend {
+            CryptoBackend::Table => ghash_mul(x, self.h),
+            #[cfg(target_arch = "x86_64")]
+            CryptoBackend::HwAccel => crate::ghash_clmul::ghash_mul_hw(x, self.h),
+            _ => ghash_mul_ct(x, self.h),
         }
     }
 
@@ -125,17 +128,17 @@ impl std::fmt::Debug for Polyval {
 }
 
 impl Polyval {
-    fn new(h: &[u8; 16], profile: CryptoProfile) -> Polyval {
+    fn new(h: &[u8; 16], backend: CryptoBackend) -> Polyval {
         let h_ghash = mul_x_ghash(u128::from_be_bytes(byte_reverse(h)));
         Polyval {
-            key: PolyvalKey { h: h_ghash, profile, batch: std::cell::OnceCell::new() },
+            key: PolyvalKey { h: h_ghash, backend, batch: std::cell::OnceCell::new() },
             acc: 0,
             batch_enabled: true,
         }
     }
 
-    fn new_scalar(h: &[u8; 16], profile: CryptoProfile) -> Polyval {
-        let mut pv = Polyval::new(h, profile);
+    fn new_scalar(h: &[u8; 16], backend: CryptoBackend) -> Polyval {
+        let mut pv = Polyval::new(h, backend);
         pv.batch_enabled = false;
         pv
     }
@@ -149,37 +152,62 @@ impl Polyval {
     fn update_padded(&mut self, data: &[u8]) {
         let mut rest = data;
         if self.batch_enabled && data.len() >= GHASH_BATCH_MIN {
-            // The CT lane recomputes the eight H powers per bulk update (7
-            // scalar multiplies, amortized over >= 512 block multiplies)
-            // rather than keeping another cached table of key material.
-            let tables = match self.key.profile {
-                CryptoProfile::Fast => Some(self.key.batch_tables()),
-                CryptoProfile::ConstantTime => None,
-            };
-            let hpow = self.key.h_powers();
-            let mut batches = rest.chunks_exact(128);
-            for batch in &mut batches {
-                let mut z = 0u128;
-                for j in 0..8 {
-                    let block: [u8; 16] = batch[j * 16..j * 16 + 16].try_into().unwrap();
-                    let mut x = u128::from_be_bytes(byte_reverse(&block));
-                    if j == 0 {
-                        x ^= self.acc;
-                    }
-                    z ^= match tables {
-                        Some(t) => table_mul(&t[7 - j], x),
-                        None => ghash_mul_ct(x, hpow[7 - j]),
-                    };
-                }
-                self.acc = z;
-            }
-            rest = batches.remainder();
+            rest = self.update_batched(rest);
         }
         for chunk in rest.chunks(16) {
             let mut block = [0u8; 16];
             block[..chunk.len()].copy_from_slice(chunk);
             self.update_block(&block);
         }
+    }
+
+    /// Absorbs as many full 128-byte groups of `data` as possible with the
+    /// 8-block Horner recurrence, returning the unconsumed remainder.
+    fn update_batched<'a>(&mut self, data: &'a [u8]) -> &'a [u8] {
+        // The hardware lane XOR-sums the eight unreduced PCLMULQDQ
+        // products and reduces once per group (aggregated reduction).
+        #[cfg(target_arch = "x86_64")]
+        if self.key.backend == CryptoBackend::HwAccel {
+            let hpow = self.key.h_powers();
+            let hs: [u128; 8] = std::array::from_fn(|j| hpow[7 - j]);
+            let mut batches = data.chunks_exact(128);
+            for batch in &mut batches {
+                let mut xs = [0u128; 8];
+                for (j, x) in xs.iter_mut().enumerate() {
+                    let block: [u8; 16] = batch[j * 16..j * 16 + 16].try_into().unwrap();
+                    *x = u128::from_be_bytes(byte_reverse(&block));
+                }
+                xs[0] ^= self.acc;
+                self.acc = crate::ghash_clmul::ghash_mul_sum_hw(&xs, &hs);
+            }
+            return batches.remainder();
+        }
+        // The portable CT lane recomputes the eight H powers per bulk
+        // update (7 scalar multiplies, amortized over >= 512 block
+        // multiplies) rather than keeping another cached table of key
+        // material.
+        let tables = match self.key.backend {
+            CryptoBackend::Table => Some(self.key.batch_tables()),
+            _ => None,
+        };
+        let hpow = self.key.h_powers();
+        let mut batches = data.chunks_exact(128);
+        for batch in &mut batches {
+            let mut z = 0u128;
+            for j in 0..8 {
+                let block: [u8; 16] = batch[j * 16..j * 16 + 16].try_into().unwrap();
+                let mut x = u128::from_be_bytes(byte_reverse(&block));
+                if j == 0 {
+                    x ^= self.acc;
+                }
+                z ^= match tables {
+                    Some(t) => table_mul(&t[7 - j], x),
+                    None => ghash_mul_ct(x, hpow[7 - j]),
+                };
+            }
+            self.acc = z;
+        }
+        batches.remainder()
     }
 
     fn update_block(&mut self, block: &[u8; 16]) {
@@ -212,11 +240,15 @@ impl Drop for Polyval {
 
 /// An AES-GCM-SIV sealing/opening context bound to one key-generating key.
 ///
-/// The key-generating key is volatilely zeroized on drop.
+/// The key-generating key's schedule is expanded once at construction and
+/// cached for the lifetime of the context — per-nonce key derivation
+/// (RFC 8452 §4) is six block encryptions under the *same* key, so
+/// re-expanding it on every seal/open would dominate keywrap cost. The
+/// cached [`Aes`] volatilely zeroizes its round keys on drop.
 #[derive(Clone)]
 pub struct AesGcmSiv {
-    key_generating_key: Vec<u8>,
-    profile: CryptoProfile,
+    kgk: Aes,
+    key_len: usize,
 }
 
 impl std::fmt::Debug for AesGcmSiv {
@@ -232,28 +264,46 @@ impl AesGcmSiv {
     ///
     /// Panics if the key is not 16 or 32 bytes.
     pub fn new(key: &[u8]) -> AesGcmSiv {
-        AesGcmSiv::with_profile(key, CryptoProfile::Fast)
+        AesGcmSiv::with_profile(key, CryptoProfile::default())
     }
 
     /// Creates a context in the given lane; the ConstantTime lane runs AES
-    /// bitsliced and POLYVAL through the table-free carryless multiply,
-    /// with output byte-identical to the Fast lane.
+    /// and POLYVAL through hardware intrinsics or the table-free portable
+    /// fallback ([`crate::cpu::constant_time_backend`]), with output
+    /// byte-identical to the Fast lane.
     ///
     /// # Panics
     ///
     /// Panics if the key is not 16 or 32 bytes.
     pub fn with_profile(key: &[u8], profile: CryptoProfile) -> AesGcmSiv {
-        assert!(
-            key.len() == 16 || key.len() == 32,
-            "AES-GCM-SIV key must be 16 or 32 bytes, got {}",
-            key.len()
-        );
-        AesGcmSiv { key_generating_key: key.to_vec(), profile }
+        AesGcmSiv::with_backend(key, crate::cpu::backend_for(profile))
+    }
+
+    /// Creates a context pinned to a concrete engine (differential tests
+    /// and benchmarks; normal callers go through [`AesGcmSiv::new`] or
+    /// [`AesGcmSiv::with_profile`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is not 16 or 32 bytes, or if `HwAccel` is
+    /// requested on a CPU without AES-NI + PCLMULQDQ.
+    pub fn with_backend(key: &[u8], backend: CryptoBackend) -> AesGcmSiv {
+        let size = match key.len() {
+            16 => KeySize::Aes128,
+            32 => KeySize::Aes256,
+            n => panic!("AES-GCM-SIV key must be 16 or 32 bytes, got {n}"),
+        };
+        AesGcmSiv { kgk: Aes::with_backend(key, size, backend), key_len: key.len() }
     }
 
     /// The lane this context was created for.
     pub fn profile(&self) -> CryptoProfile {
-        self.profile
+        self.kgk.profile()
+    }
+
+    /// The concrete engine the cached key schedule was expanded for.
+    pub fn backend(&self) -> CryptoBackend {
+        self.kgk.backend()
     }
 
     /// Creates an AES-128-GCM-SIV context.
@@ -266,23 +316,20 @@ impl AesGcmSiv {
         AesGcmSiv::new(key)
     }
 
-    /// Per-nonce key derivation (RFC 8452 §4).
+    /// Per-nonce key derivation (RFC 8452 §4), running six block
+    /// encryptions under the cached key-generating-key schedule.
     fn derive_keys(&self, nonce: &[u8; NONCE_LEN]) -> ([u8; 16], Vec<u8>) {
-        let kgk = match self.key_generating_key.len() {
-            16 => Aes::with_profile(&self.key_generating_key, KeySize::Aes128, self.profile),
-            _ => Aes::with_profile(&self.key_generating_key, KeySize::Aes256, self.profile),
-        };
         let half = |counter: u32| -> [u8; 8] {
             let mut block = [0u8; 16];
             block[..4].copy_from_slice(&counter.to_le_bytes());
             block[4..].copy_from_slice(nonce);
-            kgk.encrypt_block(&mut block);
+            self.kgk.encrypt_block(&mut block);
             block[..8].try_into().expect("8-byte half")
         };
         let mut auth_key = [0u8; 16];
         auth_key[..8].copy_from_slice(&half(0));
         auth_key[8..].copy_from_slice(&half(1));
-        let enc_key_len = self.key_generating_key.len();
+        let enc_key_len = self.key_len;
         let mut enc_key = Vec::with_capacity(enc_key_len);
         enc_key.extend_from_slice(&half(2));
         enc_key.extend_from_slice(&half(3));
@@ -311,9 +358,9 @@ impl AesGcmSiv {
         plaintext: &[u8],
         batch: bool,
     ) -> [u8; 16] {
-        let profile = enc.profile();
+        let backend = enc.backend();
         let mut pv =
-            if batch { Polyval::new(auth_key, profile) } else { Polyval::new_scalar(auth_key, profile) };
+            if batch { Polyval::new(auth_key, backend) } else { Polyval::new_scalar(auth_key, backend) };
         pv.update_padded(aad);
         pv.update_padded(plaintext);
         let mut len_block = [0u8; 16];
@@ -334,7 +381,7 @@ impl AesGcmSiv {
     /// returned [`Aes`], which zeroizes itself on drop).
     fn enc_cipher(&self, enc_key: &mut Vec<u8>) -> Aes {
         let size = if enc_key.len() == 16 { KeySize::Aes128 } else { KeySize::Aes256 };
-        let enc = Aes::with_profile(enc_key, size, self.profile);
+        let enc = Aes::with_backend(enc_key, size, self.kgk.backend());
         crate::ct::zeroize(enc_key);
         enc
     }
@@ -442,12 +489,8 @@ impl AesGcmSiv {
     }
 }
 
-impl Drop for AesGcmSiv {
-    fn drop(&mut self) {
-        crate::ct::zeroize(&mut self.key_generating_key);
-    }
-}
-
+// No `Drop` of its own: the only key material is the cached `Aes`
+// schedule, which zeroizes itself.
 impl crate::ct::ZeroizeOnDrop for AesGcmSiv {}
 
 #[cfg(test)]
@@ -455,16 +498,26 @@ mod tests {
     use super::*;
     use crate::test_util::{hex, unhex};
 
-    /// Every vector runs under both lanes: the ConstantTime profile must
+    /// Every engine available on this machine: the table lane, the
+    /// portable bitsliced lane, and (where CPUID allows) the hardware lane.
+    fn backends() -> Vec<CryptoBackend> {
+        let mut v = vec![CryptoBackend::Table, CryptoBackend::Bitsliced];
+        if crate::cpu::hw_accel_available() {
+            v.push(CryptoBackend::HwAccel);
+        }
+        v
+    }
+
+    /// Every vector runs under every lane: the hardened engines must
     /// reproduce the RFC 8452 ciphertext and tag bit-for-bit.
     fn check(key: &str, nonce: &str, pt: &str, aad: &str, expect_ct_and_tag: &str) {
-        for profile in [CryptoProfile::Fast, CryptoProfile::ConstantTime] {
-            let siv = AesGcmSiv::with_profile(&unhex(key), profile);
+        for backend in backends() {
+            let siv = AesGcmSiv::with_backend(&unhex(key), backend);
             let n: [u8; 12] = unhex(nonce).try_into().unwrap();
             let sealed = siv.seal(&n, &unhex(aad), &unhex(pt));
-            assert_eq!(hex(&sealed), expect_ct_and_tag, "sealed ({profile:?})");
+            assert_eq!(hex(&sealed), expect_ct_and_tag, "sealed ({backend:?})");
             let opened = siv.open(&n, &unhex(aad), &sealed).unwrap();
-            assert_eq!(hex(&opened), pt, "roundtrip ({profile:?})");
+            assert_eq!(hex(&opened), pt, "roundtrip ({backend:?})");
         }
     }
 
@@ -571,34 +624,44 @@ mod tests {
         }
     }
 
-    /// The two lanes must agree bit-for-bit, including keywrap-sized
-    /// inputs and lengths that cross the POLYVAL batching threshold.
+    /// Every hardened lane must agree bit-for-bit with the table lane,
+    /// including keywrap-sized inputs and lengths that cross the POLYVAL
+    /// batching threshold.
     #[test]
-    fn constant_time_lane_matches_fast_lane() {
+    fn constant_time_lanes_match_fast_lane() {
         use crate::rng::{SecureRandom, SeededRandom};
         let mut rng = SeededRandom::new(0x517);
         for key in [vec![0x66u8; 16], vec![0x77u8; 32]] {
-            let fast = AesGcmSiv::with_profile(&key, CryptoProfile::Fast);
-            let hard = AesGcmSiv::with_profile(&key, CryptoProfile::ConstantTime);
-            for len in [0usize, 16, 32, 127, 128, 129, 1000, 8191, 8192, 8193, 20_000] {
-                let mut pt = vec![0u8; len];
-                rng.fill(&mut pt);
-                let mut nonce = [0u8; 12];
-                rng.fill(&mut nonce);
-                let (ct_f, tag_f) = fast.seal_detached(&nonce, b"wrap", &pt);
-                let (ct_c, tag_c) = hard.seal_detached(&nonce, b"wrap", &pt);
-                assert_eq!(ct_f, ct_c, "ciphertext diverged at len {len}");
-                assert_eq!(tag_f, tag_c, "tag diverged at len {len}");
-                // Cross-lane open: wrapped Fast, unwrapped ConstantTime.
-                assert_eq!(hard.open_detached(&nonce, b"wrap", &ct_f, &tag_f).unwrap(), pt);
+            let fast = AesGcmSiv::with_backend(&key, CryptoBackend::Table);
+            for backend in backends().into_iter().filter(|&b| b != CryptoBackend::Table) {
+                let hard = AesGcmSiv::with_backend(&key, backend);
+                for len in [0usize, 16, 32, 127, 128, 129, 1000, 8191, 8192, 8193, 20_000] {
+                    let mut pt = vec![0u8; len];
+                    rng.fill(&mut pt);
+                    let mut nonce = [0u8; 12];
+                    rng.fill(&mut nonce);
+                    let (ct_f, tag_f) = fast.seal_detached(&nonce, b"wrap", &pt);
+                    let (ct_c, tag_c) = hard.seal_detached(&nonce, b"wrap", &pt);
+                    assert_eq!(ct_f, ct_c, "ciphertext diverged at len {len} ({backend:?})");
+                    assert_eq!(tag_f, tag_c, "tag diverged at len {len} ({backend:?})");
+                    // Cross-lane open: wrapped Fast, unwrapped hardened.
+                    assert_eq!(hard.open_detached(&nonce, b"wrap", &ct_f, &tag_f).unwrap(), pt);
+                }
             }
         }
     }
 
     #[test]
+    fn default_profile_is_constant_time() {
+        let siv = AesGcmSiv::new_256(&[7u8; 32]);
+        assert_eq!(siv.profile(), CryptoProfile::ConstantTime);
+        assert_ne!(siv.backend(), CryptoBackend::Table);
+    }
+
+    #[test]
     fn polyval_wipe_clears_key_and_accumulator() {
-        for profile in [CryptoProfile::Fast, CryptoProfile::ConstantTime] {
-            let mut pv = Polyval::new(&[0x5au8; 16], profile);
+        for backend in backends() {
+            let mut pv = Polyval::new(&[0x5au8; 16], backend);
             pv.update_padded(&[0x11u8; 64]);
             pv.wipe();
             assert_eq!(pv.key.h, 0);

@@ -29,17 +29,23 @@
 //!   GHASH/POLYVAL — written for correctness and auditability, but its
 //!   table lookups are indexed by secret-derived values and therefore leak
 //!   through caches;
-//! - [`CryptoProfile::ConstantTime`] routes AES through a bitsliced,
-//!   table-free implementation ([`aes_ct`]) and GHASH/POLYVAL through a
-//!   masked carryless multiply ([`ghash_ct`]); no memory access or branch
-//!   in those hot paths depends on key or message bytes.
+//! - [`CryptoProfile::ConstantTime`] — the **default** — never indexes
+//!   memory or branches on key or message bytes. It dispatches at key
+//!   expansion between two engines ([`CryptoBackend`], chosen by
+//!   [`cpu::constant_time_backend`]): on x86_64 CPUs advertising AES-NI
+//!   and PCLMULQDQ, the hardware lane ([`aes_ni`], [`ghash_clmul`]) runs
+//!   the cipher on dedicated silicon — constant-time *and* faster than
+//!   the table lane; everywhere else (or when forced portable via
+//!   [`cpu::FORCE_PORTABLE_ENV`]), the bitsliced AES ([`aes_ct`]) and
+//!   masked carryless multiply ([`ghash_ct`]) fallback.
 //!
-//! Both lanes produce byte-identical output (differentially tested on every
-//! RFC vector and by the cross-profile property suite), and the
+//! All three lanes produce byte-identical output (differentially tested on
+//! every RFC vector and by the cross-lane property suite), and the
 //! `nexus-testkit` timing-leak harness flags the Fast lane while passing
-//! the hardened one. Tag comparisons are branchless in both profiles
+//! the hardened ones. Tag comparisons are branchless in every profile
 //! ([`ct::ct_eq`]), and key-holding types volatilely zeroize their material
-//! on `Drop` ([`ct::zeroize`]).
+//! on `Drop` ([`ct::zeroize`]) — including the hardware lane's round-key
+//! and H-power state.
 //!
 //! ## Example
 //!
@@ -57,11 +63,16 @@
 
 pub mod aes;
 pub(crate) mod aes_ct;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod aes_ni;
+pub mod cpu;
 pub mod ct;
 pub mod ed25519;
 pub mod field25519;
 pub mod gcm;
 pub mod gcm_siv;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod ghash_clmul;
 pub(crate) mod ghash_ct;
 pub mod hmac;
 pub mod rng;
@@ -71,17 +82,34 @@ pub mod x25519;
 /// Which implementation lane the symmetric hot paths (AES, GHASH/POLYVAL)
 /// run through. See the crate-level hardening note.
 ///
-/// The two profiles are bit-for-bit compatible: ciphertexts and tags are
+/// The profiles are bit-for-bit compatible: ciphertexts and tags are
 /// identical, so data sealed under one profile opens under the other.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CryptoProfile {
     /// Table-driven lane: AES T-tables, Shoup-table GHASH/POLYVAL.
-    /// Fastest, but secret-indexed loads leak through caches.
-    #[default]
+    /// Secret-indexed loads leak through caches — only for benchmarks and
+    /// differential testing, no longer the default.
     Fast,
-    /// Hardened lane: bitsliced AES and masked carryless-multiply
-    /// GHASH/POLYVAL; no secret-dependent memory access or branch.
+    /// Hardened lane (the default): no secret-dependent memory access or
+    /// branch. Runs on AES-NI + PCLMULQDQ where the CPU has them
+    /// ([`CryptoBackend::HwAccel`]), which also makes it the *fastest*
+    /// lane there; falls back to bitsliced AES and masked
+    /// carryless-multiply GHASH/POLYVAL ([`CryptoBackend::Bitsliced`]).
+    #[default]
     ConstantTime,
+}
+
+/// The concrete engine a key was expanded for — the dispatch tier below
+/// [`CryptoProfile`]. Which backend `ConstantTime` resolves to is decided
+/// at key-expansion time by [`cpu::constant_time_backend`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CryptoBackend {
+    /// T-table / Shoup-table engine ([`CryptoProfile::Fast`]).
+    Table,
+    /// Portable bitsliced + masked-multiply engine.
+    Bitsliced,
+    /// AES-NI + PCLMULQDQ intrinsics engine (x86_64 with the CPUID bits).
+    HwAccel,
 }
 
 /// Authenticated decryption failed: the ciphertext or its associated data

@@ -8,7 +8,7 @@ use nexus_crypto::gcm_siv::AesGcmSiv;
 use nexus_crypto::hmac::{hkdf, hmac_sha256};
 use nexus_crypto::sha2::{Sha256, Sha512};
 use nexus_crypto::x25519;
-use nexus_crypto::CryptoProfile;
+use nexus_crypto::CryptoBackend;
 use nexus_testkit::{shrink, tk_assert, tk_assert_eq, tk_assert_ne, Runner};
 
 const CASES: u32 = 64;
@@ -192,14 +192,25 @@ fn hkdf_output_lengths_are_exact() {
     );
 }
 
+/// Every engine available on this machine: the table lane, the portable
+/// bitsliced lane, and — where CPUID allows — the AES-NI + PCLMULQDQ lane.
+fn all_backends() -> Vec<CryptoBackend> {
+    let mut v = vec![CryptoBackend::Table, CryptoBackend::Bitsliced];
+    if nexus_crypto::cpu::hw_accel_available() {
+        v.push(CryptoBackend::HwAccel);
+    }
+    v
+}
+
 #[test]
-fn constant_time_profile_matches_fast_profile() {
-    // Satellite of the constant-time lane: both implementation profiles
-    // must be byte-identical for every key/nonce/AAD/length, including
-    // lengths straddling the 8-block (128-byte) batch boundary, and each
-    // must open what the other sealed.
+fn all_crypto_lanes_are_byte_identical() {
+    // Satellite of the hardware lane: every implementation engine (table,
+    // bitsliced, intrinsics) must be byte-identical for every
+    // key/nonce/AAD/length, including lengths straddling the 8-block
+    // (128-byte) batch boundary, and each lane must open what every other
+    // lane sealed (cross-lane seal/open regression).
     const BOUNDARY_LENS: [usize; 10] = [0, 1, 15, 16, 17, 112, 127, 128, 129, 257];
-    Runner::new("constant_time_profile_matches_fast_profile").cases(CASES).run(
+    Runner::new("all_crypto_lanes_are_byte_identical").cases(CASES).run(
         |g| {
             let pt = if g.u8() % 2 == 0 {
                 let len = BOUNDARY_LENS[(g.u64() % BOUNDARY_LENS.len() as u64) as usize];
@@ -213,21 +224,26 @@ fn constant_time_profile_matches_fast_profile() {
             shrink::bytes(pt).into_iter().map(|pt| (*key, *nonce, aad.clone(), pt)).collect()
         },
         |(key, nonce, aad, pt)| {
-            let fast = AesGcm::with_profile(key, CryptoProfile::Fast);
-            let hard = AesGcm::with_profile(key, CryptoProfile::ConstantTime);
-            let sealed_fast = fast.seal(nonce, aad, pt);
-            let sealed_hard = hard.seal(nonce, aad, pt);
-            tk_assert_eq!(sealed_fast, sealed_hard);
-            tk_assert_eq!(hard.open(nonce, aad, &sealed_fast).unwrap(), *pt);
-            tk_assert_eq!(fast.open(nonce, aad, &sealed_hard).unwrap(), *pt);
+            let gcms: Vec<AesGcm> =
+                all_backends().into_iter().map(|b| AesGcm::with_backend(key, b)).collect();
+            let sealed: Vec<Vec<u8>> = gcms.iter().map(|g| g.seal(nonce, aad, pt)).collect();
+            for (g, s) in gcms.iter().zip(sealed.iter()) {
+                tk_assert_eq!(s, &sealed[0], "GCM lane diverged ({:?})", g.backend());
+                // Cross-lane: every lane opens what every other lane sealed.
+                for other in &sealed {
+                    tk_assert_eq!(g.open(nonce, aad, other).unwrap(), *pt);
+                }
+            }
 
-            let fast = AesGcmSiv::with_profile(key, CryptoProfile::Fast);
-            let hard = AesGcmSiv::with_profile(key, CryptoProfile::ConstantTime);
-            let sealed_fast = fast.seal(nonce, aad, pt);
-            let sealed_hard = hard.seal(nonce, aad, pt);
-            tk_assert_eq!(sealed_fast, sealed_hard);
-            tk_assert_eq!(hard.open(nonce, aad, &sealed_fast).unwrap(), *pt);
-            tk_assert_eq!(fast.open(nonce, aad, &sealed_hard).unwrap(), *pt);
+            let sivs: Vec<AesGcmSiv> =
+                all_backends().into_iter().map(|b| AesGcmSiv::with_backend(key, b)).collect();
+            let sealed: Vec<Vec<u8>> = sivs.iter().map(|s| s.seal(nonce, aad, pt)).collect();
+            for (siv, s) in sivs.iter().zip(sealed.iter()) {
+                tk_assert_eq!(s, &sealed[0], "SIV lane diverged ({:?})", siv.backend());
+                for other in &sealed {
+                    tk_assert_eq!(siv.open(nonce, aad, other).unwrap(), *pt);
+                }
+            }
             Ok(())
         },
     );

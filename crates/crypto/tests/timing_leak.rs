@@ -1,4 +1,4 @@
-//! Statistical timing-leak classification of the two AES lanes.
+//! Statistical timing-leak classification of the AES lanes.
 //!
 //! A dudect-style two-class experiment (fixed vs random plaintext under a
 //! fixed secret key) over a *deterministic* cost model: each encryption is
@@ -7,16 +7,16 @@
 //! charged against a cold [`CacheModel`]. The Fast lane's cost depends on
 //! *which* T-table lines the plaintext/key schedule happens to touch, so
 //! the two classes separate and Welch's t blows past the 4.5 threshold.
-//! The ConstantTime lane performs no data-dependent lookups at all — its
-//! trace is empty, its cost constant — so the same experiment reports no
-//! leak.
+//! The hardened engines — bitsliced and AES-NI alike — perform no
+//! data-dependent lookups at all: their traces are empty, their cost
+//! constant, so the same experiment reports no leak for either.
 //!
 //! Because the cost model is deterministic and classes are drawn from the
 //! seeded testkit generator, classification is exactly reproducible: this
 //! test is CI-stable by construction, not by generous margins.
 
 use nexus_crypto::aes::{Aes, KeySize};
-use nexus_crypto::CryptoProfile;
+use nexus_crypto::{CryptoBackend, CryptoProfile};
 use nexus_testkit::timing::{analyze, CacheModel, Class, LEAK_T_THRESHOLD};
 
 const SEED: u64 = 0x5eed_c7_1ea4;
@@ -40,7 +40,10 @@ fn model_cost(aes: &Aes, block: &[u8; 16]) -> f64 {
 }
 
 fn run(profile: CryptoProfile) -> nexus_testkit::timing::LeakReport {
-    let aes = Aes::with_profile(&[0x3c; 16], KeySize::Aes128, profile);
+    run_aes(Aes::with_profile(&[0x3c; 16], KeySize::Aes128, profile))
+}
+
+fn run_aes(aes: Aes) -> nexus_testkit::timing::LeakReport {
     let fixed: [u8; 16] = [0xa5; 16];
     analyze(SEED, PER_CLASS, |class, g| {
         let block = match class {
@@ -66,11 +69,30 @@ fn constant_time_lane_passes() {
     let report = run(CryptoProfile::ConstantTime);
     assert!(
         !report.leaking,
-        "bitsliced AES leaked under the model: t = {}",
+        "hardened AES leaked under the model: t = {}",
         report.t
     );
     // Stronger than "below threshold": the hardened lane makes *zero*
     // data-dependent accesses, so both classes cost exactly the same.
+    assert_eq!(report.t, 0.0);
+}
+
+#[test]
+fn bitsliced_lane_passes() {
+    let report = run_aes(Aes::with_backend(&[0x3c; 16], KeySize::Aes128, CryptoBackend::Bitsliced));
+    assert!(!report.leaking, "bitsliced AES leaked under the model: t = {}", report.t);
+    assert_eq!(report.t, 0.0);
+}
+
+#[test]
+fn hardware_lane_passes() {
+    if !nexus_crypto::cpu::hw_accel_available() {
+        return;
+    }
+    let report = run_aes(Aes::with_backend(&[0x3c; 16], KeySize::Aes128, CryptoBackend::HwAccel));
+    assert!(!report.leaking, "AES-NI lane leaked under the model: t = {}", report.t);
+    // AESENC touches no table at all — the trace is empty, the cost
+    // identical across classes.
     assert_eq!(report.t, 0.0);
 }
 

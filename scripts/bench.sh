@@ -18,8 +18,11 @@
 # modeled otherwise — see "speedup_basis"), >= 1.5x fewer storage
 # RPCs with lower simulated latency for the batched workloads,
 # >= 3x aggregate metadata throughput at 16 concurrent clients vs 1,
-# and checkpointed recovery no slower than full-log replay at the
-# longest history in the logstore sweep.
+# checkpointed recovery no slower than full-log replay at the longest
+# history in the logstore sweep, and — on AES-NI/PCLMULQDQ hosts — the
+# hardened crypto default (hw_accel lane) at or above the table lane's
+# AES-block and GCM seal/open throughput (hosts without the silicon
+# carry an explicit "hw_absent" marker instead).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -163,13 +166,36 @@ path, mode = sys.argv[1], sys.argv[2]
 with open(path) as f:
     doc = json.load(f)
 for key in ("bench", "smoke", "payload_bytes", "fast", "constant_time",
-            "slowdown", "leak_model", "leak_wallclock_informational"):
+            "hw_accel", "slowdown", "leak_model",
+            "leak_wallclock_informational"):
     assert key in doc, f"{path}: missing key {key!r}"
 for lane in ("fast", "constant_time"):
     for key in ("aes_block_mibps", "gcm_seal_mibps", "gcm_open_mibps",
                 "keywrap_ops_per_s"):
         assert key in doc[lane], f"{path}: missing {lane}.{key}"
         assert doc[lane][key] > 0, f"{path}: {lane}.{key} must be positive"
+hw = doc["hw_accel"]
+assert "hw_absent" in hw, f"{path}: hw_accel must carry the hw_absent marker"
+if hw["hw_absent"]:
+    # No AES-NI/PCLMULQDQ silicon: the explicit marker is the whole
+    # contract (distinguishes "no hardware" from "emitter forgot it").
+    hw_note = "hw lane absent (no AES-NI/PCLMULQDQ)"
+else:
+    for key in ("aes_block_mibps", "gcm_seal_mibps", "gcm_open_mibps",
+                "keywrap_ops_per_s", "speedup_vs_fast", "hw_t", "hw_passes"):
+        assert key in hw, f"{path}: missing hw_accel.{key}"
+    assert hw["hw_passes"] is True, \
+        "timing harness must pass the AES-NI lane"
+    if mode == "full":
+        # The tentpole claim: with hardware present, the hardened default
+        # is at least as fast as the leaky table lane on the bulk paths.
+        for key in ("aes_block_mibps", "gcm_seal_mibps", "gcm_open_mibps"):
+            assert hw[key] >= doc["fast"][key], \
+                f"hardened default must meet the fast lane: hw_accel.{key} " \
+                f"{hw[key]:.1f} < fast.{key} {doc['fast'][key]:.1f}"
+    s = hw["speedup_vs_fast"]
+    hw_note = (f"hw lane x{s['aes_block']:.1f} aes / x{s['gcm_seal']:.1f} seal "
+               f"/ x{s['keywrap']:.1f} keywrap vs fast, t={hw['hw_t']:.1f}")
 lm = doc["leak_model"]
 for key in ("samples_per_class", "threshold", "fast_t", "constant_time_t",
             "table_flagged", "ct_passes"):
@@ -182,7 +208,7 @@ assert lm["ct_passes"] is True, \
     "timing harness must pass the bitsliced constant-time lane"
 print(f"ok: {path} valid; fast t={lm['fast_t']:.1f} flagged, "
       f"hardened t={lm['constant_time_t']:.1f} passes "
-      f"(threshold {lm['threshold']})")
+      f"(threshold {lm['threshold']}); {hw_note}")
 EOF
 
 echo "== micro_logstore ($mode) =="

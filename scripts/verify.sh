@@ -56,12 +56,19 @@ fi
 echo "ok: mem/afs/cloud stores lock only through the shard layer"
 
 echo "== constant-time module audit =="
-# The hardened lane's whole point is to never index memory by secret- or
-# message-derived values, so the ct-suffixed modules must not reference
-# the lookup tables or the Shoup table-multiply at all. Only the code
-# before `#[cfg(test)]` is policed: the test modules *should* reference
-# the tables, since they differentially verify the two lanes agree.
-ct_offenders=$(for f in crates/crypto/src/aes_ct.rs crates/crypto/src/ghash_ct.rs; do
+# The hardened lanes' whole point is to never index memory by secret- or
+# message-derived values, so neither the ct-suffixed portable modules nor
+# the intrinsics modules may reference the lookup tables or the Shoup
+# table-multiply at all. Only the code before `#[cfg(test)]` is policed:
+# the test modules *should* reference the tables, since they
+# differentially verify that the lanes agree.
+ct_modules="crates/crypto/src/aes_ct.rs crates/crypto/src/ghash_ct.rs \
+    crates/crypto/src/aes_ni.rs crates/crypto/src/ghash_clmul.rs"
+for f in $ct_modules; do
+    # A deleted hardened module must fail here, not silently shrink the audit.
+    [ -f "$f" ] || { echo "FAIL: hardened crypto module missing: $f" >&2; exit 1; }
+done
+ct_offenders=$(for f in $ct_modules; do
         awk -v f="$f" '/^#\[cfg\(test\)\]/{exit} {print f":"FNR":"$0}' "$f"
     done \
     | grep -E 'SBOX\[|INV_SBOX\[|ShoupTable|table_mul|GHASH_TABLE' \
@@ -69,11 +76,12 @@ ct_offenders=$(for f in crates/crypto/src/aes_ct.rs crates/crypto/src/ghash_ct.r
 if [ -n "$ct_offenders" ]; then
     echo "FAIL: table indexing inside a constant-time module:" >&2
     echo "$ct_offenders" >&2
-    echo "aes_ct.rs / ghash_ct.rs must stay table-free (bitsliced S-box," >&2
-    echo "carryless-multiply GHASH); see DESIGN.md §11." >&2
+    echo "aes_ct.rs / ghash_ct.rs / aes_ni.rs / ghash_clmul.rs must stay" >&2
+    echo "table-free (bitsliced or hardware S-box, carryless-multiply" >&2
+    echo "GHASH); see DESIGN.md §11 and §13." >&2
     exit 1
 fi
-echo "ok: aes_ct.rs / ghash_ct.rs are table-free outside their test modules"
+echo "ok: hardened crypto modules are table-free outside their test modules"
 
 echo "== cargo build --release --offline =="
 cargo build --release --workspace --offline
@@ -117,9 +125,10 @@ echo "== timing-leak harness smoke =="
 # Redundant with the workspace test run above, but invoked by target name
 # so deleting the leak test fails loudly here ("no test target named")
 # instead of silently shrinking coverage. The harness must flag the
-# table-driven lane and pass the bitsliced lane, deterministically.
+# table-driven lane and pass both hardened lanes (bitsliced always; the
+# AES-NI lane wherever the CPU has the silicon), deterministically.
 cargo test -q -p nexus-crypto --offline --test timing_leak > /dev/null
-echo "ok: table lane flagged, constant-time lane passes"
+echo "ok: table lane flagged, hardened lanes (bitsliced + hw where present) pass"
 
 echo "== bench smoke (JSON emitter) =="
 scripts/bench.sh --smoke
