@@ -1,0 +1,205 @@
+//! Massive-scale load benchmark, and the emitter behind `BENCH_scale.json`
+//! (run via `scripts/bench.sh`).
+//!
+//! Drives the `nexus-workloads` scale harness (DESIGN.md §14) at 1k / 10k /
+//! 100k simulated clients: every client is a future on the `nexus-exec`
+//! executor, multiplexed over at most `nexus_exec::MAX_WORKERS` OS threads,
+//! issuing Zipf-popular shared reads and private writes against one
+//! simulated AFS server on the paper-calibrated latency model. Latencies
+//! are recorded per operation into log-bucketed histograms (p50/p99/p999);
+//! an open-loop section replays a Poisson arrival schedule so queueing
+//! delay (coordinated omission) shows up in the tail.
+//!
+//! Before any timing is reported, the executor world is differentially
+//! gated against the thread-per-client baseline world at the baseline's
+//! sustainable client count: per-client transcript chains and the final
+//! server inventory must be identical — swapping the scheduling substrate
+//! may change *when* things happen, never *what* happened. The headline
+//! number is aggregate executor throughput at 10k clients over the
+//! baseline's throughput at its own maximum, gated ≥ 5× in
+//! `scripts/bench.sh` full mode.
+//!
+//! Flags: `--smoke` (100/1k clients, for `scripts/verify.sh`),
+//! `--json PATH`.
+
+use nexus_bench::json::Json;
+use nexus_bench::{arg_flag, arg_string, rule};
+use nexus_workloads::loadgen::{
+    run_scale_exec, Arrival, LatencyHistogram, ScaleConfig, ScaleReport,
+};
+use nexus_workloads::loadgen_baseline::run_scale_threads;
+
+/// Open-loop arrival rate per client, in simulated ops per second.
+const OPEN_LOOP_HZ: f64 = 50.0;
+
+fn hist_json(h: &LatencyHistogram) -> Json {
+    Json::obj()
+        .field("count", Json::Int(h.count() as i64))
+        .field("p50_us", Json::Num(h.quantile(0.5).as_nanos() as f64 / 1e3))
+        .field("p99_us", Json::Num(h.quantile(0.99).as_nanos() as f64 / 1e3))
+        .field("p999_us", Json::Num(h.quantile(0.999).as_nanos() as f64 / 1e3))
+        .field("mean_us", Json::Num(h.mean().as_nanos() as f64 / 1e3))
+        .field("max_us", Json::Num(h.max().as_nanos() as f64 / 1e3))
+}
+
+fn assert_quantiles_ordered(report: &ScaleReport, what: &str) {
+    let h = &report.hist.all;
+    let (p50, p99, p999) = (h.quantile(0.5), h.quantile(0.99), h.quantile(0.999));
+    assert!(
+        p50 <= p99 && p99 <= p999,
+        "{what}: quantiles out of order: p50 {p50:?} p99 {p99:?} p999 {p999:?}"
+    );
+}
+
+fn cell_json(cfg: &ScaleConfig, report: &ScaleReport) -> Json {
+    Json::obj()
+        .field("clients", Json::Int(cfg.clients as i64))
+        .field("ops_per_client", Json::Int(cfg.ops_per_client as i64))
+        .field("total_ops", Json::Int(report.total_ops as i64))
+        .field("os_threads", Json::Int(report.os_threads as i64))
+        .field("makespan_ms", Json::Num(report.makespan.as_secs_f64() * 1e3))
+        .field("agg_ops_per_sec", Json::Num(report.agg_ops_per_sec))
+        .field("latency", hist_json(&report.hist.all))
+        .field("reads", hist_json(&report.hist.reads))
+        .field("writes", hist_json(&report.hist.writes))
+}
+
+fn print_row(label: &str, report: &ScaleReport) {
+    println!(
+        "{label:>9} {:>9} {:>10.1} ms {:>13.0} {:>9.0} {:>9.0} {:>9.0} {:>4}",
+        report.total_ops,
+        report.makespan.as_secs_f64() * 1e3,
+        report.agg_ops_per_sec,
+        report.hist.all.quantile(0.5).as_nanos() as f64 / 1e3,
+        report.hist.all.quantile(0.99).as_nanos() as f64 / 1e3,
+        report.hist.all.quantile(0.999).as_nanos() as f64 / 1e3,
+        report.os_threads,
+    );
+}
+
+fn main() {
+    let smoke = arg_flag("--smoke");
+    // (clients, ops per client): more clients, fewer ops apiece, so the
+    // total stays tractable while the *concurrency* under test grows.
+    let cells: &[(usize, usize)] =
+        if smoke { &[(100, 16), (1000, 16)] } else { &[(1000, 64), (10_000, 32), (100_000, 16)] };
+    // The thread-per-client world's sustainable size: 100k OS threads is
+    // exactly what the executor exists to avoid.
+    let (baseline_clients, baseline_ops) = if smoke { (16, 16) } else { (64, 64) };
+    let (open_clients, open_ops) = if smoke { (1000, 16) } else { (10_000, 32) };
+
+    rule(84);
+    println!("micro_scale — simulated clients as futures on the nexus-exec executor");
+    println!(
+        "Zipf(0.99) shared reads + private writes, paper-calibrated latency, \
+         <= {} OS threads",
+        nexus_exec::MAX_WORKERS
+    );
+    rule(84);
+
+    // Differential gate first: both worlds at the baseline's scale.
+    let base_cfg = ScaleConfig::standard(baseline_clients, baseline_ops);
+    let thread_world = run_scale_threads(&base_cfg);
+    let exec_world = run_scale_exec(&base_cfg);
+    assert_eq!(
+        exec_world.transcripts, thread_world.transcripts,
+        "per-client transcripts diverged between the executor and thread worlds"
+    );
+    assert_eq!(
+        exec_world.inventory, thread_world.inventory,
+        "server inventories diverged between the executor and thread worlds"
+    );
+    let worlds_identical = true;
+    println!(
+        "worlds identical at {baseline_clients} clients: transcripts and inventory match \
+         (threads: {} OS threads, executor: {})",
+        thread_world.os_threads, exec_world.os_threads
+    );
+    rule(84);
+    println!(
+        "{:>9} {:>9} {:>13} {:>13} {:>9} {:>9} {:>9} {:>4}",
+        "clients", "ops", "makespan", "agg ops/s", "p50 us", "p99 us", "p999 us", "thr"
+    );
+    rule(84);
+
+    let mut reports = Vec::new();
+    for &(clients, ops) in cells {
+        let cfg = ScaleConfig::standard(clients, ops);
+        let report = run_scale_exec(&cfg);
+        assert!(
+            report.os_threads <= nexus_exec::MAX_WORKERS,
+            "{clients} clients drove {} OS threads",
+            report.os_threads
+        );
+        assert_quantiles_ordered(&report, "closed loop");
+        print_row(&format!("{clients}"), &report);
+        reports.push((cfg, report));
+    }
+    rule(84);
+
+    // Open loop: Poisson arrivals at a fixed per-client rate, independent
+    // of completions, so backlog lands in the tail instead of being
+    // silently absorbed by the issue loop (coordinated omission).
+    let mut open_cfg = ScaleConfig::standard(open_clients, open_ops);
+    open_cfg.arrival = Arrival::Open { per_client_hz: OPEN_LOOP_HZ };
+    let open_report = run_scale_exec(&open_cfg);
+    assert_quantiles_ordered(&open_report, "open loop");
+    println!("open loop: {open_clients} clients at {OPEN_LOOP_HZ} ops/s each (Poisson)");
+    print_row("open", &open_report);
+    rule(84);
+
+    // Headline: executor-world aggregate throughput at the second-largest
+    // cell (10k clients in full mode) over the thread world at its max.
+    let headline = if smoke { &reports.last().expect("cells").1 } else { &reports[1].1 };
+    let headline_clients = if smoke { cells.last().expect("cells").0 } else { cells[1].0 };
+    let speedup = headline.agg_ops_per_sec / thread_world.agg_ops_per_sec.max(1e-9);
+    println!(
+        "aggregate throughput: {:.0} ops/s at {headline_clients} executor clients vs {:.0} ops/s \
+         at {baseline_clients} thread-world clients — x{speedup:.1}",
+        headline.agg_ops_per_sec, thread_world.agg_ops_per_sec
+    );
+    println!("differential gate passed: both worlds transcript-identical before timing");
+
+    if let Some(path) = arg_string("--json") {
+        let max_threads =
+            reports.iter().map(|(_, r)| r.os_threads).max().expect("cells") as i64;
+        let doc = Json::obj()
+            .field("bench", Json::Str("scale".into()))
+            .field("emitter", Json::Str("nexus-bench micro_scale (scripts/bench.sh)".into()))
+            .field("smoke", Json::Bool(smoke))
+            .field("latency_model", Json::Str("paper_calibrated".into()))
+            .field("zipf_alpha", Json::Num(0.99))
+            .field("shared_keys", Json::Int(512))
+            .field("value_bytes", Json::Int(64))
+            .field("os_threads", Json::Int(max_threads))
+            .field("clients", Json::ints(cells.iter().map(|&(n, _)| n as i64)))
+            .field("worlds_identical", Json::Bool(worlds_identical))
+            .field(
+                "cells",
+                Json::Arr(reports.iter().map(|(cfg, r)| cell_json(cfg, r)).collect()),
+            )
+            .field(
+                "open_loop",
+                cell_json(&open_cfg, &open_report)
+                    .field("per_client_hz", Json::Num(OPEN_LOOP_HZ)),
+            )
+            .field(
+                "baseline",
+                Json::obj()
+                    .field("clients", Json::Int(baseline_clients as i64))
+                    .field("ops_per_client", Json::Int(baseline_ops as i64))
+                    .field("os_threads", Json::Int(thread_world.os_threads as i64))
+                    .field("agg_ops_per_sec", Json::Num(thread_world.agg_ops_per_sec))
+                    .field("exec_world_agg_ops_per_sec", Json::Num(exec_world.agg_ops_per_sec)),
+            )
+            .field(
+                "speedup",
+                Json::obj()
+                    .field("exec_clients", Json::Int(headline_clients as i64))
+                    .field("exec_agg_ops_per_sec", Json::Num(headline.agg_ops_per_sec))
+                    .field("over_thread_baseline", Json::Num(speedup)),
+            );
+        std::fs::write(&path, doc.render()).expect("write json");
+        println!("wrote {path}");
+    }
+}

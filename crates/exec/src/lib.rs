@@ -1,0 +1,597 @@
+//! # nexus-exec
+//!
+//! A std-only async executor for the NEXUS scale harness (DESIGN.md §14).
+//!
+//! The multi-client engine of PR 4 burns one OS thread (or pool worker)
+//! per simulated client, which caps rigs at tens of clients. This crate
+//! multiplexes *tens of thousands* of client state machines over a handful
+//! of OS threads using nothing but `std`: hand-rolled `Future` polling — no
+//! tokio, per the hermetic zero-dependency policy — with
+//!
+//! - a **run queue** of waker-schedulable tasks ([`Executor::spawn`]),
+//!   drained by the driver thread plus up to [`MAX_WORKERS`]`-1` helpers;
+//! - a **virtual-time reactor**: a hierarchical [`wheel::TimerWheel`] keyed
+//!   by [`SimClock`] nanoseconds. When every task is parked the driver
+//!   advances the shared clock straight to the earliest deadline and wakes
+//!   that batch — simulated time never waits for wall-clock sleeps;
+//! - **async storage adapters** ([`io`]) that park each RPC at the issuing
+//!   client's [`ClockLane`] time, so cross-client operations execute in
+//!   global issue-time order and in-flight RPCs genuinely overlap in
+//!   simulated time.
+//!
+//! ## Determinism
+//!
+//! With a single worker (the driver itself, [`Executor::single`]) execution
+//! is fully deterministic: the wheel fires `(deadline, seq)`-ordered
+//! batches into a FIFO queue drained by one thread, so an async-interleaved
+//! run equals the serial oracle event-for-event (pinned by the
+//! `exec_differential` suite in `nexus-workloads`). With extra workers,
+//! tasks from one batch race; per-client streams stay deterministic but
+//! cross-client interleaving is only transcript-stable for commuting
+//! operations — which is what the scale workloads use.
+//!
+//! A task's waker is its task handle: wakers are stable across polls, so
+//! futures in this crate register once and never re-register on spurious
+//! polls.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::Duration;
+
+use nexus_storage::SimClock;
+use nexus_sync::{Monitor, Mutex};
+
+pub mod io;
+pub mod wheel;
+
+use wheel::TimerWheel;
+
+/// Hard ceiling on OS threads an executor may use (driver included). The
+/// whole point of this crate is that client count and thread count are
+/// independent; the scale gates assert `os_threads() <= MAX_WORKERS` while
+/// driving 100k clients.
+pub const MAX_WORKERS: usize = 8;
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+// Task scheduling states: the state machine guarantees a task is in the
+// run queue at most once, no matter how many wakers fire concurrently.
+const IDLE: u8 = 0; // parked, not queued
+const QUEUED: u8 = 1; // in the run queue
+const RUNNING: u8 = 2; // being polled
+const NOTIFIED: u8 = 3; // being polled AND woken again: requeue after poll
+
+struct Task {
+    state: AtomicU8,
+    future: Mutex<Option<BoxFuture>>,
+    shared: Arc<Shared>,
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        Shared::schedule(self);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        Shared::schedule(self.clone());
+    }
+}
+
+/// Run-queue state guarded by the executor's monitor. `active` counts
+/// tasks currently being polled; quiescence is `runnable.is_empty() &&
+/// active == 0`, the only point where firing timers is race-free.
+struct QueueState {
+    runnable: VecDeque<Arc<Task>>,
+    active: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Monitor<QueueState>,
+    clock: SimClock,
+    wheel: Mutex<TimerWheel>,
+    /// First panic payload captured from a task; re-raised (with the
+    /// original payload) on the driver when `run_until_idle` finishes.
+    panics: Mutex<Vec<Box<dyn Any + Send>>>,
+}
+
+impl Shared {
+    fn schedule(task: Arc<Task>) {
+        loop {
+            let state = task.state.load(Ordering::Acquire);
+            match state {
+                IDLE => {
+                    if task
+                        .state
+                        .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        let shared = task.shared.clone();
+                        shared.queue.lock().runnable.push_back(task);
+                        shared.queue.notify_one();
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if task
+                        .state
+                        .compare_exchange(RUNNING, NOTIFIED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                // Already queued / already notified: the wakeup coalesces.
+                _ => return,
+            }
+        }
+    }
+
+    /// Polls one task. Runs on the driver and on helper workers alike.
+    fn run_task(self: &Arc<Self>, task: Arc<Task>) {
+        task.state.store(RUNNING, Ordering::Release);
+        let Some(mut fut) = task.future.lock().take() else {
+            // Completed task woken by a stale timer entry: nothing to do.
+            task.state.store(IDLE, Ordering::Release);
+            return;
+        };
+        let waker = Waker::from(task.clone());
+        let mut cx = Context::from_waker(&waker);
+        match catch_unwind(AssertUnwindSafe(|| fut.as_mut().poll(&mut cx))) {
+            Ok(Poll::Ready(())) => {
+                task.state.store(IDLE, Ordering::Release);
+            }
+            Ok(Poll::Pending) => {
+                *task.future.lock() = Some(fut);
+                if task
+                    .state
+                    .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    // Woken during the poll (NOTIFIED): requeue.
+                    task.state.store(QUEUED, Ordering::Release);
+                    self.queue.lock().runnable.push_back(task);
+                    self.queue.notify_one();
+                }
+            }
+            Err(payload) => {
+                task.state.store(IDLE, Ordering::Release);
+                self.panics.lock().push(payload);
+            }
+        }
+    }
+
+    /// Pops a runnable task, or returns `None` at quiescence (queue empty
+    /// and nobody mid-poll). Blocks while other workers are still active,
+    /// since they may enqueue more work.
+    fn pop_or_quiesce(&self) -> Option<Arc<Task>> {
+        let mut guard = self.queue.lock();
+        loop {
+            if let Some(task) = guard.runnable.pop_front() {
+                guard.active += 1;
+                return Some(task);
+            }
+            if guard.active == 0 {
+                return None;
+            }
+            guard = self.queue.wait(guard);
+        }
+    }
+
+    /// Marks a popped task finished; wakes quiescence waiters at the end.
+    fn finish_task(&self) {
+        let mut guard = self.queue.lock();
+        guard.active -= 1;
+        if guard.active == 0 && guard.runnable.is_empty() {
+            drop(guard);
+            self.queue.notify_all();
+        }
+    }
+
+    /// Helper-worker loop: drain tasks until shutdown. Helpers never fire
+    /// timers — only the driver advances virtual time.
+    fn worker_loop(self: Arc<Self>) {
+        loop {
+            let task = {
+                let mut guard = self.queue.lock();
+                loop {
+                    if guard.shutdown {
+                        return;
+                    }
+                    if let Some(task) = guard.runnable.pop_front() {
+                        guard.active += 1;
+                        break task;
+                    }
+                    guard = self.queue.wait(guard);
+                }
+            };
+            self.run_task(task);
+            self.finish_task();
+        }
+    }
+}
+
+/// Result slot shared between a spawned task and its [`JoinHandle`].
+struct JoinSlot<T> {
+    result: Option<T>,
+    waker: Option<Waker>,
+}
+
+/// Handle to a spawned task's output.
+///
+/// Await it from another task, or call [`JoinHandle::try_take`] after
+/// [`Executor::run_until_idle`] returns.
+pub struct JoinHandle<T> {
+    slot: Arc<Mutex<JoinSlot<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// The task's output, if it has completed.
+    pub fn try_take(&self) -> Option<T> {
+        self.slot.lock().result.take()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut guard = self.slot.lock();
+        match guard.result.take() {
+            Some(out) => Poll::Ready(out),
+            None => {
+                guard.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// The executor. See the crate docs for the model.
+pub struct Executor {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Executor {
+    /// An executor over `clock` using `threads` OS threads in total — the
+    /// calling (driver) thread plus `threads - 1` helpers. Clamped to
+    /// `[1, MAX_WORKERS]`.
+    pub fn new(clock: SimClock, threads: usize) -> Executor {
+        let threads = threads.clamp(1, MAX_WORKERS);
+        let shared = Arc::new(Shared {
+            queue: Monitor::new(QueueState {
+                runnable: VecDeque::new(),
+                active: 0,
+                shutdown: false,
+            }),
+            clock,
+            wheel: Mutex::new(TimerWheel::new()),
+            panics: Mutex::new(Vec::new()),
+        });
+        let workers = (1..threads)
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || shared.worker_loop())
+            })
+            .collect();
+        Executor { shared, workers }
+    }
+
+    /// A single-threaded (fully deterministic) executor.
+    pub fn single(clock: SimClock) -> Executor {
+        Executor::new(clock, 1)
+    }
+
+    /// Total OS threads this executor polls tasks on (driver included).
+    pub fn os_threads(&self) -> usize {
+        1 + self.workers.len()
+    }
+
+    /// The virtual clock driving the reactor.
+    pub fn clock(&self) -> &SimClock {
+        &self.shared.clock
+    }
+
+    /// A handle for creating timer futures; cheap to clone into tasks.
+    pub fn timer(&self) -> Timer {
+        Timer { shared: self.shared.clone() }
+    }
+
+    /// Spawns a future onto the run queue.
+    pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let slot = Arc::new(Mutex::new(JoinSlot { result: None, waker: None }));
+        let inner = slot.clone();
+        let wrapped = async move {
+            let out = fut.await;
+            let joiner = {
+                let mut guard = inner.lock();
+                guard.result = Some(out);
+                guard.waker.take()
+            };
+            if let Some(w) = joiner {
+                w.wake();
+            }
+        };
+        let task = Arc::new(Task {
+            state: AtomicU8::new(IDLE),
+            future: Mutex::new(Some(Box::pin(wrapped))),
+            shared: self.shared.clone(),
+        });
+        Shared::schedule(task);
+        JoinHandle { slot }
+    }
+
+    /// Drives the executor until no task is runnable and no timer is
+    /// pending, advancing the virtual clock to each earliest deadline as
+    /// the run queue quiesces. Returns the clock's final reading.
+    ///
+    /// A task that parks on something other than a timer or a join (i.e. a
+    /// deadlock) is abandoned when the wheel drains. If any task panicked,
+    /// the first captured payload is re-raised here — after all other
+    /// tasks have run.
+    pub fn run_until_idle(&self) -> Duration {
+        loop {
+            while let Some(task) = self.shared.pop_or_quiesce() {
+                self.shared.run_task(task);
+                self.shared.finish_task();
+            }
+            // Quiescent: all tasks parked. Jump virtual time to the next
+            // deadline and wake that batch, earliest-(deadline, seq) first.
+            let batch = {
+                let mut wheel = self.shared.wheel.lock();
+                match wheel.next_deadline() {
+                    None => break,
+                    Some(deadline) => {
+                        let batch = wheel.advance(deadline);
+                        drop(wheel);
+                        self.shared.clock.advance_to(Duration::from_nanos(deadline));
+                        batch
+                    }
+                }
+            };
+            for entry in batch {
+                entry.fired.store(true, Ordering::Release);
+                entry.waker.wake();
+            }
+        }
+        let payload = self.shared.panics.lock().drain(..).next();
+        if let Some(p) = payload {
+            resume_unwind(p);
+        }
+        self.shared.clock.now()
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.shared.queue.lock().shutdown = true;
+        self.shared.queue.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Factory for timer futures on an executor's reactor.
+#[derive(Clone)]
+pub struct Timer {
+    shared: Arc<Shared>,
+}
+
+impl Timer {
+    /// Current virtual time.
+    pub fn now(&self) -> Duration {
+        self.shared.clock.now()
+    }
+
+    /// The shared clock behind this timer.
+    pub fn clock(&self) -> &SimClock {
+        &self.shared.clock
+    }
+
+    /// Completes when virtual time reaches `deadline`. Resolves
+    /// immediately (no registration) if the clock is already there.
+    pub fn sleep_until(&self, deadline: Duration) -> Sleep {
+        self.make(deadline, false)
+    }
+
+    /// Completes after `d` more virtual time.
+    pub fn sleep(&self, d: Duration) -> Sleep {
+        self.sleep_until(self.now() + d)
+    }
+
+    /// Parks in the wheel at `at` and yields **even if already due**.
+    ///
+    /// This is the ordering primitive of the simulation: the shared clock
+    /// is the max over all lanes, so "now" may have run past a slower
+    /// client's issue time. `schedule_at(lane.local_now())` re-enters the
+    /// task through the wheel, which fires in `(deadline, seq)` order —
+    /// cross-client operations therefore execute in global issue-time
+    /// order no matter how far individual lanes have drifted apart.
+    pub fn schedule_at(&self, at: Duration) -> Sleep {
+        self.make(at, true)
+    }
+
+    fn make(&self, deadline: Duration, always_yield: bool) -> Sleep {
+        Sleep {
+            shared: self.shared.clone(),
+            deadline_nanos: u64::try_from(deadline.as_nanos()).unwrap_or(u64::MAX),
+            fired: Arc::new(AtomicBool::new(false)),
+            registered: false,
+            always_yield,
+        }
+    }
+}
+
+/// Future returned by [`Timer::sleep`], [`Timer::sleep_until`], and
+/// [`Timer::schedule_at`].
+pub struct Sleep {
+    shared: Arc<Shared>,
+    deadline_nanos: u64,
+    fired: Arc<AtomicBool>,
+    registered: bool,
+    always_yield: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.fired.load(Ordering::Acquire) {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            if !self.always_yield
+                && self.shared.clock.now() >= Duration::from_nanos(self.deadline_nanos)
+            {
+                return Poll::Ready(());
+            }
+            self.registered = true;
+            let (deadline, fired) = (self.deadline_nanos, self.fired.clone());
+            self.shared.wheel.lock().insert(deadline, cx.waker().clone(), fired);
+        }
+        // Registered and not fired: a spurious poll. Wakers are stable on
+        // this executor (the waker IS the task), so no re-registration.
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexus_sync::Mutex;
+
+    #[test]
+    fn spawn_and_join() {
+        let ex = Executor::single(SimClock::new());
+        let h = ex.spawn(async { 6 * 7 });
+        ex.run_until_idle();
+        assert_eq!(h.try_take(), Some(42));
+    }
+
+    #[test]
+    fn join_handle_awaitable_from_another_task() {
+        let ex = Executor::single(SimClock::new());
+        let t = ex.timer();
+        let inner = ex.spawn(async move {
+            t.sleep(Duration::from_millis(5)).await;
+            "done"
+        });
+        let outer = ex.spawn(async move { inner.await.len() });
+        ex.run_until_idle();
+        assert_eq!(outer.try_take(), Some(4));
+    }
+
+    #[test]
+    fn virtual_time_jumps_instead_of_sleeping() {
+        let clock = SimClock::new();
+        let ex = Executor::single(clock.clone());
+        let t = ex.timer();
+        ex.spawn(async move { t.sleep(Duration::from_secs(3600)).await });
+        let wall = std::time::Instant::now();
+        ex.run_until_idle();
+        assert_eq!(clock.now(), Duration::from_secs(3600));
+        assert!(wall.elapsed() < std::time::Duration::from_secs(5), "no real sleeping");
+    }
+
+    #[test]
+    fn sleepers_wake_in_deadline_order() {
+        let ex = Executor::single(SimClock::new());
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for (label, ms) in [("c", 30u64), ("a", 10), ("b", 20)] {
+            let t = ex.timer();
+            let order = order.clone();
+            ex.spawn(async move {
+                t.sleep_until(Duration::from_millis(ms)).await;
+                order.lock().push(label);
+            });
+        }
+        ex.run_until_idle();
+        assert_eq!(*order.lock(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn schedule_at_yields_even_when_due() {
+        // The clock has run ahead; schedule_at must still park and fire in
+        // deadline order relative to other past-time registrations.
+        let clock = SimClock::new();
+        clock.advance(Duration::from_millis(100));
+        let ex = Executor::single(clock.clone());
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for (label, ms) in [("late", 90u64), ("early", 10)] {
+            let t = ex.timer();
+            let order = order.clone();
+            ex.spawn(async move {
+                t.schedule_at(Duration::from_millis(ms)).await;
+                order.lock().push(label);
+            });
+        }
+        ex.run_until_idle();
+        assert_eq!(*order.lock(), vec!["early", "late"]);
+        assert_eq!(clock.now(), Duration::from_millis(100), "past deadlines move no time");
+    }
+
+    #[test]
+    fn ten_thousand_tasks_on_bounded_threads() {
+        let clock = SimClock::new();
+        let ex = Executor::new(clock.clone(), 64); // asks for 64, gets MAX_WORKERS
+        assert!(ex.os_threads() <= MAX_WORKERS);
+        let handles: Vec<_> = (0..10_000u64)
+            .map(|i| {
+                let t = ex.timer();
+                ex.spawn(async move {
+                    t.sleep(Duration::from_micros(i % 97)).await;
+                    i
+                })
+            })
+            .collect();
+        ex.run_until_idle();
+        let sum: u64 = handles.iter().map(|h| h.try_take().expect("completed")).sum();
+        assert_eq!(sum, (0..10_000u64).sum());
+    }
+
+    #[test]
+    fn task_panic_payload_resurfaces_on_driver() {
+        let ex = Executor::single(SimClock::new());
+        let survivor = ex.spawn(async { 1u32 });
+        ex.spawn(async { panic!("task exploded: {}", 99) });
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| ex.run_until_idle()))
+            .expect_err("panic must resurface");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("original string payload");
+        assert_eq!(msg, "task exploded: 99");
+        // Other tasks still ran to completion first.
+        assert_eq!(survivor.try_take(), Some(1));
+    }
+
+    #[test]
+    fn run_until_idle_is_reentrant() {
+        let clock = SimClock::new();
+        let ex = Executor::single(clock.clone());
+        let t = ex.timer();
+        ex.spawn(async move { t.sleep(Duration::from_millis(1)).await });
+        ex.run_until_idle();
+        let t = ex.timer();
+        let h = ex.spawn(async move {
+            t.sleep(Duration::from_millis(2)).await;
+            7
+        });
+        ex.run_until_idle();
+        assert_eq!(h.try_take(), Some(7));
+        assert_eq!(clock.now(), Duration::from_millis(3));
+    }
+}

@@ -1,0 +1,421 @@
+//! A hierarchical timer wheel over virtual (simulated) time.
+//!
+//! The executor's reactor: every parked future registers a `(deadline,
+//! waker)` pair here, and the driver fires the earliest group whenever the
+//! run queue quiesces, advancing the shared [`SimClock`] to that deadline.
+//! Firing order is the simulation's event order, so it is exact — entries
+//! come out sorted by `(deadline, seq)` where `seq` is registration order,
+//! regardless of which slot granularity they were bucketed at.
+//!
+//! Layout: [`LEVELS`] levels of [`SLOTS`] slots each. A slot at level `l`
+//! spans `2^(GRAN_BITS + 6l)` ns (level 0 ≈ 1 µs), so the wheel resolves
+//! deadlines ~19 hours out; anything beyond parks in an overflow list that
+//! re-buckets as time advances. Each level keeps a `u64` occupancy bitmap
+//! and a per-slot minimum deadline, so `next_deadline` scans set bits only
+//! — no entry is ever inspected — and `advance` drains exactly the slots
+//! the interval crossed, cascading longer-range entries down to finer
+//! levels as their remaining delta shrinks.
+//!
+//! The wheel is not thread-safe by itself; the executor guards it with a
+//! mutex and is the only writer.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::task::Waker;
+
+/// log2 of level-0 tick width in nanoseconds (1024 ns ≈ 1 µs).
+const GRAN_BITS: u32 = 10;
+/// log2 of the slot count per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of levels.
+const LEVELS: usize = 6;
+/// Deadlines at least this far past `current` go to the overflow list.
+const HORIZON: u64 = 1 << (GRAN_BITS + SLOT_BITS * LEVELS as u32);
+
+/// One registered wakeup.
+pub struct TimerEntry {
+    /// Absolute virtual deadline, nanoseconds since clock start.
+    pub deadline: u64,
+    /// Registration order; ties on `deadline` fire in `seq` order.
+    pub seq: u64,
+    /// The task to wake.
+    pub waker: Waker,
+    /// Set by the driver before waking, so the sleeping future observes
+    /// completion even when the shared clock is ahead of its deadline.
+    pub fired: Arc<AtomicBool>,
+}
+
+#[derive(Default)]
+struct Slot {
+    entries: Vec<TimerEntry>,
+    /// Minimum deadline among `entries`; meaningless when empty.
+    min: u64,
+}
+
+struct Level {
+    /// Bit `i` set iff `slots[i]` is non-empty.
+    occupied: u64,
+    slots: Vec<Slot>,
+}
+
+/// The wheel. `current` only moves forward; every stored entry has
+/// `deadline > current` (already-due registrations go straight to `due`).
+pub struct TimerWheel {
+    levels: Vec<Level>,
+    overflow: Vec<TimerEntry>,
+    /// Entries registered at or before `current` (a `schedule_at` whose
+    /// lane already ran ahead of the shared clock); fire in the next batch.
+    due: Vec<TimerEntry>,
+    current: u64,
+    next_seq: u64,
+    len: usize,
+}
+
+impl Default for TimerWheel {
+    fn default() -> Self {
+        TimerWheel::new()
+    }
+}
+
+impl TimerWheel {
+    /// An empty wheel at virtual time zero.
+    pub fn new() -> TimerWheel {
+        TimerWheel {
+            levels: (0..LEVELS)
+                .map(|_| Level {
+                    occupied: 0,
+                    slots: (0..SLOTS).map(|_| Slot::default()).collect(),
+                })
+                .collect(),
+            overflow: Vec::new(),
+            due: Vec::new(),
+            current: 0,
+            next_seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Pending entry count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no wakeup is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The wheel's notion of "now" (nanoseconds); updated by `advance`.
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// Registers a wakeup and returns its sequence number.
+    pub fn insert(&mut self, deadline: u64, waker: Waker, fired: Arc<AtomicBool>) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.len += 1;
+        self.place(TimerEntry { deadline, seq, waker, fired });
+        seq
+    }
+
+    fn place(&mut self, e: TimerEntry) {
+        if e.deadline <= self.current {
+            self.due.push(e);
+            return;
+        }
+        let delta = e.deadline - self.current;
+        if delta >= HORIZON {
+            self.overflow.push(e);
+            return;
+        }
+        // The level whose slot width matches the delta's magnitude: finer
+        // levels could not hold it (their 64 slots span less than delta).
+        let bits = 64 - delta.leading_zeros(); // >= 1 since delta > 0
+        let level = (bits.saturating_sub(GRAN_BITS + 1) / SLOT_BITS).min(LEVELS as u32 - 1);
+        let idx = ((e.deadline >> (GRAN_BITS + SLOT_BITS * level)) & (SLOTS as u64 - 1)) as usize;
+        let slot = &mut self.levels[level as usize].slots[idx];
+        if slot.entries.is_empty() || e.deadline < slot.min {
+            slot.min = e.deadline;
+        }
+        slot.entries.push(e);
+        self.levels[level as usize].occupied |= 1 << idx;
+    }
+
+    /// The earliest registered deadline, if any.
+    ///
+    /// Scans occupancy bitmaps and per-slot minima only; the slot-minimum
+    /// over every non-empty slot is exactly the entry-minimum because each
+    /// entry contributes to its own slot's minimum.
+    pub fn next_deadline(&self) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        let mut consider = |d: u64| {
+            if best.map_or(true, |b| d < b) {
+                best = Some(d);
+            }
+        };
+        for e in &self.due {
+            consider(e.deadline);
+        }
+        for level in &self.levels {
+            let mut bits = level.occupied;
+            while bits != 0 {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                consider(level.slots[i].min);
+            }
+        }
+        for e in &self.overflow {
+            consider(e.deadline);
+        }
+        best
+    }
+
+    /// Moves the wheel to `to` and returns every entry with
+    /// `deadline <= to`, sorted by `(deadline, seq)`.
+    ///
+    /// Drains exactly the slots the interval `(current, to]` crossed at
+    /// each level; drained entries that are not yet due re-bucket at a
+    /// finer level (the cascade), as do overflow entries that fell within
+    /// the horizon.
+    pub fn advance(&mut self, to: u64) -> Vec<TimerEntry> {
+        let to = to.max(self.current);
+        let from = self.current;
+        let mut fired = std::mem::take(&mut self.due);
+        let mut reinsert: Vec<TimerEntry> = Vec::new();
+        for l in 0..LEVELS {
+            if self.levels[l].occupied == 0 {
+                continue;
+            }
+            let shift = GRAN_BITS + SLOT_BITS * l as u32;
+            let s0 = from >> shift;
+            let s1 = to >> shift;
+            let drain_all = s1 - s0 >= SLOTS as u64;
+            let lo = (s0 & (SLOTS as u64 - 1)) as usize;
+            let hi = (s1 & (SLOTS as u64 - 1)) as usize;
+            let mut bits = self.levels[l].occupied;
+            while bits != 0 {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                // Slot i maps to the one absolute slot ≡ i (mod 64) in
+                // [s0, s1]; outside that circular window nothing is due.
+                let in_window = drain_all
+                    || if lo <= hi { i >= lo && i <= hi } else { i >= lo || i <= hi };
+                if !in_window {
+                    continue;
+                }
+                let entries = std::mem::take(&mut self.levels[l].slots[i].entries);
+                self.levels[l].occupied &= !(1u64 << i);
+                for e in entries {
+                    if e.deadline <= to {
+                        fired.push(e);
+                    } else {
+                        reinsert.push(e);
+                    }
+                }
+            }
+        }
+        self.current = to;
+        if !self.overflow.is_empty() {
+            let overflow = std::mem::take(&mut self.overflow);
+            for e in overflow {
+                if e.deadline <= to {
+                    fired.push(e);
+                } else if e.deadline - to < HORIZON {
+                    reinsert.push(e);
+                } else {
+                    self.overflow.push(e);
+                }
+            }
+        }
+        for e in reinsert {
+            self.place(e);
+        }
+        fired.sort_by_key(|e| (e.deadline, e.seq));
+        self.len -= fired.len();
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::atomic::Ordering;
+    use std::task::{RawWaker, RawWakerVTable};
+
+    /// A waker that does nothing — these tests inspect entries directly.
+    fn noop_waker() -> Waker {
+        fn clone(_: *const ()) -> RawWaker {
+            RawWaker::new(std::ptr::null(), &VTABLE)
+        }
+        fn noop(_: *const ()) {}
+        static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, noop, noop, noop);
+        unsafe { Waker::from_raw(RawWaker::new(std::ptr::null(), &VTABLE)) }
+    }
+
+    fn insert(w: &mut TimerWheel, deadline: u64) -> u64 {
+        w.insert(deadline, noop_waker(), Arc::new(AtomicBool::new(false)))
+    }
+
+    fn fired_deadlines(batch: &[TimerEntry]) -> Vec<u64> {
+        batch.iter().map(|e| e.deadline).collect()
+    }
+
+    #[test]
+    fn fires_in_deadline_order_regardless_of_insertion_order() {
+        let mut w = TimerWheel::new();
+        for d in [5_000_000u64, 1_000, 3_000_000_000, 40, 777_777] {
+            insert(&mut w, d);
+        }
+        assert_eq!(w.next_deadline(), Some(40));
+        let all = w.advance(3_000_000_000);
+        assert_eq!(fired_deadlines(&all), vec![40, 1_000, 777_777, 5_000_000, 3_000_000_000]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn equal_deadlines_fire_in_registration_order() {
+        let mut w = TimerWheel::new();
+        let s1 = insert(&mut w, 10_000);
+        let s2 = insert(&mut w, 10_000);
+        let s3 = insert(&mut w, 10_000);
+        let batch = w.advance(10_000);
+        assert_eq!(batch.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![s1, s2, s3]);
+    }
+
+    #[test]
+    fn sub_tick_deadlines_do_not_fire_early() {
+        // Two deadlines inside the same 1 µs tick: advancing to the first
+        // must not release the second, even though they share a slot.
+        let mut w = TimerWheel::new();
+        insert(&mut w, 100);
+        insert(&mut w, 900);
+        let first = w.advance(100);
+        assert_eq!(fired_deadlines(&first), vec![100]);
+        assert_eq!(w.next_deadline(), Some(900));
+        let second = w.advance(900);
+        assert_eq!(fired_deadlines(&second), vec![900]);
+    }
+
+    #[test]
+    fn cascade_respects_exact_deadline() {
+        // An entry bucketed at a coarse level (far deadline) must fire at
+        // its exact deadline after cascading, not at a slot boundary.
+        let mut w = TimerWheel::new();
+        let far = (1 << 30) + 12_345; // ~1.07 s out, level 3 territory
+        insert(&mut w, far);
+        // Step toward it in coarse hops; it must never fire early.
+        for t in [1 << 20, 1 << 25, 1 << 29, far - 1] {
+            assert!(w.advance(t).is_empty(), "fired early at t={t}");
+            assert_eq!(w.next_deadline(), Some(far));
+        }
+        assert_eq!(fired_deadlines(&w.advance(far)), vec![far]);
+    }
+
+    #[test]
+    fn past_deadlines_park_in_due_and_fire_next_batch_in_order() {
+        let mut w = TimerWheel::new();
+        w.advance(1_000_000);
+        // Lane ran ahead of the shared clock: registrations in the past.
+        insert(&mut w, 400_000);
+        insert(&mut w, 20_000);
+        insert(&mut w, 1_500_000);
+        assert_eq!(w.next_deadline(), Some(20_000));
+        let batch = w.advance(1_000_000); // no time movement needed
+        assert_eq!(fired_deadlines(&batch), vec![20_000, 400_000]);
+        assert_eq!(w.next_deadline(), Some(1_500_000));
+    }
+
+    #[test]
+    fn overflow_entries_survive_and_fire() {
+        let mut w = TimerWheel::new();
+        let beyond = HORIZON + 55_555;
+        insert(&mut w, beyond);
+        insert(&mut w, 1_000);
+        assert_eq!(w.next_deadline(), Some(1_000));
+        assert_eq!(fired_deadlines(&w.advance(2_000)), vec![1_000]);
+        // Still pending, still visible.
+        assert_eq!(w.next_deadline(), Some(beyond));
+        assert_eq!(fired_deadlines(&w.advance(beyond)), vec![beyond]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn fired_flag_plumbing() {
+        let mut w = TimerWheel::new();
+        let flag = Arc::new(AtomicBool::new(false));
+        w.insert(9, noop_waker(), flag.clone());
+        let batch = w.advance(9);
+        assert!(Arc::ptr_eq(&batch[0].fired, &flag));
+        assert!(!flag.load(Ordering::Relaxed), "the driver, not the wheel, marks firing");
+    }
+
+    #[test]
+    fn matches_btree_reference_model() {
+        // Property: against a sorted-set oracle, arbitrary interleavings of
+        // inserts and advances agree on next_deadline and on the exact
+        // (deadline, seq) firing sequence.
+        nexus_testkit::Runner::new("wheel_vs_btree")
+            .cases(60)
+            .run(
+                |g| {
+                    g.vec(1, 40, |g| {
+                        let advance = g.bool() && g.bool(); // 25% advances
+                        let far = g.bool() && g.bool() && g.bool();
+                        let t = if far {
+                            g.u64_below(HORIZON * 2)
+                        } else {
+                            g.u64_below(1 << 34)
+                        };
+                        (advance, t)
+                    })
+                },
+                |script| nexus_testkit::shrink::ops(script),
+                |script| {
+                    let mut w = TimerWheel::new();
+                    let mut model: BTreeSet<(u64, u64)> = BTreeSet::new();
+                    let mut now = 0u64;
+                    for &(advance, t) in script {
+                        if advance {
+                            let to = now.max(t.min(1 << 35));
+                            let fired: Vec<(u64, u64)> =
+                                w.advance(to).iter().map(|e| (e.deadline, e.seq)).collect();
+                            let expect: Vec<(u64, u64)> = {
+                                let due: Vec<_> = model
+                                    .iter()
+                                    .take_while(|(d, _)| *d <= to)
+                                    .copied()
+                                    .collect();
+                                for e in &due {
+                                    model.remove(e);
+                                }
+                                due
+                            };
+                            if fired != expect {
+                                return Err(format!("at {to}: fired {fired:?} != {expect:?}"));
+                            }
+                            now = to;
+                        } else {
+                            let seq = insert(&mut w, t);
+                            model.insert((t, seq));
+                        }
+                        let model_next = model.iter().next().map(|(d, _)| *d);
+                        if w.next_deadline() != model_next {
+                            return Err(format!(
+                                "next_deadline {:?} != model {:?}",
+                                w.next_deadline(),
+                                model_next
+                            ));
+                        }
+                        if w.len() != model.len() {
+                            return Err(format!("len {} != model {}", w.len(), model.len()));
+                        }
+                    }
+                    Ok(())
+                },
+            );
+    }
+}

@@ -24,7 +24,10 @@
 //!   worker count or scheduling — the property the data-path tests pin.
 //! - **Panic propagation.** A panicking closure aborts the queue (other
 //!   workers stop claiming work) and the panic resurfaces on the calling
-//!   thread via the scope join.
+//!   thread *with its original payload* — workers catch the unwind and
+//!   hand the payload back, because `std::thread::scope`'s own re-panic
+//!   replaces it with a generic "a scoped thread panicked" message that
+//!   benchmark harnesses cannot attribute to a client.
 //! - **`NEXUS_THREADS` override.** [`ThreadPool::from_env`] and the
 //!   process-wide [`global`] pool honour `NEXUS_THREADS`; `NEXUS_THREADS=1`
 //!   forces the serial in-line path (no threads are spawned at all).
@@ -35,25 +38,15 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
 
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// A fixed-width worker pool; see the crate docs for the design.
 #[derive(Debug, Clone)]
 pub struct ThreadPool {
     workers: usize,
-}
-
-/// Sets the abort flag if its scope unwinds from a panic, so sibling
-/// workers stop claiming queue ranges instead of racing a dying scope.
-struct AbortOnPanic<'a>(&'a AtomicBool);
-
-impl Drop for AbortOnPanic<'_> {
-    fn drop(&mut self) {
-        if std::thread::panicking() {
-            self.0.store(true, Ordering::Relaxed);
-        }
-    }
 }
 
 impl ThreadPool {
@@ -84,8 +77,10 @@ impl ThreadPool {
     ///
     /// # Panics
     ///
-    /// Re-raises the first panic from `f` on the calling thread; remaining
-    /// workers stop claiming work as soon as the panic is observed.
+    /// Re-raises the first panic from `f` on the calling thread **with the
+    /// original payload** (so `catch_unwind` callers can downcast the
+    /// message); remaining workers stop claiming work as soon as the panic
+    /// is observed.
     pub fn par_map_indexed<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
@@ -102,12 +97,15 @@ impl ThreadPool {
         let chunk = n.div_ceil(workers * 4).max(1);
         let cursor = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
+        // First panic payload from any worker: caught (not re-panicked) so
+        // the scope joins cleanly and the caller gets the original payload
+        // instead of scope's generic "a scoped thread panicked".
+        let payload: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
         let slots: Vec<OnceLock<R>> = (0..n).map(|_| OnceLock::new()).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
-                    let _guard = AbortOnPanic(&abort);
-                    loop {
+                    'queue: loop {
                         if abort.load(Ordering::Relaxed) {
                             break;
                         }
@@ -118,13 +116,29 @@ impl ThreadPool {
                         for (i, item) in
                             items.iter().enumerate().take((start + chunk).min(n)).skip(start)
                         {
-                            let filled = slots[i].set(f(i, item));
-                            debug_assert!(filled.is_ok(), "index {i} claimed twice");
+                            match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                                Ok(value) => {
+                                    let filled = slots[i].set(value);
+                                    debug_assert!(filled.is_ok(), "index {i} claimed twice");
+                                }
+                                Err(p) => {
+                                    abort.store(true, Ordering::Relaxed);
+                                    let mut slot =
+                                        payload.lock().unwrap_or_else(|e| e.into_inner());
+                                    if slot.is_none() {
+                                        *slot = Some(p);
+                                    }
+                                    break 'queue;
+                                }
+                            }
                         }
                     }
                 });
             }
         });
+        if let Some(p) = payload.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            resume_unwind(p);
+        }
         slots
             .into_iter()
             .map(|slot| slot.into_inner().expect("scope joined with an unfilled slot"))
@@ -218,6 +232,34 @@ mod tests {
             })
         });
         assert!(result.is_err(), "worker panic must resurface on the caller");
+    }
+
+    #[test]
+    fn panic_payload_is_preserved_verbatim() {
+        // Regression: the original implementation let the panic rip through
+        // `std::thread::scope`, whose join re-panics with a *generic*
+        // payload ("a scoped thread panicked") — a bench harness catching
+        // it could not tell which client was poisoned or why. The payload
+        // must survive word for word, at every worker count.
+        let items: Vec<usize> = (0..64).collect();
+        for workers in [1, 2, 8] {
+            let pool = ThreadPool::new(workers);
+            let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.par_map_indexed(&items, |i, _| {
+                    if i == 13 {
+                        panic!("client 13 corrupted its volume");
+                    }
+                    i
+                })
+            }))
+            .expect_err("must panic");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+                .expect("payload must stay downcastable to a string");
+            assert_eq!(msg, "client 13 corrupted its volume", "workers={workers}");
+        }
     }
 
     #[test]

@@ -251,6 +251,25 @@ impl AfsClient {
         AfsClient::with_lane(server, clock, lane, latency)
     }
 
+    /// Like [`AfsClient::connect`] but with a custom cache shard count.
+    ///
+    /// The default 16-way cache is sized for a handful of worker threads
+    /// hammering one client; a scale harness simulating 100k clients wants
+    /// the opposite trade (one shard per client, since each simulated
+    /// client's cache sees no internal contention and 16 mutexes apiece is
+    /// pure memory overhead).
+    pub fn connect_with_cache_shards(
+        server: &AfsServer,
+        clock: SimClock,
+        latency: LatencyModel,
+        shards: usize,
+    ) -> AfsClient {
+        let lane = clock.lane();
+        let mut client = AfsClient::with_lane(server, clock, lane, latency);
+        client.cache = ShardedMutex::with_shards(shards);
+        client
+    }
+
     fn with_lane(
         server: &AfsServer,
         clock: SimClock,

@@ -1,0 +1,242 @@
+//! Deterministic samplers for load-generation: Zipf key popularity and
+//! Poisson (exponential inter-arrival) request processes.
+//!
+//! Both samplers are *source-agnostic*: the core entry points take a
+//! uniform `f64` in `[0, 1)`, so the scale harness drives them from
+//! `nexus_crypto::rng::SeededRandom` streams while property tests drive
+//! them from [`Gen`] — same math, same determinism guarantees. Sampling a
+//! Zipf rank is an exact inverse-CDF lookup (binary search over the
+//! precomputed CDF), not an approximation, so unit tests can pin empirical
+//! frequencies directly against the closed-form probabilities.
+
+use crate::Gen;
+use std::time::Duration;
+
+/// Zipf(α) distribution over ranks `0..n` (rank 0 is the hottest key).
+///
+/// `P(rank = k) = (k+1)^{-α} / H_{n,α}` with `H_{n,α} = Σ_{i=1..n} i^{-α}`
+/// the generalized harmonic number. `α = 0` degenerates to uniform;
+/// `α ≈ 1` is the classic web/keyspace popularity curve.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// `cdf[k]` = P(rank <= k); strictly increasing, ends at ~1.0.
+    cdf: Vec<f64>,
+    /// The generalized harmonic number `H_{n,α}` (the normalizer).
+    harmonic: f64,
+    alpha: f64,
+}
+
+impl Zipf {
+    /// A Zipf(α) sampler over `n` ranks.
+    ///
+    /// # Panics
+    ///
+    /// If `n == 0` or `alpha` is negative or non-finite.
+    pub fn new(n: usize, alpha: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs a non-empty rank space");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let harmonic = acc;
+        for v in &mut cdf {
+            *v /= harmonic;
+        }
+        Zipf { cdf, harmonic, alpha }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when there is a single rank (every sample is 0).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Closed-form probability of `rank` (for pinning empirical counts).
+    pub fn probability(&self, rank: usize) -> f64 {
+        ((rank + 1) as f64).powf(-self.alpha) / self.harmonic
+    }
+
+    /// Maps a uniform `u ∈ [0, 1)` to a rank by exact inverse-CDF lookup.
+    pub fn sample_with(&self, u: f64) -> usize {
+        let u = u.clamp(0.0, 1.0);
+        // First index whose CDF value exceeds u.
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf")) {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Samples a rank from a [`Gen`] stream.
+    pub fn sample(&self, g: &mut Gen) -> usize {
+        self.sample_with(g.f64_unit())
+    }
+}
+
+/// Exponential inter-arrival gaps — the spacing of a Poisson process.
+///
+/// An open-loop load generator schedules request *k+1* at
+/// `t_k + next_gap(...)`; the resulting arrival process is Poisson with
+/// the configured rate, independent of service times (the generator never
+/// waits for responses, so coordinated omission is measurable).
+#[derive(Debug, Clone, Copy)]
+pub struct PoissonArrivals {
+    mean_gap_nanos: f64,
+}
+
+impl PoissonArrivals {
+    /// A process with the given mean inter-arrival gap.
+    ///
+    /// # Panics
+    ///
+    /// If `mean_gap` is zero.
+    pub fn with_mean_gap(mean_gap: Duration) -> PoissonArrivals {
+        assert!(!mean_gap.is_zero(), "mean inter-arrival gap must be positive");
+        PoissonArrivals { mean_gap_nanos: mean_gap.as_nanos() as f64 }
+    }
+
+    /// A process with the given arrival rate in events per second.
+    ///
+    /// # Panics
+    ///
+    /// If `rate_hz` is not strictly positive and finite.
+    pub fn from_rate_hz(rate_hz: f64) -> PoissonArrivals {
+        assert!(rate_hz > 0.0 && rate_hz.is_finite(), "rate must be positive");
+        PoissonArrivals { mean_gap_nanos: 1e9 / rate_hz }
+    }
+
+    /// The configured mean gap.
+    pub fn mean_gap(&self) -> Duration {
+        Duration::from_nanos(self.mean_gap_nanos as u64)
+    }
+
+    /// Maps a uniform `u ∈ [0, 1)` to a gap by inverse-CDF:
+    /// `-ln(1 - u) · mean`.
+    pub fn next_gap_with(&self, u: f64) -> Duration {
+        let u = u.clamp(0.0, f64::from_bits(0x3FEF_FFFF_FFFF_FFFF)); // < 1.0
+        let nanos = -(1.0 - u).ln() * self.mean_gap_nanos;
+        Duration::from_nanos(nanos as u64)
+    }
+
+    /// Samples a gap from a [`Gen`] stream.
+    pub fn next_gap(&self, g: &mut Gen) -> Duration {
+        self.next_gap_with(g.f64_unit())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_head_frequencies_match_closed_form() {
+        // n = 1000, α = 1.0: P(0) = 1/H_1000 ≈ 0.1336. 200k samples give
+        // ±~0.3% standard error on the head; assert within 5% relative.
+        let zipf = Zipf::new(1000, 1.0);
+        let mut g = Gen::new(0xD15_7A11);
+        let samples = 200_000usize;
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..samples {
+            counts[zipf.sample(&mut g)] += 1;
+        }
+        for rank in 0..3 {
+            let expected = zipf.probability(rank);
+            let observed = counts[rank] as f64 / samples as f64;
+            let rel = (observed - expected).abs() / expected;
+            assert!(
+                rel < 0.05,
+                "rank {rank}: observed {observed:.5} vs closed-form {expected:.5} (rel {rel:.3})"
+            );
+        }
+        // The head really is Zipf-heavy: rank 0 beats rank 9 by ~10x.
+        assert!(counts[0] > counts[9] * 6);
+    }
+
+    #[test]
+    fn zipf_closed_form_head_values() {
+        // Hand-checked: H_{3,1} = 1 + 1/2 + 1/3 = 11/6.
+        let zipf = Zipf::new(3, 1.0);
+        assert!((zipf.probability(0) - 6.0 / 11.0).abs() < 1e-12);
+        assert!((zipf.probability(1) - 3.0 / 11.0).abs() < 1e-12);
+        assert!((zipf.probability(2) - 2.0 / 11.0).abs() < 1e-12);
+        let total: f64 = (0..3).map(|r| zipf.probability(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let zipf = Zipf::new(50, 0.0);
+        for rank in 0..50 {
+            assert!((zipf.probability(rank) - 0.02).abs() < 1e-12);
+        }
+        let mut g = Gen::new(7);
+        let mut counts = vec![0u64; 50];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut g)] += 1;
+        }
+        // Every rank lands within 20% of the uniform expectation (2000).
+        for (rank, &c) in counts.iter().enumerate() {
+            assert!((1600..=2400).contains(&c), "rank {rank}: {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_inverse_cdf_is_exact_at_boundaries() {
+        let zipf = Zipf::new(4, 1.0);
+        // u = 0 is always the hottest rank; u just below 1 the coldest.
+        assert_eq!(zipf.sample_with(0.0), 0);
+        assert_eq!(zipf.sample_with(0.999_999_999), 3);
+        // Out-of-range inputs clamp instead of panicking or overflowing.
+        assert_eq!(zipf.sample_with(-1.0), 0);
+        assert_eq!(zipf.sample_with(2.0), 3);
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_configuration() {
+        // 100k exponential gaps at 1 ms mean: the sample mean has standard
+        // error mean/√n ≈ 0.32%, so ±2% is a 6σ bound — deterministic seed
+        // keeps it stable anyway.
+        let arrivals = PoissonArrivals::with_mean_gap(Duration::from_millis(1));
+        let mut g = Gen::new(0xA121_7A1);
+        let n = 100_000u32;
+        let total: Duration = (0..n).map(|_| arrivals.next_gap(&mut g)).sum();
+        let mean = total / n;
+        let lo = Duration::from_micros(980);
+        let hi = Duration::from_micros(1020);
+        assert!(mean >= lo && mean <= hi, "sample mean {mean:?} outside [{lo:?}, {hi:?}]");
+    }
+
+    #[test]
+    fn poisson_rate_and_gap_constructors_agree() {
+        let by_rate = PoissonArrivals::from_rate_hz(50.0);
+        let by_gap = PoissonArrivals::with_mean_gap(Duration::from_millis(20));
+        assert_eq!(by_rate.mean_gap(), by_gap.mean_gap());
+        // Same uniform input → same gap, whichever way it was built.
+        assert_eq!(by_rate.next_gap_with(0.5), by_gap.next_gap_with(0.5));
+        // The median of an exponential is mean·ln 2.
+        let median = by_rate.next_gap_with(0.5);
+        let expect = Duration::from_nanos((20.0e6 * std::f64::consts::LN_2) as u64);
+        let delta = if median > expect { median - expect } else { expect - median };
+        assert!(delta < Duration::from_nanos(10), "{median:?} vs {expect:?}");
+    }
+
+    #[test]
+    fn samplers_are_deterministic_across_streams() {
+        let zipf = Zipf::new(100, 0.9);
+        let arrivals = PoissonArrivals::from_rate_hz(1000.0);
+        let run = |seed: u64| -> (Vec<usize>, Vec<Duration>) {
+            let mut g = Gen::new(seed);
+            let ranks = (0..64).map(|_| zipf.sample(&mut g)).collect();
+            let gaps = (0..64).map(|_| arrivals.next_gap(&mut g)).collect();
+            (ranks, gaps)
+        };
+        assert_eq!(run(42), run(42), "same seed, same stream");
+        assert_ne!(run(42).0, run(43).0, "different seeds diverge");
+    }
+}

@@ -174,6 +174,7 @@ impl Gen {
     }
 }
 
+pub mod dist;
 pub mod faults;
 pub mod timing;
 

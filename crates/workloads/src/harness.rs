@@ -220,6 +220,24 @@ impl ConcurrentRig {
         self.clock.now() - t0
     }
 
+    /// Like [`ConcurrentRig::run`] but a poisoned client does not abort
+    /// the bench process: each client's work runs under `catch_unwind`,
+    /// and the panic payload (the actual message, preserved verbatim by
+    /// [`nexus_pool`]) comes back as that client's `Err` while the healthy
+    /// clients' results stay `Ok`.
+    pub fn run_fallible(
+        &self,
+        f: impl Fn(usize, &NexusFs) + Sync,
+    ) -> (Duration, Vec<Result<(), String>>) {
+        let t0 = self.sync_lanes();
+        let pool = ThreadPool::new(self.clients.len());
+        let outcomes = pool.par_map_indexed(&self.clients, |i, fs| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, fs)))
+                .map_err(|payload| panic_message(&*payload))
+        });
+        (self.clock.now() - t0, outcomes)
+    }
+
     /// Like [`ConcurrentRig::run`] but on the calling thread, one client
     /// after another — with [`ConcurrentRig::build_serial`] this is the
     /// old serial world end to end.
@@ -237,6 +255,19 @@ impl ConcurrentRig {
             fs.client().lane().raise_to(now);
         }
         self.clock.now()
+    }
+}
+
+/// Renders a caught panic payload as a message. Formatted panics carry
+/// `String` or `&str` depending on how they were raised; anything exotic
+/// gets a fixed placeholder rather than a second panic.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -273,6 +304,29 @@ mod tests {
                 b"from a worker"
             );
         }
+    }
+
+    #[test]
+    fn poisoned_client_surfaces_as_per_client_error() {
+        // Regression for the scale harness: one client panicking mid-round
+        // must not take down the whole bench process — it becomes that
+        // client's Err (with the real message), the others finish Ok, and
+        // the rig stays usable for another round.
+        let rig = ConcurrentRig::build(3, LatencyModel::instant(), NexusConfig::default());
+        let (_span, outcomes) = rig.run_fallible(|i, fs| {
+            if i == 1 {
+                panic!("client {i} hit a corrupted chunk");
+            }
+            fs.write_file(&format!("{}/ok", ConcurrentRig::dir(i)), b"fine").expect("write");
+        });
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes[0].is_ok());
+        assert_eq!(outcomes[1].as_ref().unwrap_err(), "client 1 hit a corrupted chunk");
+        assert!(outcomes[2].is_ok());
+        // The healthy clients' writes landed and the rig still runs.
+        assert_eq!(rig.clients()[0].read_file("c0/ok").expect("read"), b"fine");
+        let (_span, outcomes) = rig.run_fallible(|_, _| {});
+        assert!(outcomes.iter().all(Result::is_ok));
     }
 
     #[test]

@@ -13,13 +13,19 @@
 //! - [`dbbench`] — LevelDB- and SQLite-style database workloads
 //!   (Table II);
 //! - [`apps`] — tar/du/grep/cp/mv over the LFSD/MFMD/SFLD workloads
-//!   (Table III, Fig. 6).
+//!   (Table III, Fig. 6);
+//! - [`loadgen`] / [`loadgen_baseline`] — the massive-scale load harness:
+//!   seeded Zipf/Poisson op streams driven either as futures on the
+//!   `nexus-exec` executor (100k clients, ≤ 8 OS threads) or as the
+//!   thread-per-client baseline world (DESIGN.md §14).
 
 pub mod apps;
 pub mod bench_fs;
 pub mod dbbench;
 pub mod fileio;
 pub mod harness;
+pub mod loadgen;
+pub mod loadgen_baseline;
 pub mod repos;
 
 pub use bench_fs::{measure, BenchFs, FsClock, NexusFs, PlainAfs, Sample, WorkloadError};

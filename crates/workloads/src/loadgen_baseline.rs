@@ -1,0 +1,113 @@
+//! Thread-per-client baseline world for the scale harness.
+//!
+//! Identical workload to [`crate::loadgen::run_scale_exec`] — same seeded
+//! per-client op streams, same shared keyspace, same transcript folding —
+//! but every simulated client gets a real OS thread and drives the
+//! synchronous [`AfsClient`] directly. This is the world the executor is
+//! benchmarked against: it cannot reach 100k clients (the OS falls over
+//! long before), which is exactly the point `BENCH_scale.json` records.
+//!
+//! Kept in its own module because `scripts/verify.sh` greps the executor
+//! world (`loadgen.rs`, `micro_scale.rs`) for the *absence* of
+//! `thread::spawn` / `ThreadPool` — the baseline is the one place allowed
+//! to burn a thread per client.
+
+use std::sync::Arc;
+
+use nexus_storage::afs::{AfsClient, AfsServer};
+use nexus_storage::{SimClock, StorageBackend};
+use nexus_testkit::dist::Zipf;
+
+use crate::loadgen::{
+    fold_transcript, ops_for_client, populate_shared_keys, private_key, shared_key, Op,
+    RunHistograms, ScaleConfig, ScaleReport,
+};
+
+/// Runs one scale cell with an OS thread per simulated client (closed
+/// loop only — the baseline exists to pin aggregate throughput, and a
+/// thread blocked in a Poisson sleep would need the very timer wheel the
+/// baseline is defined not to have).
+pub fn run_scale_threads(cfg: &ScaleConfig) -> ScaleReport {
+    assert!(
+        cfg.arrival == crate::loadgen::Arrival::Closed,
+        "the thread-per-client baseline is closed-loop only"
+    );
+    let server = AfsServer::new();
+    let clock = SimClock::new();
+    populate_shared_keys(&server, cfg);
+    let zipf = Zipf::new(cfg.shared_keys, cfg.zipf_alpha);
+    let hist = Arc::new(RunHistograms::default());
+
+    // Build every client before the first thread starts: a new lane is
+    // born at the *current* shared-clock value, so constructing client N
+    // while client N−1's thread is already charging RPCs would hand late
+    // clients a head-started lane and inflate the makespan.
+    let clients: Vec<AfsClient> = (0..cfg.clients)
+        .map(|_| AfsClient::connect_with_cache_shards(&server, clock.clone(), cfg.latency, 1))
+        .collect();
+    let t0 = clock.now();
+    let mut transcripts = vec![0u64; cfg.clients];
+    std::thread::scope(|scope| {
+        let mut joins = Vec::with_capacity(cfg.clients);
+        for (c, client) in clients.into_iter().enumerate() {
+            let ops = ops_for_client(cfg, &zipf, c);
+            let hist = hist.clone();
+            let value_bytes = cfg.value_bytes;
+            joins.push(scope.spawn(move || {
+                let mut chain = 0xcbf2_9ce4_8422_2325u64;
+                for op in ops {
+                    let issue = client.lane().local_now();
+                    let result = match op {
+                        Op::Read(rank) => client.get(&shared_key(rank)).expect("shared read"),
+                        Op::Write(w) => {
+                            let value = vec![c as u8; value_bytes];
+                            client.put(&private_key(c, w), &value).expect("private write");
+                            value
+                        }
+                    };
+                    let latency = client.lane().local_now().saturating_sub(issue);
+                    match op {
+                        Op::Read(_) => hist.reads.record(latency),
+                        Op::Write(_) => hist.writes.record(latency),
+                    }
+                    hist.all.record(latency);
+                    chain = fold_transcript(chain, op, &result);
+                }
+                chain
+            }));
+        }
+        for (c, join) in joins.into_iter().enumerate() {
+            transcripts[c] = join.join().expect("baseline client thread");
+        }
+    });
+    let makespan = clock.now() - t0;
+    ScaleReport::from_world(makespan, cfg, hist, transcripts, &server, cfg.clients)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen::run_scale_exec;
+
+    #[test]
+    fn both_worlds_execute_identical_transcripts() {
+        // The core scale-harness invariant: swapping the scheduling
+        // substrate (futures on a bounded executor vs. a thread per
+        // client) changes *nothing* about what executed — per-client
+        // transcript chains and the final server inventory are equal.
+        let mut cfg = ScaleConfig::standard(24, 12);
+        cfg.threads = 4;
+        let exec = run_scale_exec(&cfg);
+        let threads = run_scale_threads(&cfg);
+        assert_eq!(exec.transcripts, threads.transcripts);
+        assert_eq!(exec.inventory, threads.inventory);
+        assert_eq!(exec.total_ops, threads.total_ops);
+        assert_eq!(exec.hist.all.count(), threads.hist.all.count());
+        // And both worlds overlap client lanes, so the simulated makespan
+        // is per-client work, not the sum over clients.
+        assert_eq!(exec.makespan, threads.makespan);
+        // The baseline burned a thread per client; the executor did not.
+        assert_eq!(threads.os_threads, cfg.clients);
+        assert!(exec.os_threads <= nexus_exec::MAX_WORKERS);
+    }
+}

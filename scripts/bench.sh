@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Perf harness: runs the micro_datapath, micro_rpcbatch, micro_mclient,
-# micro_ct, and micro_logstore benches and emits the machine-readable
-# BENCH_*.json documents at the repo root.
+# micro_ct, micro_logstore, and micro_scale benches and emits the
+# machine-readable BENCH_*.json documents at the repo root.
 #
 #   scripts/bench.sh           full sizes, writes ./BENCH_datapath.json,
 #                              ./BENCH_rpcbatch.json, ./BENCH_mclient.json,
-#                              ./BENCH_ct.json, ./BENCH_logstore.json
+#                              ./BENCH_ct.json, ./BENCH_logstore.json,
+#                              ./BENCH_scale.json
 #   scripts/bench.sh --smoke   reduced sizes for CI (scripts/verify.sh);
 #                              writes target/BENCH_*.smoke.json so the
 #                              checked-in artifacts are never clobbered
@@ -19,10 +20,12 @@
 # RPCs with lower simulated latency for the batched workloads,
 # >= 3x aggregate metadata throughput at 16 concurrent clients vs 1,
 # checkpointed recovery no slower than full-log replay at the longest
-# history in the logstore sweep, and — on AES-NI/PCLMULQDQ hosts — the
+# history in the logstore sweep, on AES-NI/PCLMULQDQ hosts the
 # hardened crypto default (hw_accel lane) at or above the table lane's
 # AES-block and GCM seal/open throughput (hosts without the silicon
-# carry an explicit "hw_absent" marker instead).
+# carry an explicit "hw_absent" marker instead), and the scale harness
+# at its full 1k/10k/100k client ladder with >= 5x aggregate executor
+# throughput at 10k clients over the thread-per-client baseline.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,6 +36,7 @@ out_rpc="BENCH_rpcbatch.json"
 out_mc="BENCH_mclient.json"
 out_ct="BENCH_ct.json"
 out_ls="BENCH_logstore.json"
+out_sc="BENCH_scale.json"
 flags=()
 if [ "${1:-}" = "--smoke" ]; then
     mode="smoke"
@@ -41,13 +45,14 @@ if [ "${1:-}" = "--smoke" ]; then
     out_mc="target/BENCH_mclient.smoke.json"
     out_ct="target/BENCH_ct.smoke.json"
     out_ls="target/BENCH_logstore.smoke.json"
+    out_sc="target/BENCH_scale.smoke.json"
     flags+=(--smoke)
 fi
 
-echo "== cargo build --release (micro_datapath, micro_rpcbatch, micro_mclient, micro_ct, micro_logstore) =="
+echo "== cargo build --release (micro_datapath, micro_rpcbatch, micro_mclient, micro_ct, micro_logstore, micro_scale) =="
 cargo build --release --offline -p nexus-bench \
     --bin micro_datapath --bin micro_rpcbatch --bin micro_mclient --bin micro_ct \
-    --bin micro_logstore
+    --bin micro_logstore --bin micro_scale
 
 echo "== micro_datapath ($mode) =="
 mkdir -p "$(dirname "$out")"
@@ -251,6 +256,70 @@ if mode == "full":
 print(f"ok: {path} valid; durable-put x{ratio:.2f} log/dir, "
       f"recovery @{rec['log_ops'][-1]} ops: replay {rec['replay_ms'][-1]:.2f} ms "
       f"vs checkpointed {rec['checkpointed_ms'][-1]:.2f} ms")
+EOF
+
+echo "== micro_scale ($mode) =="
+mkdir -p "$(dirname "$out_sc")"
+./target/release/micro_scale "${flags[@]}" --json "$out_sc"
+
+echo "== validate $out_sc =="
+python3 - "$out_sc" "$mode" <<'EOF'
+import json, sys
+path, mode = sys.argv[1], sys.argv[2]
+with open(path) as f:
+    doc = json.load(f)
+for key in ("bench", "smoke", "latency_model", "zipf_alpha", "shared_keys",
+            "value_bytes", "os_threads", "clients", "worlds_identical",
+            "cells", "open_loop", "baseline", "speedup"):
+    assert key in doc, f"{path}: missing key {key!r}"
+# The no-thread-per-client contract, both modes: however many simulated
+# clients ran, the executor never used more than 8 OS threads.
+assert doc["os_threads"] <= 8, \
+    f"executor used {doc['os_threads']} OS threads (cap is 8)"
+assert doc["worlds_identical"] is True, \
+    "executor and thread-per-client worlds must be transcript-identical"
+for cell in doc["cells"] + [doc["open_loop"]]:
+    for key in ("clients", "ops_per_client", "total_ops", "os_threads",
+                "makespan_ms", "agg_ops_per_sec", "latency", "reads",
+                "writes"):
+        assert key in cell, f"{path}: cell missing {key!r}"
+    assert cell["os_threads"] <= 8, \
+        f"{cell['clients']}-client cell used {cell['os_threads']} OS threads"
+    for hist in ("latency", "reads", "writes"):
+        for key in ("count", "p50_us", "p99_us", "p999_us", "mean_us",
+                    "max_us"):
+            assert key in cell[hist], f"{path}: cell.{hist} missing {key!r}"
+    h = cell["latency"]
+    assert h["p50_us"] <= h["p99_us"] <= h["p999_us"], \
+        f"{cell['clients']}-client quantiles out of order"
+    assert cell["reads"]["count"] + cell["writes"]["count"] == \
+        cell["latency"]["count"], "per-kind histogram counts must sum"
+assert "per_client_hz" in doc["open_loop"], "open_loop missing per_client_hz"
+for key in ("clients", "ops_per_client", "os_threads", "agg_ops_per_sec"):
+    assert key in doc["baseline"], f"{path}: baseline missing {key!r}"
+sp = doc["speedup"]
+for key in ("exec_clients", "exec_agg_ops_per_sec", "over_thread_baseline"):
+    assert key in sp, f"{path}: speedup missing {key!r}"
+# Recompute the headline from the raw cells rather than trusting the
+# emitter's arithmetic.
+cell = next(c for c in doc["cells"] if c["clients"] == sp["exec_clients"])
+recomputed = cell["agg_ops_per_sec"] / doc["baseline"]["agg_ops_per_sec"]
+assert abs(recomputed - sp["over_thread_baseline"]) < 1e-6 * max(1.0, recomputed), \
+    "speedup does not match the raw cells"
+if mode == "full":
+    # Acceptance floors (the smoke ladder stops at 1k clients and only
+    # guards the emitter itself).
+    assert doc["clients"] == [1000, 10000, 100000], \
+        f"full run must ladder 1k/10k/100k clients, got {doc['clients']}"
+    assert sp["exec_clients"] == 10000, \
+        f"headline must be the 10k-client cell, got {sp['exec_clients']}"
+    assert sp["over_thread_baseline"] >= 5.0, \
+        f"need >= 5x executor throughput at 10k clients over the " \
+        f"thread-per-client baseline, got x{sp['over_thread_baseline']:.2f}"
+print(f"ok: {path} valid; {max(doc['clients'])} clients on "
+      f"{doc['os_threads']} OS threads, "
+      f"x{sp['over_thread_baseline']:.1f} over the thread baseline at "
+      f"{sp['exec_clients']} clients")
 EOF
 
 echo "bench: OK"

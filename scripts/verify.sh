@@ -83,6 +83,36 @@ if [ -n "$ct_offenders" ]; then
 fi
 echo "ok: hardened crypto modules are table-free outside their test modules"
 
+echo "== executor scale-harness audit =="
+# The scale story (DESIGN.md §14) is "simulated clients are futures, not
+# OS threads". Two static gates keep it honest:
+#  1. the executor crate's core files must exist (a deleted crate would
+#     otherwise only fail at the smoke-test step below, with a worse
+#     message);
+#  2. the executor-world load path — the loadgen module and the
+#     micro_scale bench — must not spawn threads or reach for the worker
+#     pool in non-test code. The thread-per-client world lives in
+#     loadgen_baseline.rs, which is deliberately exempt.
+for f in crates/exec/src/lib.rs crates/exec/src/wheel.rs crates/exec/src/io.rs; do
+    [ -f "$f" ] || { echo "FAIL: executor module missing: $f" >&2; exit 1; }
+done
+grep -q 'MAX_WORKERS' crates/exec/src/lib.rs \
+    || { echo "FAIL: executor lost its MAX_WORKERS thread cap" >&2; exit 1; }
+exec_world="crates/workloads/src/loadgen.rs crates/bench/src/bin/micro_scale.rs"
+threaded=$(for f in $exec_world; do
+        awk -v f="$f" '/^#\[cfg\(test\)\]/{exit} {print f":"FNR":"$0}' "$f"
+    done \
+    | grep -E 'thread::spawn|ThreadPool::new' \
+    | grep -vE '^[^:]+:[0-9]+:\s*//' || true)
+if [ -n "$threaded" ]; then
+    echo "FAIL: OS threads in the executor-world load path:" >&2
+    echo "$threaded" >&2
+    echo "Simulated clients must be futures on nexus-exec; only" >&2
+    echo "loadgen_baseline.rs may burn a thread per client." >&2
+    exit 1
+fi
+echo "ok: nexus-exec present; executor-world load path spawns no OS threads"
+
 echo "== cargo build --release --offline =="
 cargo build --release --workspace --offline
 
@@ -129,6 +159,13 @@ echo "== timing-leak harness smoke =="
 # AES-NI lane wherever the CPU has the silicon), deterministically.
 cargo test -q -p nexus-crypto --offline --test timing_leak > /dev/null
 echo "ok: table lane flagged, hardened lanes (bitsliced + hw where present) pass"
+
+echo "== executor smoke =="
+# By target name, like the suites above: 2000 simulated clients multiplex
+# over <= MAX_WORKERS OS threads, timer-wheel wakeups fire in virtual
+# time, and the simulated makespan equals ONE client's work.
+cargo test -q -p nexus-exec --offline --test executor_smoke > /dev/null
+echo "ok: thousands of simulated clients on a bounded thread count"
 
 echo "== bench smoke (JSON emitter) =="
 scripts/bench.sh --smoke
