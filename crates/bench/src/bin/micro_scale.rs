@@ -19,6 +19,16 @@
 //! baseline's throughput at its own maximum, gated ≥ 5× in
 //! `scripts/bench.sh` full mode.
 //!
+//! A second, fs-level section (DESIGN.md §15) runs the same ladder one
+//! layer up: every client is a *real mounted `NexusVolume`* — enclave
+//! seal/open, `MetaCommit` group commits, freshness checks, batched
+//! `get_many` fetch→decrypt bulk reads, ACL churn — multiplexed as
+//! futures over the same executor. The fs world is gated
+//! transcript-identical against a serial oracle before timing, and its
+//! headline is aggregate fs throughput at 10k mounted clients over a
+//! thread-per-client fs baseline at its own maximum, gated ≥ 5× in
+//! `scripts/bench.sh` full mode.
+//!
 //! Flags: `--smoke` (100/1k clients, for `scripts/verify.sh`),
 //! `--json PATH`.
 
@@ -27,10 +37,15 @@ use nexus_bench::{arg_flag, arg_string, rule};
 use nexus_workloads::loadgen::{
     run_scale_exec, Arrival, LatencyHistogram, ScaleConfig, ScaleReport,
 };
-use nexus_workloads::loadgen_baseline::run_scale_threads;
+use nexus_workloads::loadgen_baseline::{run_fs_scale_threads, run_scale_threads};
+use nexus_workloads::loadgen_fs::{run_fs_scale_exec, run_fs_scale_serial, FsScaleConfig};
 
 /// Open-loop arrival rate per client, in simulated ops per second.
 const OPEN_LOOP_HZ: f64 = 50.0;
+
+/// Open-loop arrival rate per fs client. Fs ops cost several RPCs each,
+/// so a lower rate keeps the open-loop cell loaded-but-stable.
+const FS_OPEN_LOOP_HZ: f64 = 25.0;
 
 fn hist_json(h: &LatencyHistogram) -> Json {
     Json::obj()
@@ -51,10 +66,10 @@ fn assert_quantiles_ordered(report: &ScaleReport, what: &str) {
     );
 }
 
-fn cell_json(cfg: &ScaleConfig, report: &ScaleReport) -> Json {
+fn cell_json(clients: usize, ops_per_client: usize, report: &ScaleReport) -> Json {
     Json::obj()
-        .field("clients", Json::Int(cfg.clients as i64))
-        .field("ops_per_client", Json::Int(cfg.ops_per_client as i64))
+        .field("clients", Json::Int(clients as i64))
+        .field("ops_per_client", Json::Int(ops_per_client as i64))
         .field("total_ops", Json::Int(report.total_ops as i64))
         .field("os_threads", Json::Int(report.os_threads as i64))
         .field("makespan_ms", Json::Num(report.makespan.as_secs_f64() * 1e3))
@@ -159,6 +174,99 @@ fn main() {
         headline.agg_ops_per_sec, thread_world.agg_ops_per_sec
     );
     println!("differential gate passed: both worlds transcript-identical before timing");
+    rule(84);
+
+    // ── fs-level section: real mounted enclave clients ──────────────────
+    println!("fs-level: mounted NexusVolume clients (seal/open, MetaCommit, bulk get_many)");
+    println!("Zipf(0.99) shared reads + bulk reads + private writes + ACL churn");
+    rule(84);
+
+    let fs_cells: &[(usize, usize)] =
+        if smoke { &[(100, 8), (1000, 8)] } else { &[(1000, 16), (10_000, 8), (100_000, 4)] };
+    let (fs_diff_clients, fs_diff_ops) = if smoke { (32, 8) } else { (128, 8) };
+    let (fs_base_clients, fs_base_ops) = if smoke { (16, 8) } else { (64, 32) };
+    let (fs_open_clients, fs_open_ops) = if smoke { (1000, 8) } else { (10_000, 8) };
+
+    // Fs differential gate first: the async fs world against the serial
+    // oracle — the pre-timing ground truth for the whole crypto-fs path.
+    let fs_diff_cfg = FsScaleConfig::standard(fs_diff_clients, fs_diff_ops);
+    let fs_serial = run_fs_scale_serial(&fs_diff_cfg);
+    let fs_async = run_fs_scale_exec(&fs_diff_cfg);
+    assert_eq!(
+        fs_async.transcripts, fs_serial.transcripts,
+        "fs transcripts diverged between the async world and the serial oracle"
+    );
+    assert_eq!(
+        fs_async.inventory, fs_serial.inventory,
+        "fs ciphertext inventories diverged between the async world and the serial oracle"
+    );
+    assert_eq!(
+        fs_async.makespan, fs_serial.makespan,
+        "fs makespans diverged: lane charging is world-dependent"
+    );
+    let fs_worlds_identical = true;
+    println!(
+        "fs worlds identical at {fs_diff_clients} mounted clients: transcripts, inventory, \
+         and makespan match the serial oracle"
+    );
+
+    // Thread-per-client fs baseline at its sustainable maximum, with a
+    // second identity check across the substrate swap.
+    let fs_base_cfg = FsScaleConfig::standard(fs_base_clients, fs_base_ops);
+    let fs_thread_world = run_fs_scale_threads(&fs_base_cfg);
+    let fs_exec_at_base = run_fs_scale_exec(&fs_base_cfg);
+    assert_eq!(
+        fs_exec_at_base.transcripts, fs_thread_world.transcripts,
+        "fs transcripts diverged between the executor and thread worlds"
+    );
+    assert_eq!(
+        fs_exec_at_base.inventory, fs_thread_world.inventory,
+        "fs inventories diverged between the executor and thread worlds"
+    );
+    rule(84);
+    println!(
+        "{:>9} {:>9} {:>13} {:>13} {:>9} {:>9} {:>9} {:>4}",
+        "clients", "ops", "makespan", "agg ops/s", "p50 us", "p99 us", "p999 us", "thr"
+    );
+    rule(84);
+
+    let mut fs_reports = Vec::new();
+    for &(clients, ops) in fs_cells {
+        let cfg = FsScaleConfig::standard(clients, ops);
+        let report = run_fs_scale_exec(&cfg);
+        assert!(
+            report.os_threads <= nexus_exec::MAX_WORKERS,
+            "{clients} fs clients drove {} OS threads",
+            report.os_threads
+        );
+        assert_quantiles_ordered(&report, "fs closed loop");
+        print_row(&format!("{clients}"), &report);
+        fs_reports.push((cfg, report));
+    }
+    rule(84);
+
+    // Fs open loop: Poisson arrivals against multi-RPC enclave ops.
+    let mut fs_open_cfg = FsScaleConfig::standard(fs_open_clients, fs_open_ops);
+    fs_open_cfg.arrival = Arrival::Open { per_client_hz: FS_OPEN_LOOP_HZ };
+    let fs_open_report = run_fs_scale_exec(&fs_open_cfg);
+    assert_quantiles_ordered(&fs_open_report, "fs open loop");
+    println!("fs open loop: {fs_open_clients} clients at {FS_OPEN_LOOP_HZ} ops/s each (Poisson)");
+    print_row("open", &fs_open_report);
+    rule(84);
+
+    // Fs headline: executor fs throughput at the 10k cell (full mode)
+    // over the thread-per-client fs baseline at its own maximum.
+    let fs_headline =
+        if smoke { &fs_reports.last().expect("fs cells").1 } else { &fs_reports[1].1 };
+    let fs_headline_clients =
+        if smoke { fs_cells.last().expect("fs cells").0 } else { fs_cells[1].0 };
+    let fs_speedup = fs_headline.agg_ops_per_sec / fs_thread_world.agg_ops_per_sec.max(1e-9);
+    println!(
+        "fs aggregate throughput: {:.0} ops/s at {fs_headline_clients} executor clients vs \
+         {:.0} ops/s at {fs_base_clients} thread-world clients — x{fs_speedup:.1}",
+        fs_headline.agg_ops_per_sec, fs_thread_world.agg_ops_per_sec
+    );
+    println!("fs differential gate passed: async world byte-identical to the serial oracle");
 
     if let Some(path) = arg_string("--json") {
         let max_threads =
@@ -176,11 +284,16 @@ fn main() {
             .field("worlds_identical", Json::Bool(worlds_identical))
             .field(
                 "cells",
-                Json::Arr(reports.iter().map(|(cfg, r)| cell_json(cfg, r)).collect()),
+                Json::Arr(
+                    reports
+                        .iter()
+                        .map(|(cfg, r)| cell_json(cfg.clients, cfg.ops_per_client, r))
+                        .collect(),
+                ),
             )
             .field(
                 "open_loop",
-                cell_json(&open_cfg, &open_report)
+                cell_json(open_cfg.clients, open_cfg.ops_per_client, &open_report)
                     .field("per_client_hz", Json::Num(OPEN_LOOP_HZ)),
             )
             .field(
@@ -198,6 +311,43 @@ fn main() {
                     .field("exec_clients", Json::Int(headline_clients as i64))
                     .field("exec_agg_ops_per_sec", Json::Num(headline.agg_ops_per_sec))
                     .field("over_thread_baseline", Json::Num(speedup)),
+            )
+            .field("fs_shared_files", Json::Int(64))
+            .field("fs_value_bytes", Json::Int(256))
+            .field("fs_clients", Json::ints(fs_cells.iter().map(|&(n, _)| n as i64)))
+            .field("fs_worlds_identical", Json::Bool(fs_worlds_identical))
+            .field(
+                "fs_cells",
+                Json::Arr(
+                    fs_reports
+                        .iter()
+                        .map(|(cfg, r)| cell_json(cfg.clients, cfg.ops_per_client, r))
+                        .collect(),
+                ),
+            )
+            .field(
+                "fs_open_loop",
+                cell_json(fs_open_cfg.clients, fs_open_cfg.ops_per_client, &fs_open_report)
+                    .field("per_client_hz", Json::Num(FS_OPEN_LOOP_HZ)),
+            )
+            .field(
+                "fs_baseline",
+                Json::obj()
+                    .field("clients", Json::Int(fs_base_clients as i64))
+                    .field("ops_per_client", Json::Int(fs_base_ops as i64))
+                    .field("os_threads", Json::Int(fs_thread_world.os_threads as i64))
+                    .field("agg_ops_per_sec", Json::Num(fs_thread_world.agg_ops_per_sec))
+                    .field(
+                        "exec_world_agg_ops_per_sec",
+                        Json::Num(fs_exec_at_base.agg_ops_per_sec),
+                    ),
+            )
+            .field(
+                "fs_speedup",
+                Json::obj()
+                    .field("exec_clients", Json::Int(fs_headline_clients as i64))
+                    .field("exec_agg_ops_per_sec", Json::Num(fs_headline.agg_ops_per_sec))
+                    .field("over_thread_baseline", Json::Num(fs_speedup)),
             );
         std::fs::write(&path, doc.render()).expect("write json");
         println!("wrote {path}");

@@ -51,6 +51,7 @@
 
 pub mod acl;
 pub mod api;
+pub mod async_fs;
 pub(crate) mod cache;
 pub mod datapath;
 pub mod enclave;
@@ -68,6 +69,7 @@ pub mod volume;
 pub mod wire;
 
 pub use acl::{Acl, Rights, UserId};
+pub use async_fs::{AsyncVolume, CryptoCost};
 pub use enclave::{NexusConfig, Session};
 pub use nexus_crypto::CryptoProfile;
 pub use error::{NexusError, Result};

@@ -64,6 +64,12 @@ impl<B: LaneBackend> AsyncStorage<B> {
         &self.backend
     }
 
+    /// The timer this adapter parks on (for layering further async
+    /// adapters — e.g. an async volume — over the same wheel and lane).
+    pub fn timer(&self) -> &Timer {
+        &self.timer
+    }
+
     /// This client's lane-local virtual time.
     pub fn local_now(&self) -> Duration {
         self.backend.io_lane().local_now()

@@ -85,6 +85,43 @@ impl Platform {
         Platform::with_rng(Box::new(SeededRandom::new(seed)))
     }
 
+    /// A deterministic *process* on a seeded machine: every stream of one
+    /// `identity_seed` shares the platform id, hardware sealing key, and
+    /// attestation key (sealed blobs interchange freely), but each
+    /// `stream` replays its own independent RNG stream — the semantics of
+    /// N enclave-hosting processes on one machine, where RDRAND gives each
+    /// process fresh randomness but the fused keys are common silicon.
+    ///
+    /// This is what massive multi-client simulations need: with plain
+    /// [`Platform::seeded`], N clients sharing one platform interleave
+    /// draws from a single stream (schedule-dependent), while N same-seed
+    /// replicas draw *identical* "fresh" UUIDs and collide on the store.
+    /// Streams make every client's draw sequence a pure function of
+    /// `(identity_seed, stream)` under any scheduling.
+    pub fn seeded_stream(identity_seed: u64, stream: u64) -> Platform {
+        let mut identity = SeededRandom::new(identity_seed);
+        let mut id = [0u8; 16];
+        identity.fill(&mut id);
+        let mut hardware_key = [0u8; 32];
+        identity.fill(&mut hardware_key);
+        let mut att_seed = [0u8; 32];
+        identity.fill(&mut att_seed);
+        // Spread the stream index so adjacent streams land far apart in
+        // seed space (and stream 0 is distinct from the identity stream).
+        let rng_seed =
+            identity_seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1));
+        Platform {
+            inner: Arc::new(PlatformInner {
+                id: PlatformId(id),
+                hardware_key,
+                attestation_key: SigningKey::from_seed(&att_seed),
+                rng: Mutex::new(Box::new(SeededRandom::new(rng_seed))),
+                epc: EpcConfig::default(),
+                counters: MonotonicCounters::new(),
+            }),
+        }
+    }
+
     /// Recreates the *same machine* (stable platform id, hardware key, and
     /// attestation key) while drawing all future randomness fresh from the
     /// OS — the semantics of real hardware across reboots. Use this to
@@ -202,6 +239,32 @@ mod tests {
         let b = Platform::seeded(5);
         assert_eq!(a.id(), b.id());
         assert_eq!(a.inner.hardware_key, b.inner.hardware_key);
+    }
+
+    #[test]
+    fn seeded_streams_share_silicon_but_not_randomness() {
+        let a = Platform::seeded_stream(42, 1);
+        let b = Platform::seeded_stream(42, 2);
+        // Same machine: sealing-key derivation and attestation identity.
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.inner.hardware_key, b.inner.hardware_key);
+        assert_eq!(
+            a.attestation_public_key().to_bytes(),
+            b.attestation_public_key().to_bytes()
+        );
+        // Different process: independent randomness.
+        let mut x = [0u8; 32];
+        let mut y = [0u8; 32];
+        a.random_bytes(&mut x);
+        b.random_bytes(&mut y);
+        assert_ne!(x, y, "streams must not replay each other");
+        // And each (seed, stream) pair is itself reproducible.
+        let a2 = Platform::seeded_stream(42, 1);
+        let mut x2 = [0u8; 32];
+        a2.random_bytes(&mut x2);
+        assert_eq!(x, x2);
+        // A different identity seed is a different machine.
+        assert_ne!(Platform::seeded_stream(43, 1).id(), a.id());
     }
 
     #[test]

@@ -17,7 +17,11 @@
 //! - [`loadgen`] / [`loadgen_baseline`] — the massive-scale load harness:
 //!   seeded Zipf/Poisson op streams driven either as futures on the
 //!   `nexus-exec` executor (100k clients, ≤ 8 OS threads) or as the
-//!   thread-per-client baseline world (DESIGN.md §14).
+//!   thread-per-client baseline world (DESIGN.md §14);
+//! - [`loadgen_fs`] — the same harness one layer up: full enclave
+//!   clients (real `NexusVolume` mounts) as futures on the executor,
+//!   against a serial oracle and a thread-per-client fs baseline
+//!   (DESIGN.md §15).
 
 pub mod apps;
 pub mod bench_fs;
@@ -26,6 +30,7 @@ pub mod fileio;
 pub mod harness;
 pub mod loadgen;
 pub mod loadgen_baseline;
+pub mod loadgen_fs;
 pub mod repos;
 
 pub use bench_fs::{measure, BenchFs, FsClock, NexusFs, PlainAfs, Sample, WorkloadError};

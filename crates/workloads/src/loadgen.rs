@@ -115,10 +115,10 @@ pub fn private_key(c: usize, k: usize) -> String {
     format!("c{c}/w{k}")
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
     let mut h = hash;
     for &b in bytes {
         h ^= u64::from(b);
@@ -128,7 +128,7 @@ fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
 }
 
 /// Uniform `f64` in `[0, 1)` from the top 53 bits of a `u64` draw.
-fn f64_unit(rng: &mut SeededRandom) -> f64 {
+pub(crate) fn f64_unit(rng: &mut SeededRandom) -> f64 {
     (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
@@ -287,6 +287,23 @@ impl LatencyHistogram {
         Duration::from_nanos(self.max_nanos.load(Ordering::Relaxed))
     }
 
+    /// Folds `other`'s samples into `self` — a lock-free bucket sum, so
+    /// per-client histograms can aggregate at end of run without sharing
+    /// a global histogram on the hot path. Merging is exact: the merged
+    /// histogram is indistinguishable from one that recorded every
+    /// sample directly (same buckets, count, sum, and max).
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = src.load(Ordering::Relaxed);
+            if n != 0 {
+                dst.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_nanos.fetch_add(other.sum_nanos.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_nanos.fetch_max(other.max_nanos.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     /// The `q`-quantile (`0.5` = p50, `0.999` = p999), resolved to the
     /// floor of the bucket holding that sample.
     pub fn quantile(&self, q: f64) -> Duration {
@@ -345,7 +362,26 @@ impl ScaleReport {
         server: &AfsServer,
         os_threads: usize,
     ) -> ScaleReport {
-        let total_ops = (cfg.clients * cfg.ops_per_client) as u64;
+        ScaleReport::assemble(
+            makespan,
+            (cfg.clients * cfg.ops_per_client) as u64,
+            hist,
+            transcripts,
+            server,
+            os_threads,
+        )
+    }
+
+    /// Assembles a report from raw run outputs (shared by the wire-level
+    /// and fs-level harnesses).
+    pub(crate) fn assemble(
+        makespan: Duration,
+        total_ops: u64,
+        hist: Arc<RunHistograms>,
+        transcripts: Vec<u64>,
+        server: &AfsServer,
+        os_threads: usize,
+    ) -> ScaleReport {
         let secs = makespan.as_secs_f64();
         let agg_ops_per_sec = if secs > 0.0 { total_ops as f64 / secs } else { 0.0 };
         ScaleReport {
@@ -479,6 +515,38 @@ mod tests {
         assert!(p50 <= p99 && p99 <= p999, "{p50:?} {p99:?} {p999:?}");
         assert_eq!(h.max(), Duration::from_millis(1));
         assert!(h.quantile(1.0) <= h.max());
+    }
+
+    #[test]
+    fn merged_histograms_equal_one_shared_histogram() {
+        // Per-client recording + merge must be indistinguishable from
+        // every sample landing in one shared histogram: same count,
+        // mean, max, and every quantile.
+        let mut rng = SeededRandom::new(0xACC0);
+        let shared = LatencyHistogram::new();
+        let parts: Vec<LatencyHistogram> =
+            (0..7).map(|_| LatencyHistogram::new()).collect();
+        for i in 0..5000u64 {
+            // Skewed spread across 9 orders of magnitude.
+            let nanos = (rng.next_u64() % 1_000_000_000).saturating_pow(1) >> (i % 20);
+            let sample = Duration::from_nanos(nanos);
+            shared.record(sample);
+            parts[(i % 7) as usize].record(sample);
+        }
+        let merged = LatencyHistogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged.count(), shared.count());
+        assert_eq!(merged.mean(), shared.mean());
+        assert_eq!(merged.max(), shared.max());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(merged.quantile(q), shared.quantile(q), "q={q}");
+        }
+        // Merging an empty histogram changes nothing.
+        merged.merge(&LatencyHistogram::new());
+        assert_eq!(merged.count(), shared.count());
+        assert_eq!(merged.quantile(0.5), shared.quantile(0.5));
     }
 
     #[test]

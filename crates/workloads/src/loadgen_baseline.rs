@@ -22,6 +22,9 @@ use crate::loadgen::{
     fold_transcript, ops_for_client, populate_shared_keys, private_key, shared_key, Op,
     RunHistograms, ScaleConfig, ScaleReport,
 };
+use crate::loadgen_fs::{
+    apply_fs_op, build_fs_world, fold_fs_transcript, fs_ops_for_client, FsOp, FsScaleConfig,
+};
 
 /// Runs one scale cell with an OS thread per simulated client (closed
 /// loop only — the baseline exists to pin aggregate throughput, and a
@@ -82,6 +85,57 @@ pub fn run_scale_threads(cfg: &ScaleConfig) -> ScaleReport {
     });
     let makespan = clock.now() - t0;
     ScaleReport::from_world(makespan, cfg, hist, transcripts, &server, cfg.clients)
+}
+
+/// Runs one *fs-level* scale cell with an OS thread per mounted enclave
+/// client (closed loop only, like [`run_scale_threads`]). Same world
+/// construction and per-op lane arithmetic as the async fs world — the
+/// only difference is the scheduling substrate. Per-thread latency
+/// histograms are merged into the run-wide set at join time via
+/// [`LatencyHistogram::merge`](crate::loadgen::LatencyHistogram::merge).
+pub fn run_fs_scale_threads(cfg: &FsScaleConfig) -> ScaleReport {
+    assert!(
+        cfg.arrival == crate::loadgen::Arrival::Closed,
+        "the thread-per-client fs baseline is closed-loop only"
+    );
+    let world = build_fs_world(cfg);
+    let zipf = Zipf::new(cfg.shared_files, cfg.zipf_alpha);
+    let hist = Arc::new(RunHistograms::default());
+
+    let t0 = world.clock.now();
+    let mut transcripts = vec![0u64; cfg.clients];
+    std::thread::scope(|scope| {
+        let mut joins = Vec::with_capacity(cfg.clients);
+        for (c, fsc) in world.clients.iter().enumerate() {
+            let ops = fs_ops_for_client(cfg, &zipf, c);
+            joins.push(scope.spawn(move || {
+                let local = RunHistograms::default();
+                let mut chain = 0xcbf2_9ce4_8422_2325u64;
+                for op in ops {
+                    let issue = fsc.afs.lane().local_now();
+                    let result = apply_fs_op(cfg, fsc, c, op);
+                    let latency = fsc.afs.lane().local_now().saturating_sub(issue);
+                    match op {
+                        FsOp::Read(_) | FsOp::Bulk(_) => local.reads.record(latency),
+                        FsOp::Write(_) | FsOp::Acl(_) => local.writes.record(latency),
+                    }
+                    local.all.record(latency);
+                    chain = fold_fs_transcript(chain, op, &result);
+                }
+                (chain, local)
+            }));
+        }
+        for (c, join) in joins.into_iter().enumerate() {
+            let (chain, local) = join.join().expect("baseline fs client thread");
+            transcripts[c] = chain;
+            hist.reads.merge(&local.reads);
+            hist.writes.merge(&local.writes);
+            hist.all.merge(&local.all);
+        }
+    });
+    let makespan = world.clock.now() - t0;
+    let total = (cfg.clients * cfg.ops_per_client) as u64;
+    ScaleReport::assemble(makespan, total, hist, transcripts, &world.server, cfg.clients)
 }
 
 #[cfg(test)]

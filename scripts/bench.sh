@@ -25,7 +25,9 @@
 # AES-block and GCM seal/open throughput (hosts without the silicon
 # carry an explicit "hw_absent" marker instead), and the scale harness
 # at its full 1k/10k/100k client ladder with >= 5x aggregate executor
-# throughput at 10k clients over the thread-per-client baseline.
+# throughput at 10k clients over the thread-per-client baseline — at
+# both the wire level (raw RPC clients) and the fs level (real mounted
+# NexusVolume enclave clients).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -270,7 +272,10 @@ with open(path) as f:
     doc = json.load(f)
 for key in ("bench", "smoke", "latency_model", "zipf_alpha", "shared_keys",
             "value_bytes", "os_threads", "clients", "worlds_identical",
-            "cells", "open_loop", "baseline", "speedup"):
+            "cells", "open_loop", "baseline", "speedup",
+            "fs_shared_files", "fs_value_bytes", "fs_clients",
+            "fs_worlds_identical", "fs_cells", "fs_open_loop",
+            "fs_baseline", "fs_speedup"):
     assert key in doc, f"{path}: missing key {key!r}"
 # The no-thread-per-client contract, both modes: however many simulated
 # clients ran, the executor never used more than 8 OS threads.
@@ -278,37 +283,55 @@ assert doc["os_threads"] <= 8, \
     f"executor used {doc['os_threads']} OS threads (cap is 8)"
 assert doc["worlds_identical"] is True, \
     "executor and thread-per-client worlds must be transcript-identical"
-for cell in doc["cells"] + [doc["open_loop"]]:
-    for key in ("clients", "ops_per_client", "total_ops", "os_threads",
-                "makespan_ms", "agg_ops_per_sec", "latency", "reads",
-                "writes"):
-        assert key in cell, f"{path}: cell missing {key!r}"
-    assert cell["os_threads"] <= 8, \
-        f"{cell['clients']}-client cell used {cell['os_threads']} OS threads"
-    for hist in ("latency", "reads", "writes"):
-        for key in ("count", "p50_us", "p99_us", "p999_us", "mean_us",
-                    "max_us"):
-            assert key in cell[hist], f"{path}: cell.{hist} missing {key!r}"
-    h = cell["latency"]
-    assert h["p50_us"] <= h["p99_us"] <= h["p999_us"], \
-        f"{cell['clients']}-client quantiles out of order"
-    assert cell["reads"]["count"] + cell["writes"]["count"] == \
-        cell["latency"]["count"], "per-kind histogram counts must sum"
-assert "per_client_hz" in doc["open_loop"], "open_loop missing per_client_hz"
-for key in ("clients", "ops_per_client", "os_threads", "agg_ops_per_sec"):
-    assert key in doc["baseline"], f"{path}: baseline missing {key!r}"
-sp = doc["speedup"]
-for key in ("exec_clients", "exec_agg_ops_per_sec", "over_thread_baseline"):
-    assert key in sp, f"{path}: speedup missing {key!r}"
-# Recompute the headline from the raw cells rather than trusting the
-# emitter's arithmetic.
-cell = next(c for c in doc["cells"] if c["clients"] == sp["exec_clients"])
-recomputed = cell["agg_ops_per_sec"] / doc["baseline"]["agg_ops_per_sec"]
-assert abs(recomputed - sp["over_thread_baseline"]) < 1e-6 * max(1.0, recomputed), \
-    "speedup does not match the raw cells"
+assert doc["fs_worlds_identical"] is True, \
+    "async fs world must be transcript-identical to the serial oracle"
+
+def check_cells(cells, what):
+    for cell in cells:
+        for key in ("clients", "ops_per_client", "total_ops", "os_threads",
+                    "makespan_ms", "agg_ops_per_sec", "latency", "reads",
+                    "writes"):
+            assert key in cell, f"{path}: {what} cell missing {key!r}"
+        assert cell["os_threads"] <= 8, \
+            f"{cell['clients']}-client {what} cell used " \
+            f"{cell['os_threads']} OS threads"
+        for hist in ("latency", "reads", "writes"):
+            for key in ("count", "p50_us", "p99_us", "p999_us", "mean_us",
+                        "max_us"):
+                assert key in cell[hist], \
+                    f"{path}: {what} cell.{hist} missing {key!r}"
+        h = cell["latency"]
+        assert h["p50_us"] <= h["p99_us"] <= h["p999_us"], \
+            f"{cell['clients']}-client {what} quantiles out of order"
+        assert cell["reads"]["count"] + cell["writes"]["count"] == \
+            cell["latency"]["count"], \
+            f"{what} per-kind histogram counts must sum"
+
+def check_speedup(doc, cells_key, open_key, base_key, sp_key, what):
+    assert "per_client_hz" in doc[open_key], f"{open_key} missing per_client_hz"
+    for key in ("clients", "ops_per_client", "os_threads", "agg_ops_per_sec"):
+        assert key in doc[base_key], f"{path}: {base_key} missing {key!r}"
+    sp = doc[sp_key]
+    for key in ("exec_clients", "exec_agg_ops_per_sec", "over_thread_baseline"):
+        assert key in sp, f"{path}: {sp_key} missing {key!r}"
+    # Recompute the headline from the raw cells rather than trusting the
+    # emitter's arithmetic.
+    cell = next(c for c in doc[cells_key] if c["clients"] == sp["exec_clients"])
+    recomputed = cell["agg_ops_per_sec"] / doc[base_key]["agg_ops_per_sec"]
+    assert abs(recomputed - sp["over_thread_baseline"]) < \
+        1e-6 * max(1.0, recomputed), \
+        f"{what} speedup does not match the raw cells"
+    return sp
+
+check_cells(doc["cells"] + [doc["open_loop"]], "wire")
+check_cells(doc["fs_cells"] + [doc["fs_open_loop"]], "fs")
+sp = check_speedup(doc, "cells", "open_loop", "baseline", "speedup", "wire")
+fsp = check_speedup(doc, "fs_cells", "fs_open_loop", "fs_baseline",
+                    "fs_speedup", "fs")
 if mode == "full":
-    # Acceptance floors (the smoke ladder stops at 1k clients and only
-    # guards the emitter itself).
+    # Acceptance floors (the smoke ladders stop at 1k clients and only
+    # guard the emitter itself). Both layers must run the full 1k/10k/100k
+    # ladder and clear the >= 5x floor over their thread baselines.
     assert doc["clients"] == [1000, 10000, 100000], \
         f"full run must ladder 1k/10k/100k clients, got {doc['clients']}"
     assert sp["exec_clients"] == 10000, \
@@ -316,10 +339,19 @@ if mode == "full":
     assert sp["over_thread_baseline"] >= 5.0, \
         f"need >= 5x executor throughput at 10k clients over the " \
         f"thread-per-client baseline, got x{sp['over_thread_baseline']:.2f}"
-print(f"ok: {path} valid; {max(doc['clients'])} clients on "
+    assert doc["fs_clients"] == [1000, 10000, 100000], \
+        f"full run must ladder 1k/10k/100k fs clients, got {doc['fs_clients']}"
+    assert fsp["exec_clients"] == 10000, \
+        f"fs headline must be the 10k-client cell, got {fsp['exec_clients']}"
+    assert fsp["over_thread_baseline"] >= 5.0, \
+        f"need >= 5x fs executor throughput at 10k mounted clients over " \
+        f"the thread-per-client fs baseline, " \
+        f"got x{fsp['over_thread_baseline']:.2f}"
+print(f"ok: {path} valid; {max(doc['clients'])} wire clients / "
+      f"{max(doc['fs_clients'])} mounted fs clients on "
       f"{doc['os_threads']} OS threads, "
-      f"x{sp['over_thread_baseline']:.1f} over the thread baseline at "
-      f"{sp['exec_clients']} clients")
+      f"x{sp['over_thread_baseline']:.1f} wire / "
+      f"x{fsp['over_thread_baseline']:.1f} fs over the thread baselines")
 EOF
 
 echo "bench: OK"

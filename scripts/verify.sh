@@ -89,16 +89,19 @@ echo "== executor scale-harness audit =="
 #  1. the executor crate's core files must exist (a deleted crate would
 #     otherwise only fail at the smoke-test step below, with a worse
 #     message);
-#  2. the executor-world load path — the loadgen module and the
-#     micro_scale bench — must not spawn threads or reach for the worker
-#     pool in non-test code. The thread-per-client world lives in
-#     loadgen_baseline.rs, which is deliberately exempt.
-for f in crates/exec/src/lib.rs crates/exec/src/wheel.rs crates/exec/src/io.rs; do
+#  2. the executor-world load path — the loadgen modules (wire-level
+#     and fs-level), the async fs adapter, and the micro_scale bench —
+#     must not spawn threads or reach for the worker pool in non-test
+#     code. The thread-per-client worlds live in loadgen_baseline.rs,
+#     which is deliberately exempt.
+for f in crates/exec/src/lib.rs crates/exec/src/wheel.rs crates/exec/src/io.rs \
+         crates/core/src/async_fs.rs crates/workloads/src/loadgen_fs.rs; do
     [ -f "$f" ] || { echo "FAIL: executor module missing: $f" >&2; exit 1; }
 done
 grep -q 'MAX_WORKERS' crates/exec/src/lib.rs \
     || { echo "FAIL: executor lost its MAX_WORKERS thread cap" >&2; exit 1; }
-exec_world="crates/workloads/src/loadgen.rs crates/bench/src/bin/micro_scale.rs"
+exec_world="crates/workloads/src/loadgen.rs crates/workloads/src/loadgen_fs.rs \
+    crates/core/src/async_fs.rs crates/bench/src/bin/micro_scale.rs"
 threaded=$(for f in $exec_world; do
         awk -v f="$f" '/^#\[cfg\(test\)\]/{exit} {print f":"FNR":"$0}' "$f"
     done \
@@ -165,7 +168,16 @@ echo "== executor smoke =="
 # over <= MAX_WORKERS OS threads, timer-wheel wakeups fire in virtual
 # time, and the simulated makespan equals ONE client's work.
 cargo test -q -p nexus-exec --offline --test executor_smoke > /dev/null
+cargo test -q -p nexus-exec --offline --test begin_at_zero_delay > /dev/null
 echo "ok: thousands of simulated clients on a bounded thread count"
+
+echo "== async fs differential =="
+# By target name: mixed metadata/data fs ops over real enclave mounts,
+# interleaved as futures, must match a serial oracle byte for byte —
+# per-op observations, lane ends, ciphertext inventory, shared clock —
+# under a shrinking property-test Runner (DESIGN.md §15).
+cargo test -q -p nexus-workloads --offline --test exec_fs_differential > /dev/null
+echo "ok: async crypto-fs world is byte-identical to the serial oracle"
 
 echo "== bench smoke (JSON emitter) =="
 scripts/bench.sh --smoke
