@@ -40,6 +40,7 @@ fn main() {
         uuid: NexusUuid([1; 16]),
         parent: NexusUuid([2; 16]),
         version: 7,
+        scope: None,
     };
     // A dirnode-main-sized body (128-entry bucket ≈ 5 KB).
     let body = vec![0x3cu8; 5 * 1024];

@@ -1,0 +1,180 @@
+//! Group access control at scale, and the emitter behind
+//! `BENCH_groups.json` (run via `scripts/bench.sh`).
+//!
+//! Measures the beyond-paper group subsystem (DESIGN.md §16) across group
+//! sizes 10^2 / 10^4 / 10^6: batched member grants, and — the headline —
+//! one-member revocation, which must stay O(1) metadata *writes* at every
+//! size because it is a member removal plus an epoch bump in a single
+//! supernode commit. Bytes written still grow with the member table (the
+//! supernode holds the sorted id set), so the table reports both and the
+//! JSON separates them; `scripts/bench.sh` gates the write count, not the
+//! byte count. No data objects are rewritten or deleted at any size:
+//! objects re-wrap lazily on their next write.
+//!
+//! Flags: `--smoke` (drops the 10^6 cell, for `scripts/verify.sh`),
+//! `--json PATH`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use nexus_bench::json::Json;
+use nexus_bench::{arg_flag, arg_string, header, rule};
+use nexus_core::{NexusConfig, NexusVolume, Rights, UserKeys, VolumeJoiner};
+use nexus_sgx::{AttestationService, Platform};
+use nexus_storage::{MemBackend, StorageBackend};
+
+struct Cell {
+    members: usize,
+    grant_us: f64,
+    revoke_us: f64,
+    revoke_writes: u64,
+    revoke_deletes: u64,
+    revoke_bytes_written: u64,
+    supernode_bytes: u64,
+    epoch_after: u64,
+    key_count_after: usize,
+}
+
+/// Adds a named user through the real offer/grant exchange so the member
+/// being revoked is a genuine principal, not a spliced synthetic id.
+fn add_real_user(
+    ias: &AttestationService,
+    backend: &Arc<MemBackend>,
+    volume: &NexusVolume,
+    owner: &UserKeys,
+    name: &str,
+    seed: u8,
+    machine: u64,
+) {
+    let platform = Platform::seeded(machine);
+    ias.register_platform(&platform);
+    let user = UserKeys::from_seed(name, &[seed; 32]);
+    let joiner = VolumeJoiner::new(&platform, backend.clone());
+    joiner.publish_offer(&user).expect("offer");
+    volume.grant_access(owner, name, &user.public_key()).expect("grant");
+}
+
+fn run_cell(members: usize) -> Cell {
+    let platform = Platform::seeded(7);
+    let ias = AttestationService::new();
+    ias.register_platform(&platform);
+    let backend = Arc::new(MemBackend::new());
+    let owner = UserKeys::from_seed("owen", &[1u8; 32]);
+    let (volume, _) =
+        NexusVolume::create(&platform, backend.clone(), &ias, &owner, NexusConfig::default())
+            .expect("create");
+    volume.authenticate(&owner).expect("auth");
+
+    volume.mkdir("shared").expect("mkdir");
+    volume.create_group("g").expect("group");
+    add_real_user(&ias, &backend, &volume, &owner, "alice", 2, 1001);
+    volume.add_group_members("g", &["alice"]).expect("add alice");
+    // Fill the group to size with synthetic member ids (bench scaffolding:
+    // a million real key exchanges would measure ed25519, not the group
+    // path). Ids start far above anything the supernode allocates.
+    let synthetic: Vec<u32> = (0..members.saturating_sub(2) as u32).map(|i| 1_000_000 + i).collect();
+    volume.add_group_member_ids("g", &synthetic).expect("splice");
+    volume.set_group_acl("shared", "g", Rights::RW).expect("acl");
+    volume.write_file("shared/doc.txt", b"group-scoped contents").expect("write");
+
+    // Batched grant of one more real member into the full-size group.
+    add_real_user(&ias, &backend, &volume, &owner, "bob", 3, 1002);
+    let t = Instant::now();
+    volume.add_group_members("g", &["bob"]).expect("add bob");
+    let grant_us = t.elapsed().as_nanos() as f64 / 1e3;
+
+    // The measured event: revoke one member from the full-size group.
+    let before = volume.io_stats();
+    let t = Instant::now();
+    volume.remove_group_members("g", &["alice"]).expect("revoke");
+    let revoke_us = t.elapsed().as_nanos() as f64 / 1e3;
+    let delta = volume.io_stats().delta_since(&before);
+
+    let supernode_bytes =
+        backend.stat(&volume.volume_id().object_name()).expect("stat").size;
+    Cell {
+        members,
+        grant_us,
+        revoke_us,
+        revoke_writes: delta.writes,
+        revoke_deletes: delta.deletes,
+        revoke_bytes_written: delta.bytes_written,
+        supernode_bytes,
+        epoch_after: volume.group_epoch("g").expect("epoch"),
+        key_count_after: volume.group_key_count("g").expect("keys"),
+    }
+}
+
+fn main() {
+    let smoke = arg_flag("--smoke");
+    let sizes: &[usize] = if smoke { &[100, 10_000] } else { &[100, 10_000, 1_000_000] };
+    header(
+        "Group revocation at scale (DESIGN.md §16)",
+        "one-member revocation must cost O(1) metadata writes at any group size",
+    );
+
+    let cells: Vec<Cell> = sizes.iter().map(|&n| run_cell(n)).collect();
+
+    println!(
+        "{:>9} {:>12} {:>12} | {:>7} {:>8} {:>12} | {:>12} {:>6} {:>5}",
+        "members", "grant", "revoke", "writes", "deletes", "bytes", "supernode", "epoch", "keys"
+    );
+    rule(96);
+    for c in &cells {
+        println!(
+            "{:>9} {:>9.0} us {:>9.0} us | {:>7} {:>8} {:>12} | {:>12} {:>6} {:>5}",
+            c.members,
+            c.grant_us,
+            c.revoke_us,
+            c.revoke_writes,
+            c.revoke_deletes,
+            c.revoke_bytes_written,
+            c.supernode_bytes,
+            c.epoch_after,
+            c.key_count_after,
+        );
+    }
+    rule(96);
+
+    let o1_writes = cells.windows(2).all(|w| w[0].revoke_writes == w[1].revoke_writes)
+        && cells.iter().all(|c| c.revoke_writes <= 2 && c.revoke_deletes == 0);
+    println!(
+        "revocation writes are {} across {}x size spread; bytes track the member table only",
+        if o1_writes { "constant" } else { "NOT CONSTANT (regression!)" },
+        sizes.last().unwrap() / sizes.first().unwrap(),
+    );
+    assert!(o1_writes, "group revocation regressed to non-constant metadata writes");
+
+    if let Some(path) = arg_string("--json") {
+        let doc = Json::obj()
+            .field("bench", Json::Str("groups".into()))
+            .field("emitter", Json::Str("nexus-bench micro_groups (scripts/bench.sh)".into()))
+            .field("smoke", Json::Bool(smoke))
+            .field("o1_writes", Json::Bool(o1_writes))
+            .field(
+                "cells",
+                Json::Arr(
+                    cells
+                        .iter()
+                        .map(|c| {
+                            Json::obj()
+                                .field("members", Json::Int(c.members as i64))
+                                .field("grant_us", Json::Num(c.grant_us))
+                                .field("revoke_us", Json::Num(c.revoke_us))
+                                .field("revoke_writes", Json::Int(c.revoke_writes as i64))
+                                .field("revoke_deletes", Json::Int(c.revoke_deletes as i64))
+                                .field(
+                                    "revoke_bytes_written",
+                                    Json::Int(c.revoke_bytes_written as i64),
+                                )
+                                .field("supernode_bytes", Json::Int(c.supernode_bytes as i64))
+                                .field("epoch_after", Json::Int(c.epoch_after as i64))
+                                .field("key_count_after", Json::Int(c.key_count_after as i64))
+                        })
+                        .collect(),
+                ),
+            );
+        std::fs::write(&path, doc.render()).expect("write json");
+        println!("wrote {path}");
+    }
+}

@@ -4,8 +4,19 @@
 //! permissions attach to directories and apply to the files within; user
 //! IDs map to (username, public key) pairs in the supernode; the volume
 //! owner always has full rights and administers the lists.
+//!
+//! Entries name a [`Principal`]: an individual [`UserId`] or a
+//! [`GroupId`] from the supernode's group table (see [`crate::groups`]).
+//! A group entry grants its rights to every current group member, so one
+//! ACL row covers 10^6 users. The wire format is versioned: lists with
+//! only user entries serialize in the original v1 layout byte-for-byte
+//! (old volumes decode, new group-free volumes stay readable by old
+//! code); any group entry switches the list to the v2 layout behind a
+//! sentinel count that v1 decoders reject as absurd rather than
+//! misparse.
 
 use crate::error::{NexusError, Result};
+use crate::groups::GroupId;
 use crate::wire::{Reader, Writer};
 
 /// A set of access rights, stored as a bitmask.
@@ -48,13 +59,31 @@ pub struct UserId(pub u32);
 /// The owner's reserved id.
 pub const OWNER_USER_ID: UserId = UserId(0);
 
-/// A directory's access control list: (user id → rights).
+/// Who an ACL entry names: one user, or every member of a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Principal {
+    /// An individual user.
+    User(UserId),
+    /// A group from the supernode's group table.
+    Group(GroupId),
+}
+
+/// Sentinel first-u32 marking the v2 (principal-tagged) wire layout.
+/// Far above the 1M entry cap, so a v1 decoder fed v2 bytes fails fast
+/// with "absurd count" instead of misreading tags as ids.
+const ACL_V2_MARKER: u32 = 0xFFFF_FFFF;
+
+const TAG_USER: u8 = 0;
+const TAG_GROUP: u8 = 1;
+
+/// A directory's access control list: (principal → rights).
 ///
-/// Deny-by-default: users without an entry get [`Rights::NONE`]; the volume
-/// owner bypasses the list entirely (enforced by the enclave, not here).
+/// Deny-by-default: principals without an entry get [`Rights::NONE`]; the
+/// volume owner bypasses the list entirely (enforced by the enclave, not
+/// here).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Acl {
-    entries: Vec<(UserId, Rights)>,
+    entries: Vec<(Principal, Rights)>,
 }
 
 impl Acl {
@@ -63,31 +92,57 @@ impl Acl {
         Acl::default()
     }
 
+    /// Grants `rights` to `principal`, replacing any existing entry.
+    pub fn grant_principal(&mut self, principal: Principal, rights: Rights) {
+        match self.entries.iter_mut().find(|(p, _)| *p == principal) {
+            Some((_, r)) => *r = rights,
+            None => self.entries.push((principal, rights)),
+        }
+    }
+
+    /// Removes `principal`'s entry; true if one existed.
+    pub fn revoke_principal(&mut self, principal: Principal) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|(p, _)| *p != principal);
+        self.entries.len() != before
+    }
+
     /// Grants `rights` to `user`, replacing any existing entry.
     pub fn grant(&mut self, user: UserId, rights: Rights) {
-        match self.entries.iter_mut().find(|(u, _)| *u == user) {
-            Some((_, r)) => *r = rights,
-            None => self.entries.push((user, rights)),
-        }
+        self.grant_principal(Principal::User(user), rights);
     }
 
     /// Removes `user`'s entry; true if one existed.
     pub fn revoke(&mut self, user: UserId) -> bool {
-        let before = self.entries.len();
-        self.entries.retain(|(u, _)| *u != user);
-        self.entries.len() != before
+        self.revoke_principal(Principal::User(user))
     }
 
-    /// The rights granted to `user` (NONE when absent).
+    /// Grants `rights` to every member of `group`.
+    pub fn grant_group(&mut self, group: GroupId, rights: Rights) {
+        self.grant_principal(Principal::Group(group), rights);
+    }
+
+    /// Removes `group`'s entry; true if one existed.
+    pub fn revoke_group(&mut self, group: GroupId) -> bool {
+        self.revoke_principal(Principal::Group(group))
+    }
+
+    /// The rights granted directly to `user` (NONE when absent; group
+    /// entries are resolved by the enclave, which knows the membership).
     pub fn rights_of(&self, user: UserId) -> Rights {
+        self.rights_of_principal(Principal::User(user))
+    }
+
+    /// The rights granted to `principal` (NONE when absent).
+    pub fn rights_of_principal(&self, principal: Principal) -> Rights {
         self.entries
             .iter()
-            .find(|(u, _)| *u == user)
+            .find(|(p, _)| *p == principal)
             .map(|(_, r)| *r)
             .unwrap_or(Rights::NONE)
     }
 
-    /// True when `user` holds all of `needed`.
+    /// True when `user`'s direct entry holds all of `needed`.
     pub fn allows(&self, user: UserId, needed: Rights) -> bool {
         self.rights_of(user).allows(needed)
     }
@@ -102,16 +157,42 @@ impl Acl {
         self.entries.is_empty()
     }
 
-    /// Iterates over `(user, rights)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = &(UserId, Rights)> {
+    /// True when any entry names a group.
+    pub fn has_group_entries(&self) -> bool {
+        self.entries.iter().any(|(p, _)| matches!(p, Principal::Group(_)))
+    }
+
+    /// Iterates over `(principal, rights)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &(Principal, Rights)> {
         self.entries.iter()
     }
 
-    /// Serializes into `w`.
+    /// Serializes into `w`. Group-free lists emit the legacy v1 layout
+    /// byte-for-byte; encoding is canonical — `decode(encode(a)) == a`
+    /// and equal lists encode identically.
     pub fn encode(&self, w: &mut Writer) {
+        if !self.has_group_entries() {
+            w.u32(self.entries.len() as u32);
+            for (principal, rights) in &self.entries {
+                let Principal::User(user) = principal else { unreachable!() };
+                w.u32(user.0);
+                w.u8(rights.0);
+            }
+            return;
+        }
+        w.u32(ACL_V2_MARKER);
         w.u32(self.entries.len() as u32);
-        for (user, rights) in &self.entries {
-            w.u32(user.0);
+        for (principal, rights) in &self.entries {
+            match principal {
+                Principal::User(u) => {
+                    w.u8(TAG_USER);
+                    w.u32(u.0);
+                }
+                Principal::Group(g) => {
+                    w.u8(TAG_GROUP);
+                    w.u32(g.0);
+                }
+            }
             w.u8(rights.0);
         }
     }
@@ -120,17 +201,53 @@ impl Acl {
     ///
     /// # Errors
     ///
-    /// Returns [`NexusError::Malformed`] on truncation.
+    /// Returns [`NexusError::Malformed`] on truncation, unknown principal
+    /// tags, or duplicate principals (crafted metadata could otherwise
+    /// smuggle a second entry past `grant`'s replace-first semantics).
     pub fn decode(r: &mut Reader<'_>) -> Result<Acl> {
-        let count = r.u32()? as usize;
-        if count > 1_000_000 {
-            return Err(NexusError::Malformed("absurd ACL entry count".into()));
+        let first = r.u32()?;
+        let mut entries: Vec<(Principal, Rights)>;
+        if first == ACL_V2_MARKER {
+            let count = r.u32()? as usize;
+            if count > 1_000_000 {
+                return Err(NexusError::Malformed("absurd ACL entry count".into()));
+            }
+            entries = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                let principal = match r.u8()? {
+                    TAG_USER => Principal::User(UserId(r.u32()?)),
+                    TAG_GROUP => Principal::Group(GroupId(r.u32()?)),
+                    _ => {
+                        return Err(NexusError::Malformed(
+                            "unknown ACL principal tag".into(),
+                        ))
+                    }
+                };
+                entries.push((principal, Rights(r.u8()?)));
+            }
+            // v2 without a group entry is non-canonical (encode would have
+            // emitted v1): reject so every list has exactly one encoding.
+            if !entries.iter().any(|(p, _)| matches!(p, Principal::Group(_))) {
+                return Err(NexusError::Malformed(
+                    "v2 ACL without group entries".into(),
+                ));
+            }
+        } else {
+            let count = first as usize;
+            if count > 1_000_000 {
+                return Err(NexusError::Malformed("absurd ACL entry count".into()));
+            }
+            entries = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                let user = UserId(r.u32()?);
+                let rights = Rights(r.u8()?);
+                entries.push((Principal::User(user), rights));
+            }
         }
-        let mut entries = Vec::with_capacity(count.min(1024));
-        for _ in 0..count {
-            let user = UserId(r.u32()?);
-            let rights = Rights(r.u8()?);
-            entries.push((user, rights));
+        for (i, (p, _)) in entries.iter().enumerate() {
+            if entries[..i].iter().any(|(q, _)| q == p) {
+                return Err(NexusError::Malformed("duplicate ACL principal".into()));
+            }
         }
         Ok(Acl { entries })
     }
@@ -177,6 +294,22 @@ mod tests {
     }
 
     #[test]
+    fn group_entries_are_separate_principals() {
+        let mut acl = Acl::new();
+        acl.grant(UserId(1), Rights::READ);
+        acl.grant_group(GroupId(1), Rights::RW);
+        assert_eq!(acl.len(), 2);
+        assert_eq!(acl.rights_of(UserId(1)), Rights::READ);
+        assert_eq!(
+            acl.rights_of_principal(Principal::Group(GroupId(1))),
+            Rights::RW
+        );
+        assert!(acl.revoke_group(GroupId(1)));
+        assert!(!acl.revoke_group(GroupId(1)));
+        assert_eq!(acl.rights_of(UserId(1)), Rights::READ);
+    }
+
+    #[test]
     fn encode_decode_roundtrip() {
         let mut acl = Acl::new();
         acl.grant(UserId(3), Rights::READ);
@@ -190,11 +323,66 @@ mod tests {
     }
 
     #[test]
+    fn group_free_lists_keep_v1_bytes() {
+        let mut acl = Acl::new();
+        acl.grant(UserId(3), Rights::READ);
+        let mut w = Writer::new();
+        acl.encode(&mut w);
+        // Original layout: u32 count, then u32 id + u8 rights per entry.
+        assert_eq!(w.into_bytes(), vec![1, 0, 0, 0, 3, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn group_entries_roundtrip_via_v2() {
+        let mut acl = Acl::new();
+        acl.grant(UserId(3), Rights::READ);
+        acl.grant_group(GroupId(7), Rights::RW);
+        let mut w = Writer::new();
+        acl.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(&bytes[..4], &[0xFF; 4]);
+        let decoded = Acl::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(decoded, acl);
+    }
+
+    #[test]
     fn decode_rejects_truncation() {
         let mut w = Writer::new();
         w.u32(5); // claims 5 entries, provides none
         let bytes = w.into_bytes();
         assert!(Acl::decode(&mut Reader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_duplicate_principals() {
+        // v1 with the same user twice.
+        let mut w = Writer::new();
+        w.u32(2);
+        w.u32(4).u8(1);
+        w.u32(4).u8(3);
+        assert!(Acl::decode(&mut Reader::new(&w.into_bytes())).is_err());
+        // v2 with the same group twice.
+        let mut w = Writer::new();
+        w.u32(ACL_V2_MARKER).u32(2);
+        w.u8(TAG_GROUP).u32(9).u8(1);
+        w.u8(TAG_GROUP).u32(9).u8(3);
+        assert!(Acl::decode(&mut Reader::new(&w.into_bytes())).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_non_canonical_v2() {
+        let mut w = Writer::new();
+        w.u32(ACL_V2_MARKER).u32(1);
+        w.u8(TAG_USER).u32(4).u8(1);
+        assert!(Acl::decode(&mut Reader::new(&w.into_bytes())).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag() {
+        let mut w = Writer::new();
+        w.u32(ACL_V2_MARKER).u32(1);
+        w.u8(7).u32(4).u8(1);
+        assert!(Acl::decode(&mut Reader::new(&w.into_bytes())).is_err());
     }
 
     #[test]

@@ -259,6 +259,39 @@ impl AsyncVolume {
         self.crypto.charge(&self.lane, 0);
         r
     }
+
+    /// Async per-directory ACL revocation.
+    pub async fn revoke_acl(&self, path: &str, user_name: &str) -> Result<()> {
+        self.turn().await;
+        let r = self.volume.revoke_acl(path, user_name);
+        self.crypto.charge(&self.lane, 0);
+        r
+    }
+
+    /// Async group-ACL grant (one entry covers the whole membership).
+    pub async fn set_group_acl(&self, path: &str, group: &str, rights: Rights) -> Result<()> {
+        self.turn().await;
+        let r = self.volume.set_group_acl(path, group, rights);
+        self.crypto.charge(&self.lane, 0);
+        r
+    }
+
+    /// Async batched group grant: one supernode write for the whole batch.
+    pub async fn add_group_members(&self, group: &str, users: &[&str]) -> Result<usize> {
+        self.turn().await;
+        let r = self.volume.add_group_members(group, users);
+        self.crypto.charge(&self.lane, 0);
+        r
+    }
+
+    /// Async batched group revocation: membership removal plus the epoch
+    /// bump in one supernode write.
+    pub async fn remove_group_members(&self, group: &str, users: &[&str]) -> Result<usize> {
+        self.turn().await;
+        let r = self.volume.remove_group_members(group, users);
+        self.crypto.charge(&self.lane, 0);
+        r
+    }
 }
 
 #[cfg(test)]

@@ -14,9 +14,13 @@ use nexus_crypto::CryptoProfile;
 use nexus_sgx::EnclaveEnv;
 use nexus_storage::StorageBackend;
 
-use crate::acl::{Rights, UserId};
+use crate::acl::{Principal, Rights, UserId};
 use crate::error::{NexusError, Result};
-use crate::metadata::crypto::{open_object_with, seal_object_with, ObjectKind, Preamble, RootKey};
+use crate::groups::{self, GroupId};
+use crate::metadata::crypto::{
+    open_object_scoped, open_object_with, seal_object_with, KeyScope, ObjectKind, Preamble,
+    RootKey,
+};
 use crate::metadata::dirnode::{Bucket, Dirnode};
 use crate::metadata::filenode::Filenode;
 use crate::metadata::supernode::Supernode;
@@ -122,6 +126,10 @@ pub(crate) struct Mounted {
     pub(crate) supernode: Supernode,
     /// Version of the supernode object we decrypted.
     pub(crate) supernode_version: u64,
+    /// Storage version the cached supernode was fetched at — the cheap
+    /// probe [`ensure_supernode_current`] compares against, so a session
+    /// notices group-table updates (epoch bumps) other clients commit.
+    pub(crate) supernode_storage_version: u64,
     pub(crate) session: Option<Session>,
     /// uuid → (decrypted node, storage version it came from), sharded
     /// 16 ways by UUID so lookups take `&self` and spread lock traffic.
@@ -179,13 +187,130 @@ impl EnclaveState {
         )))
     }
 
-    /// The rights `user` holds directly on `dir`'s ACL.
+    /// The rights the session user holds on `dir`'s ACL: their direct
+    /// entry unioned with every group entry whose group currently lists
+    /// them. Membership is resolved against the *mounted* supernode, so
+    /// a revocation takes effect as soon as the enclave sees the updated
+    /// group table (at auth, or immediately in the revoking enclave).
     pub(crate) fn local_rights(&mut self, dir: &Dirnode) -> Result<Rights> {
         let session = self.session()?;
         if session.is_owner {
             return Ok(Rights::RW);
         }
-        Ok(dir.acl.rights_of(session.user_id))
+        let groups = &self.mounted.as_ref().expect("session implies mount").supernode.groups;
+        let mut rights = Rights::NONE;
+        for (principal, r) in dir.acl.iter() {
+            let applies = match principal {
+                Principal::User(u) => *u == session.user_id,
+                Principal::Group(g) => groups
+                    .by_id(*g)
+                    .map(|rec| rec.contains(session.user_id))
+                    .unwrap_or(false),
+            };
+            if applies {
+                rights = rights.union(*r);
+            }
+        }
+        Ok(rights)
+    }
+}
+
+/// Resolves the wrap key (and the preamble [`KeyScope`]) for sealing an
+/// object under `scope`. Scoped objects always seal under the group's
+/// *current* epoch — this is the lazy re-wrap rule: any write after a
+/// revocation migrates the object to the post-revocation key.
+pub(crate) fn seal_scope(
+    mounted: &Mounted,
+    profile: CryptoProfile,
+    scope: Option<GroupId>,
+) -> Result<(Option<KeyScope>, RootKey)> {
+    match scope {
+        None => Ok((None, mounted.rootkey)),
+        Some(gid) => {
+            let master = groups::group_master_key(&mounted.rootkey, &mounted.supernode_uuid);
+            let group = mounted.supernode.groups.by_id(gid).ok_or_else(|| {
+                NexusError::Integrity(format!("directory scoped to unknown group {}", gid.0))
+            })?;
+            let key = group.current_key(&master, profile)?;
+            Ok((Some(KeyScope { group: gid, epoch: group.epoch }), key))
+        }
+    }
+}
+
+/// Resolves the unwrap key for an object whose preamble carried `scope`.
+/// Fails with [`NexusError::Integrity`] when the mounted supernode's
+/// group table has no key for that `(group, epoch)` — which is exactly
+/// the position of an enclave holding a pre-revocation supernode against
+/// post-bump ciphertext.
+pub(crate) fn open_scope_key(
+    mounted: &Mounted,
+    profile: CryptoProfile,
+    scope: Option<KeyScope>,
+) -> Result<RootKey> {
+    match scope {
+        None => Ok(mounted.rootkey),
+        Some(ks) => {
+            let master = groups::group_master_key(&mounted.rootkey, &mounted.supernode_uuid);
+            let group = mounted.supernode.groups.by_id(ks.group).ok_or_else(|| {
+                NexusError::Integrity(format!("object scoped to unknown group {}", ks.group.0))
+            })?;
+            group.unwrap_epoch_key(&master, profile, ks.epoch)
+        }
+    }
+}
+
+/// Revalidates the cached supernode against storage when another client
+/// may have advanced it (epoch bumps, membership changes). A cheap
+/// version probe gates the refetch; a fetched supernode older than the
+/// one we already decrypted is a rollback.
+pub(crate) fn ensure_supernode_current(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+) -> Result<()> {
+    let profile = state.config().crypto_profile;
+    let (uuid, cached) = {
+        let m = state.mounted()?;
+        (m.supernode_uuid, m.supernode_storage_version)
+    };
+    let on_store = io.version(&uuid).unwrap_or(0);
+    if on_store == cached {
+        return Ok(());
+    }
+    let rootkey = state.mounted()?.rootkey;
+    let (supernode, version) = fetch_supernode(io, &rootkey, profile, uuid)?;
+    let m = state.mounted()?;
+    if version < m.supernode_version {
+        return Err(NexusError::Rollback {
+            object: uuid.to_string(),
+            seen: m.supernode_version,
+            got: version,
+        });
+    }
+    m.supernode = supernode;
+    m.supernode_version = version;
+    m.supernode_storage_version = on_store;
+    Ok(())
+}
+
+/// Opens a metadata blob against the mounted group table, refreshing the
+/// supernode once when a *scoped* blob fails to open — the blob may
+/// reference an epoch minted by a revocation this session has not yet
+/// seen. Unscoped blobs never trigger a refresh.
+fn open_meta_blob(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    profile: CryptoProfile,
+    blob: &[u8],
+) -> Result<(Preamble, Vec<u8>)> {
+    let mounted = state.mounted()?;
+    match open_object_scoped(profile, blob, |scope| open_scope_key(mounted, profile, scope)) {
+        Ok(opened) => Ok(opened),
+        Err(_) if blob.len() >= 4 && &blob[..4] == crate::metadata::crypto::MAGIC_SCOPED => {
+            ensure_supernode_current(state, io)?;
+            let mounted = state.mounted()?;
+            open_object_scoped(profile, blob, |scope| open_scope_key(mounted, profile, scope))
+        }
+        Err(e) => Err(e),
     }
 }
 
@@ -403,10 +528,9 @@ fn load_dirnode_once(
     }
     let blob = io.get(&uuid)?;
     crate::freshness::verify_fresh(state, io, &uuid, &blob)?;
-    let mounted = state.mounted()?;
     let storage_version = io.version(&uuid).unwrap_or(0);
-    let rootkey = mounted.rootkey;
-    let (preamble, body) = open_object_with(&rootkey, profile, &blob)?;
+    let (preamble, body) = open_meta_blob(state, io, profile, &blob)?;
+    let mounted = state.mounted()?;
     admit(mounted, &preamble, &uuid, ObjectKind::Dirnode, expected_parent)?;
     let dir = Dirnode::decode_main(uuid, preamble.parent, &body)?;
     io.env.epc_alloc(body.len());
@@ -443,9 +567,8 @@ pub(crate) fn load_bucket(
         )));
     }
     let profile = state.config().crypto_profile;
+    let (preamble, body) = open_meta_blob(state, io, profile, &blob)?;
     let mounted = state.mounted()?;
-    let rootkey = mounted.rootkey;
-    let (preamble, body) = open_object_with(&rootkey, profile, &blob)?;
     admit(mounted, &preamble, &slot_uuid, ObjectKind::DirBucket, Some(dir.uuid))?;
     let bucket = Bucket::decode(&body)?;
     dir.buckets[idx].bucket = Some(bucket);
@@ -545,8 +668,14 @@ pub(crate) fn stage_dirnode(
     mut dir: Dirnode,
 ) -> Result<()> {
     let profile = state.config().crypto_profile;
+    if dir.scope.is_some() {
+        // Scoped writes must seal under the group's *current* epoch: pick
+        // up any revocation another client committed, or the new blob
+        // would stay readable by the revoked member.
+        ensure_supernode_current(state, io)?;
+    }
     let mounted = state.mounted()?;
-    let rootkey = mounted.rootkey;
+    let (scope, wrap_key) = seal_scope(mounted, profile, dir.scope)?;
     for slot in dir.buckets.iter_mut() {
         if !slot.dirty {
             continue;
@@ -561,8 +690,9 @@ pub(crate) fn stage_dirnode(
             uuid: slot.re.uuid,
             parent: dir.uuid,
             version,
+            scope,
         };
-        let blob = seal_object_with(&rootkey, profile, &preamble, &bucket.encode(), |dest| {
+        let blob = seal_object_with(&wrap_key, profile, &preamble, &bucket.encode(), |dest| {
             io.env.random_bytes(dest)
         });
         slot.re.mac = Sha256::digest(&blob);
@@ -576,8 +706,9 @@ pub(crate) fn stage_dirnode(
         uuid: dir.uuid,
         parent: dir.parent,
         version,
+        scope,
     };
-    let blob = seal_object_with(&rootkey, profile, &preamble, &dir.encode_main(), |dest| {
+    let blob = seal_object_with(&wrap_key, profile, &preamble, &dir.encode_main(), |dest| {
         io.env.random_bytes(dest)
     });
     commit.manifest_updates.push((dir.uuid, Sha256::digest(&blob)));
@@ -586,24 +717,31 @@ pub(crate) fn stage_dirnode(
     Ok(())
 }
 
-/// Seals `fnode` into `commit` without touching storage yet.
+/// Seals `fnode` into `commit` without touching storage yet. `dir_scope`
+/// is the containing directory's key scope (filenodes inherit it; they
+/// carry no scope field of their own).
 pub(crate) fn stage_filenode(
     state: &mut EnclaveState,
     io: &MetaIo<'_>,
     commit: &mut MetaCommit,
     fnode: Filenode,
+    dir_scope: Option<GroupId>,
 ) -> Result<()> {
     let profile = state.config().crypto_profile;
+    if dir_scope.is_some() {
+        ensure_supernode_current(state, io)?;
+    }
     let mounted = state.mounted()?;
-    let rootkey = mounted.rootkey;
+    let (scope, wrap_key) = seal_scope(mounted, profile, dir_scope)?;
     let version = next_version(mounted, &fnode.uuid);
     let preamble = Preamble {
         kind: ObjectKind::Filenode,
         uuid: fnode.uuid,
         parent: fnode.parent,
         version,
+        scope,
     };
-    let blob = seal_object_with(&rootkey, profile, &preamble, &fnode.encode(), |dest| {
+    let blob = seal_object_with(&wrap_key, profile, &preamble, &fnode.encode(), |dest| {
         io.env.random_bytes(dest)
     });
     commit.manifest_updates.push((fnode.uuid, Sha256::digest(&blob)));
@@ -689,10 +827,9 @@ fn load_filenode_once(
     }
     let blob = io.get(&uuid)?;
     crate::freshness::verify_fresh(state, io, &uuid, &blob)?;
-    let mounted = state.mounted()?;
     let storage_version = io.version(&uuid).unwrap_or(0);
-    let rootkey = mounted.rootkey;
-    let (preamble, body) = open_object_with(&rootkey, profile, &blob)?;
+    let (preamble, body) = open_meta_blob(state, io, profile, &blob)?;
+    let mounted = state.mounted()?;
     admit(mounted, &preamble, &uuid, ObjectKind::Filenode, expected_parent)?;
     let fnode = Filenode::decode(&body)?;
     if fnode.uuid != uuid {
@@ -707,14 +844,16 @@ fn load_filenode_once(
     Ok(fnode)
 }
 
-/// Seals and stores a filenode, updating the cache.
+/// Seals and stores a filenode, updating the cache. `dir_scope` is the
+/// containing directory's key scope.
 pub(crate) fn store_filenode(
     state: &mut EnclaveState,
     io: &MetaIo<'_>,
     fnode: Filenode,
+    dir_scope: Option<GroupId>,
 ) -> Result<()> {
     let mut commit = MetaCommit::new();
-    stage_filenode(state, io, &mut commit, fnode)?;
+    stage_filenode(state, io, &mut commit, fnode, dir_scope)?;
     commit_flush(state, io, commit)
 }
 
@@ -738,12 +877,15 @@ pub(crate) fn store_supernode(state: &mut EnclaveState, io: &MetaIo<'_>) -> Resu
         uuid,
         parent: NexusUuid::NIL,
         version,
+        scope: None,
     };
     let body = mounted.supernode.encode();
     let blob = seal_object_with(&rootkey, profile, &preamble, &body, |dest| {
         io.env.random_bytes(dest)
     });
     io.put(&uuid, &blob)?;
+    let storage_version = io.version(&uuid).unwrap_or(0);
+    state.mounted()?.supernode_storage_version = storage_version;
     // The supernode participates in the freshness manifest too: a rolled
     // back user list would otherwise resurrect revoked identities for
     // history-less clients.
@@ -841,6 +983,7 @@ mod tests {
                 SigningKey::from_seed(&[1; 32]).verifying_key(),
             ),
             supernode_version: 1,
+            supernode_storage_version: 0,
             session,
             meta_cache: crate::cache::ShardedCache::new(),
             version_table: HashMap::new(),

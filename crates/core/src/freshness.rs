@@ -214,6 +214,7 @@ fn record_locked(
         uuid,
         parent: NexusUuid::NIL,
         version,
+        scope: None,
     };
     let blob = seal_object_with(&rootkey, profile, &preamble, &body, |dest| {
         io.env.random_bytes(dest)

@@ -9,7 +9,7 @@
 
 use std::collections::BTreeSet;
 
-use crate::acl::Rights;
+use crate::acl::{Principal, Rights};
 use crate::enclave::{load_all_buckets, load_dirnode, load_filenode, EnclaveState, MetaIo};
 use crate::error::{NexusError, Result};
 use crate::fsops;
@@ -38,10 +38,17 @@ pub struct FsckReport {
     pub orphans: Vec<String>,
     /// Problems found: (path, description).
     pub errors: Vec<(String, String)>,
+    /// Non-fatal hygiene findings: (path, description). Dangling ACL
+    /// principals land here — entries naming a user or group the
+    /// supernode no longer records. They grant nothing (rights resolution
+    /// ignores unknown principals), but indicate an incomplete revocation
+    /// sweep worth repairing.
+    pub findings: Vec<(String, String)>,
 }
 
 impl FsckReport {
-    /// True when no integrity problems were found (orphans are allowed).
+    /// True when no integrity problems were found (orphans and hygiene
+    /// findings are allowed).
     pub fn is_clean(&self) -> bool {
         self.errors.is_empty()
     }
@@ -94,6 +101,26 @@ pub(crate) fn run_fsck(
         for slot in &dir.buckets {
             reachable.insert(slot.re.uuid);
             report.buckets += 1;
+        }
+        {
+            let m = state.mounted()?;
+            for (principal, _) in dir.acl.iter() {
+                let dangling = match principal {
+                    Principal::User(id) => {
+                        (m.supernode.user_by_id(*id).is_none(), format!("user id {}", id.0))
+                    }
+                    Principal::Group(gid) => (
+                        m.supernode.groups.by_id(*gid).is_none(),
+                        format!("group id {}", gid.0),
+                    ),
+                };
+                if dangling.0 {
+                    report.findings.push((
+                        display.clone(),
+                        format!("ACL names dangling principal ({})", dangling.1),
+                    ));
+                }
+            }
         }
         let entries: Vec<_> = dir.list_loaded().into_iter().cloned().collect();
         for entry in entries {

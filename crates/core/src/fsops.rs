@@ -8,7 +8,7 @@
 //! layer (§IV-A), and takes the server-side advisory lock around metadata
 //! updates (§V-A).
 
-use crate::acl::Rights;
+use crate::acl::{Rights, UserId};
 use crate::datapath;
 use crate::enclave::{
     commit_flush, evict, fresh_uuid, load_all_buckets, load_dirnode, load_filenode,
@@ -118,6 +118,7 @@ pub(crate) fn resolve_dir(
     state.session()?;
     let root_uuid = state.mounted()?.supernode.root_dir;
     let mut dir = load_dirnode(state, io, root_uuid, Some(NexusUuid::NIL))?;
+    group_fresh_rights(state, io, &dir)?;
     let mut effective = state.local_rights(&dir)?;
     for comp in components {
         let entry = lookup_entry(state, io, &mut dir, comp)?
@@ -125,12 +126,28 @@ pub(crate) fn resolve_dir(
         match entry.kind {
             EntryKind::Directory => {
                 dir = load_dirnode(state, io, entry.uuid, Some(dir.uuid))?;
+                group_fresh_rights(state, io, &dir)?;
                 effective = effective.union(state.local_rights(&dir)?);
             }
             _ => return Err(NexusError::NotADirectory((*comp).to_string())),
         }
     }
     Ok((dir, effective))
+}
+
+/// Rights derived from a group entry must be checked against the *latest*
+/// group table: a revoked member's session would otherwise keep resolving
+/// membership from the supernode cached at auth time and go on reading
+/// old-epoch ciphertext. One cheap version probe per group-bearing ACL.
+fn group_fresh_rights(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    dir: &Dirnode,
+) -> Result<()> {
+    if dir.acl.has_group_entries() && !state.session()?.is_owner {
+        crate::enclave::ensure_supernode_current(state, io)?;
+    }
+    Ok(())
 }
 
 /// Resolves the parent directory of `path`, returning it, the final name,
@@ -176,7 +193,10 @@ pub(crate) fn fs_touch(
     let mut commit = MetaCommit::new();
     match kind {
         FileType::Directory => {
-            let child = Dirnode::new(child_uuid, dir.uuid, config.bucket_size);
+            let mut child = Dirnode::new(child_uuid, dir.uuid, config.bucket_size);
+            // Subdirectories of a group-shared directory inherit its key
+            // scope, so the whole subtree follows the group's epochs.
+            child.scope = dir.scope;
             stage_dirnode(state, io, &mut commit, child)?;
             dir.insert(
                 DirEntry { name: name.into(), uuid: child_uuid, kind: EntryKind::Directory },
@@ -187,7 +207,7 @@ pub(crate) fn fs_touch(
             let data_uuid = fresh_uuid(io.env);
             let fnode = Filenode::new(child_uuid, dir.uuid, data_uuid, config.chunk_size);
             commit.stage_raw(data_uuid, Vec::new());
-            stage_filenode(state, io, &mut commit, fnode)?;
+            stage_filenode(state, io, &mut commit, fnode, dir.scope)?;
             dir.insert(
                 DirEntry { name: name.into(), uuid: child_uuid, kind: EntryKind::File },
                 fresh_uuid(io.env),
@@ -238,7 +258,7 @@ pub(crate) fn fs_remove(state: &mut EnclaveState, io: &MetaIo<'_>, path: &str) -
                 manifest_removals.push(entry.uuid);
                 evict(state, &entry.uuid);
             } else {
-                store_filenode(state, io, fnode)?;
+                store_filenode(state, io, fnode, dir.scope)?;
             }
         }
         EntryKind::Symlink(_) => {}
@@ -402,7 +422,7 @@ pub(crate) fn fs_hardlink(
         return Err(NexusError::AlreadyExists(linkpath.to_string()));
     }
     fnode.nlink += 1;
-    store_filenode(state, io, fnode)?;
+    store_filenode(state, io, fnode, src_dir.scope)?;
     dst_dir.insert(
         DirEntry { name: dst_name.into(), uuid: src_entry.uuid, kind: EntryKind::File },
         fresh_uuid(io.env),
@@ -509,7 +529,9 @@ pub(crate) fn fs_rename(
             let mut fnode = load_filenode(state, io, entry.uuid, None)?;
             if fnode.nlink <= 1 {
                 fnode.parent = dst_dir.uuid;
-                store_filenode(state, io, fnode)?;
+                // The file now lives under the destination directory, so
+                // it re-seals under *that* directory's key scope.
+                store_filenode(state, io, fnode, dst_dir.scope)?;
             }
         }
         EntryKind::Symlink(_) => {}
@@ -572,8 +594,40 @@ pub(crate) fn fs_encrypt(
     io.put(&fnode.data_uuid, &ciphertext)?;
     fnode.size = data.len() as u64;
     fnode.chunks = contexts;
-    store_filenode(state, io, fnode)?;
+    store_filenode(state, io, fnode, dir.scope)?;
     Ok(())
+}
+
+/// Owner-driven revocation sweep: removes every ACL entry naming `user`
+/// from all reachable dirnodes, staging the modified main objects into one
+/// `MetaCommit` so the whole sweep lands in a single batched `put_many`.
+/// Buckets are untouched (ACLs live in the main object only). Returns the
+/// number of directories whose ACL changed.
+pub(crate) fn sweep_acl_user(
+    state: &mut EnclaveState,
+    io: &MetaIo<'_>,
+    user: UserId,
+) -> Result<u64> {
+    let root = state.mounted()?.supernode.root_dir;
+    let mut stack = vec![root];
+    let mut commit = MetaCommit::new();
+    let mut changed = 0u64;
+    while let Some(uuid) = stack.pop() {
+        let mut dir = load_dirnode(state, io, uuid, None)?;
+        load_all_buckets(state, io, &mut dir)?;
+        stack.extend(
+            dir.list_loaded()
+                .into_iter()
+                .filter(|e| matches!(e.kind, EntryKind::Directory))
+                .map(|e| e.uuid),
+        );
+        if dir.acl.revoke(user) {
+            changed += 1;
+            stage_dirnode(state, io, &mut commit, dir)?;
+        }
+    }
+    commit_flush(state, io, commit)?;
+    Ok(changed)
 }
 
 /// `nexus_fs_decrypt`: reads and decrypts the whole file at `path`.

@@ -59,6 +59,7 @@ pub mod error;
 pub mod fsck;
 pub mod fsops;
 pub(crate) mod freshness;
+pub mod groups;
 pub mod merkle;
 pub mod metadata;
 pub mod protocol;
@@ -68,9 +69,10 @@ pub mod vfs;
 pub mod volume;
 pub mod wire;
 
-pub use acl::{Acl, Rights, UserId};
+pub use acl::{Acl, Principal, Rights, UserId};
 pub use async_fs::{AsyncVolume, CryptoCost};
 pub use enclave::{NexusConfig, Session};
+pub use groups::{GroupId, GroupRecord, GroupSet};
 pub use nexus_crypto::CryptoProfile;
 pub use error::{NexusError, Result};
 pub use fsck::{FsckMode, FsckReport};

@@ -13,20 +13,45 @@
 //! A fresh object key and nonces are drawn on *every* update, so revocation
 //! only ever re-encrypts metadata (never file data), and possession of an
 //! old object key reveals nothing about the current version.
+//!
+//! ## Key scopes (group sharing)
+//!
+//! By default the wrap key in section 2 is the volume rootkey. Objects
+//! under a group-shared directory instead wrap their object key under the
+//! group's **epoch key** (see [`crate::groups`]); the preamble then opens
+//! with [`MAGIC_SCOPED`] and carries the `(group, epoch)` pair — as AAD,
+//! so a server cannot point a reader at the wrong key. Readers resolve
+//! the wrap key from the epoch recorded here, which is what makes
+//! revocation *lazy*: an epoch bump re-keys nothing, and each object
+//! migrates to the current epoch on its next write.
 
 use nexus_crypto::gcm::AesGcm;
 use nexus_crypto::gcm_siv::AesGcmSiv;
 use nexus_crypto::CryptoProfile;
 
 use crate::error::{NexusError, Result};
+use crate::groups::GroupId;
 use crate::uuid::NexusUuid;
 use crate::wire::{Reader, Writer};
 
-/// Magic bytes opening every metadata object.
+/// Magic bytes opening every rootkey-scoped metadata object.
 pub const MAGIC: &[u8; 4] = b"NXMD";
+
+/// Magic bytes opening group-scoped metadata objects (preamble carries a
+/// [`KeyScope`]).
+pub const MAGIC_SCOPED: &[u8; 4] = b"NXS2";
 
 /// Volume rootkey: the single secret a user needs (sealed) to use a volume.
 pub type RootKey = [u8; 32];
+
+/// Which group epoch key wraps an object's key (absent → the rootkey).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KeyScope {
+    /// The owning group.
+    pub group: GroupId,
+    /// The group key epoch the object was sealed under.
+    pub epoch: u64,
+}
 
 /// What kind of metadata an object holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -78,32 +103,55 @@ pub struct Preamble {
     pub parent: NexusUuid,
     /// Monotonic version for rollback detection (§VI-C).
     pub version: u64,
+    /// Which group epoch key wraps the object key; `None` → the rootkey.
+    pub scope: Option<KeyScope>,
 }
 
 impl Preamble {
     const ENCODED_LEN: usize = 4 + 1 + 16 + 16 + 8;
+    const SCOPED_ENCODED_LEN: usize = Preamble::ENCODED_LEN + 4 + 8;
 
     fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        w.raw(MAGIC)
+        w.raw(if self.scope.is_some() { MAGIC_SCOPED } else { MAGIC })
             .u8(self.kind.to_u8())
             .uuid(&self.uuid)
             .uuid(&self.parent)
             .u64(self.version);
+        if let Some(scope) = self.scope {
+            w.u32(scope.group.0).u64(scope.epoch);
+        }
         w.into_bytes()
     }
 
-    fn decode(bytes: &[u8]) -> Result<Preamble> {
-        let mut r = Reader::new(bytes);
-        let magic = r.array::<4>()?;
-        if &magic != MAGIC {
-            return Err(NexusError::Malformed("bad magic".into()));
+    /// Parses a preamble off the front of `blob`; returns it and its
+    /// encoded length (scoped preambles are longer).
+    fn parse(blob: &[u8]) -> Result<(Preamble, usize)> {
+        if blob.len() < 4 {
+            return Err(NexusError::Malformed("metadata object too short".into()));
         }
+        let scoped = if &blob[..4] == MAGIC {
+            false
+        } else if &blob[..4] == MAGIC_SCOPED {
+            true
+        } else {
+            return Err(NexusError::Malformed("bad magic".into()));
+        };
+        let len = if scoped { Preamble::SCOPED_ENCODED_LEN } else { Preamble::ENCODED_LEN };
+        if blob.len() < len {
+            return Err(NexusError::Malformed("truncated preamble".into()));
+        }
+        let mut r = Reader::new(&blob[4..len]);
         let kind = ObjectKind::from_u8(r.u8()?)?;
         let uuid = r.uuid()?;
         let parent = r.uuid()?;
         let version = r.u64()?;
-        Ok(Preamble { kind, uuid, parent, version })
+        let scope = if scoped {
+            Some(KeyScope { group: GroupId(r.u32()?), epoch: r.u64()? })
+        } else {
+            None
+        };
+        Ok((Preamble { kind, uuid, parent, version, scope }, len))
     }
 }
 
@@ -115,22 +163,24 @@ const GCM_NONCE_LEN: usize = 12;
 /// Encrypts a metadata body into the full on-storage representation using
 /// the default (hardened) [`CryptoProfile`] lane.
 ///
-/// `fill_random` supplies enclave randomness for the fresh object key and
-/// nonces.
+/// `wrap_key` is the rootkey for unscoped preambles; when
+/// `preamble.scope` is set, the caller must pass the group key for the
+/// scope's epoch. `fill_random` supplies enclave randomness for the fresh
+/// object key and nonces.
 pub fn seal_object(
-    rootkey: &RootKey,
+    wrap_key: &RootKey,
     preamble: &Preamble,
     body: &[u8],
     fill_random: impl FnMut(&mut [u8]),
 ) -> Vec<u8> {
-    seal_object_with(rootkey, CryptoProfile::default(), preamble, body, fill_random)
+    seal_object_with(wrap_key, CryptoProfile::default(), preamble, body, fill_random)
 }
 
 /// [`seal_object`] with an explicit crypto profile. Both profiles produce
 /// byte-identical blobs; the profile only selects the implementation lane
 /// (table-driven vs constant-time) used for the key wrap and body seal.
 pub fn seal_object_with(
-    rootkey: &RootKey,
+    wrap_key: &RootKey,
     profile: CryptoProfile,
     preamble: &Preamble,
     body: &[u8],
@@ -145,8 +195,8 @@ pub fn seal_object_with(
     let mut gcm_nonce = [0u8; GCM_NONCE_LEN];
     fill_random(&mut gcm_nonce);
 
-    // Section 2: wrap the object key under the rootkey.
-    let siv = AesGcmSiv::with_profile(rootkey, profile);
+    // Section 2: wrap the object key under the scope's wrap key.
+    let siv = AesGcmSiv::with_profile(wrap_key, profile);
     let wrapped = siv.seal(&siv_nonce, &preamble_bytes, &object_key);
     debug_assert_eq!(wrapped.len(), WRAPPED_KEY_LEN);
 
@@ -177,28 +227,46 @@ pub fn seal_object_with(
 /// [`NexusError::Malformed`] on framing problems, [`NexusError::Integrity`]
 /// when any authentication check fails (wrong rootkey, tampering, or a
 /// spliced preamble).
-pub fn open_object(rootkey: &RootKey, blob: &[u8]) -> Result<(Preamble, Vec<u8>)> {
-    open_object_with(rootkey, CryptoProfile::default(), blob)
+pub fn open_object(wrap_key: &RootKey, blob: &[u8]) -> Result<(Preamble, Vec<u8>)> {
+    open_object_with(wrap_key, CryptoProfile::default(), blob)
 }
 
 /// [`open_object`] with an explicit crypto profile. Accepts exactly the
-/// blobs the other profile produces.
+/// blobs the other profile produces. The caller-supplied key is used as
+/// the wrap key regardless of scope — for scope-aware resolution use
+/// [`open_object_scoped`].
 pub fn open_object_with(
-    rootkey: &RootKey,
+    wrap_key: &RootKey,
     profile: CryptoProfile,
     blob: &[u8],
 ) -> Result<(Preamble, Vec<u8>)> {
-    let fixed = Preamble::ENCODED_LEN + SIV_NONCE_LEN + WRAPPED_KEY_LEN + GCM_NONCE_LEN + 16;
+    open_object_scoped(profile, blob, |_| Ok(*wrap_key))
+}
+
+/// [`open_object`] with the wrap key chosen *after* the preamble is read:
+/// `resolve` receives the object's [`KeyScope`] (None → rootkey-scoped)
+/// and returns the matching wrap key. The scope sits in the AAD, so a
+/// lying preamble fails authentication rather than decrypting under the
+/// wrong key; a resolver that cannot produce the epoch key (revoked
+/// member, pre-revocation supernode) simply errors.
+pub fn open_object_scoped(
+    profile: CryptoProfile,
+    blob: &[u8],
+    resolve: impl FnOnce(Option<KeyScope>) -> Result<RootKey>,
+) -> Result<(Preamble, Vec<u8>)> {
+    let (preamble, preamble_len) = Preamble::parse(blob)?;
+    let fixed = preamble_len + SIV_NONCE_LEN + WRAPPED_KEY_LEN + GCM_NONCE_LEN + 16;
     if blob.len() < fixed {
         return Err(NexusError::Malformed("metadata object too short".into()));
     }
-    let (preamble_bytes, rest) = blob.split_at(Preamble::ENCODED_LEN);
-    let preamble = Preamble::decode(preamble_bytes)?;
+    let (preamble_bytes, rest) = blob.split_at(preamble_len);
     let (siv_nonce, rest) = rest.split_at(SIV_NONCE_LEN);
     let (wrapped, rest) = rest.split_at(WRAPPED_KEY_LEN);
     let (gcm_nonce, ciphertext) = rest.split_at(GCM_NONCE_LEN);
 
-    let siv = AesGcmSiv::with_profile(rootkey, profile);
+    let mut wrap_key = resolve(preamble.scope)?;
+    let siv = AesGcmSiv::with_profile(&wrap_key, profile);
+    nexus_crypto::ct::zeroize(&mut wrap_key);
     let siv_nonce_arr: [u8; 12] = siv_nonce.try_into().unwrap();
     let object_key = siv
         .open(&siv_nonce_arr, preamble_bytes, wrapped)
@@ -233,7 +301,12 @@ mod tests {
             uuid: NexusUuid([1; 16]),
             parent: NexusUuid([2; 16]),
             version: 7,
+            scope: None,
         }
+    }
+
+    fn scoped_pre() -> Preamble {
+        Preamble { scope: Some(KeyScope { group: GroupId(3), epoch: 2 }), ..pre() }
     }
 
     fn rand(dest: &mut [u8]) {
@@ -322,6 +395,59 @@ mod tests {
         let blob = seal_object(&rk(), &pre(), b"", rand);
         let (_, body) = open_object(&rk(), &blob).unwrap();
         assert!(body.is_empty());
+    }
+
+    #[test]
+    fn unscoped_blobs_keep_v1_format() {
+        let blob = seal_object(&rk(), &pre(), b"body", rand);
+        assert_eq!(&blob[..4], MAGIC);
+        // Preamble length unchanged: the version field still sits at 37..45.
+        assert_eq!(blob[Preamble::ENCODED_LEN - 8], 7);
+    }
+
+    #[test]
+    fn scoped_roundtrip_resolves_by_epoch() {
+        let group_key: RootKey = [0x33; 32];
+        let blob = seal_object(&group_key, &scoped_pre(), b"shared", rand);
+        assert_eq!(&blob[..4], MAGIC_SCOPED);
+        let (preamble, body) = open_object_scoped(CryptoProfile::default(), &blob, |scope| {
+            assert_eq!(scope, Some(KeyScope { group: GroupId(3), epoch: 2 }));
+            Ok(group_key)
+        })
+        .unwrap();
+        assert_eq!(preamble, scoped_pre());
+        assert_eq!(body, b"shared");
+    }
+
+    #[test]
+    fn scoped_blob_fails_under_wrong_epoch_key() {
+        let blob = seal_object(&[0x33; 32], &scoped_pre(), b"shared", rand);
+        // A reader resolving a *different* key (e.g. the post-revocation
+        // epoch) must hit an authentication failure, not wrong plaintext.
+        let err =
+            open_object_scoped(CryptoProfile::default(), &blob, |_| Ok([0x44; 32])).unwrap_err();
+        assert!(matches!(err, NexusError::Integrity(_)));
+        // And a resolver error (no key for this epoch) propagates.
+        let err = open_object_scoped(CryptoProfile::default(), &blob, |_| {
+            Err(NexusError::Integrity("no key for epoch".into()))
+        })
+        .unwrap_err();
+        assert!(matches!(err, NexusError::Integrity(_)));
+    }
+
+    #[test]
+    fn tampered_scope_fails() {
+        let key: RootKey = [0x33; 32];
+        let mut blob = seal_object(&key, &scoped_pre(), b"shared", rand);
+        // Flip a bit in the epoch field (last 8 bytes of the scoped
+        // preamble): the scope is AAD, so authentication must fail.
+        blob[Preamble::SCOPED_ENCODED_LEN - 1] ^= 1;
+        assert!(open_object_scoped(CryptoProfile::default(), &blob, |_| Ok(key)).is_err());
+        // Rewriting the magic to disguise a scoped blob as unscoped fails
+        // outright (the preamble bytes no longer authenticate).
+        let mut blob = seal_object(&key, &scoped_pre(), b"shared", rand);
+        blob[..4].copy_from_slice(MAGIC);
+        assert!(open_object(&key, &blob).is_err());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::acl::Acl;
 use crate::error::{NexusError, Result};
+use crate::groups::GroupId;
 use crate::uuid::NexusUuid;
 use crate::wire::{Reader, Writer};
 
@@ -159,6 +160,10 @@ pub struct Dirnode {
     pub entry_count: u64,
     /// Maximum entries per bucket.
     pub bucket_size: usize,
+    /// Group key scope: when set, this directory's metadata (and its
+    /// files') is sealed under the group's current epoch key instead of
+    /// the rootkey. Subdirectories inherit the scope at creation.
+    pub scope: Option<GroupId>,
 }
 
 impl Dirnode {
@@ -171,6 +176,7 @@ impl Dirnode {
             buckets: Vec::new(),
             entry_count: 0,
             bucket_size: bucket_size.max(1),
+            scope: None,
         }
     }
 
@@ -184,6 +190,11 @@ impl Dirnode {
         for slot in &self.buckets {
             w.uuid(&slot.re.uuid);
             w.raw(&slot.re.mac);
+        }
+        // Optional tail: key scope. Unscoped dirnodes keep the pre-groups
+        // byte format.
+        if let Some(group) = self.scope {
+            w.u8(1).u32(group.0);
         }
         w.into_bytes()
     }
@@ -212,6 +223,18 @@ impl Dirnode {
             let mac = r.array::<32>()?;
             buckets.push(BucketSlot { re: BucketRef { uuid: buuid, mac }, bucket: None, dirty: false });
         }
+        let scope = if r.is_empty() {
+            None
+        } else {
+            match r.u8()? {
+                1 => Some(GroupId(r.u32()?)),
+                other => {
+                    return Err(NexusError::Malformed(format!(
+                        "unknown dirnode scope tag {other}"
+                    )))
+                }
+            }
+        };
         r.finish()?;
         Ok(Dirnode {
             uuid,
@@ -220,6 +243,7 @@ impl Dirnode {
             buckets,
             entry_count,
             bucket_size: bucket_size.max(1),
+            scope,
         })
     }
 
@@ -404,6 +428,22 @@ mod tests {
         assert_eq!(decoded.buckets.len(), 1);
         assert!(decoded.buckets[0].bucket.is_none(), "buckets decode unloaded");
         assert_eq!(decoded.buckets[0].re.uuid, d.buckets[0].re.uuid);
+        assert_eq!(decoded.scope, None);
+    }
+
+    #[test]
+    fn scope_tail_roundtrips_and_stays_optional() {
+        let mut d = Dirnode::new(uuid(1), uuid(9), 128);
+        let unscoped_len = d.encode_main().len();
+        d.scope = Some(GroupId(5));
+        d.acl.grant_group(GroupId(5), Rights::RW);
+        let encoded = d.encode_main();
+        // +10: the one-group ACL switches to v2 (marker 4 + count 4 + tagged
+        // entry 6, replacing the bare 4-byte v1 count). +5: the scope tail.
+        assert_eq!(encoded.len(), unscoped_len + 10 + 5);
+        let decoded = Dirnode::decode_main(uuid(1), uuid(9), &encoded).unwrap();
+        assert_eq!(decoded.scope, Some(GroupId(5)));
+        assert_eq!(decoded.acl, d.acl);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use nexus_crypto::ed25519::VerifyingKey;
 
 use crate::acl::{UserId, OWNER_USER_ID};
 use crate::error::{NexusError, Result};
+use crate::groups::GroupSet;
 use crate::uuid::NexusUuid;
 use crate::wire::{Reader, Writer};
 
@@ -39,6 +40,9 @@ pub struct Supernode {
     /// UUID of the volume freshness manifest (§VI-C extension); NIL when
     /// the volume was created without volume-wide rollback protection.
     pub manifest_uuid: NexusUuid,
+    /// Group table: memberships and epoch-wrapped group keys
+    /// (see [`crate::groups`]).
+    pub groups: GroupSet,
 }
 
 impl Supernode {
@@ -60,6 +64,7 @@ impl Supernode {
             users: Vec::new(),
             next_user_id: 1,
             manifest_uuid: NexusUuid::NIL,
+            groups: GroupSet::default(),
         }
     }
 
@@ -134,6 +139,11 @@ impl Supernode {
         }
         w.u32(self.next_user_id);
         w.uuid(&self.manifest_uuid);
+        // The group table is an optional tail section: group-free volumes
+        // keep the pre-groups byte format (and stay readable by old code).
+        if !self.groups.is_default() {
+            self.groups.encode(&mut w);
+        }
         w.into_bytes()
     }
 
@@ -157,8 +167,9 @@ impl Supernode {
         }
         let next_user_id = r.u32()?;
         let manifest_uuid = r.uuid()?;
+        let groups = if r.is_empty() { GroupSet::default() } else { GroupSet::decode(&mut r)? };
         r.finish()?;
-        Ok(Supernode { uuid, root_dir, owner, users, next_user_id, manifest_uuid })
+        Ok(Supernode { uuid, root_dir, owner, users, next_user_id, manifest_uuid, groups })
     }
 }
 
@@ -252,5 +263,38 @@ mod tests {
     fn decode_rejects_truncation() {
         let bytes = sample().encode();
         assert!(Supernode::decode(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn group_free_volumes_keep_pre_groups_bytes() {
+        let sn = sample();
+        let bytes = sn.encode();
+        // Reconstruct the pre-groups encoding by hand: it must be identical.
+        let mut w = Writer::new();
+        w.uuid(&sn.uuid).uuid(&sn.root_dir);
+        encode_user(&mut w, &sn.owner);
+        w.u32(sn.users.len() as u32);
+        for user in &sn.users {
+            encode_user(&mut w, user);
+        }
+        w.u32(sn.next_user_id);
+        w.uuid(&sn.manifest_uuid);
+        assert_eq!(bytes, w.into_bytes());
+        // And old bytes decode to an empty group table.
+        assert!(Supernode::decode(&bytes).unwrap().groups.is_default());
+    }
+
+    #[test]
+    fn group_table_roundtrips() {
+        let mut sn = sample();
+        let master = [7u8; 32];
+        let gid = sn
+            .groups
+            .create("eng", &master, Default::default(), |d| d.fill(0xAB))
+            .unwrap();
+        sn.groups.by_name_mut("eng").unwrap().add_members(&[UserId(1), UserId(2)]);
+        let decoded = Supernode::decode(&sn.encode()).unwrap();
+        assert_eq!(decoded, sn);
+        assert!(decoded.groups.by_id(gid).unwrap().contains(UserId(2)));
     }
 }

@@ -73,6 +73,7 @@ pub(crate) fn auth_complete(
         .remove(&user_key.to_bytes())
         .ok_or_else(|| NexusError::Protocol("no outstanding challenge for this key".into()))?;
     let supernode_uuid = state.mounted()?.supernode_uuid;
+    let storage_version = io.version(&supernode_uuid).unwrap_or(0);
     let blob = io.get(&supernode_uuid)?;
 
     // Re-verify the supernode we hold matches what is on storage: the
@@ -90,6 +91,7 @@ pub(crate) fn auth_complete(
         }
         mounted.supernode = supernode;
         mounted.supernode_version = version;
+        mounted.supernode_storage_version = storage_version;
     }
     // On manifest-protected volumes, the supernode must also match the
     // volume freshness manifest (else a rolled-back user list could

@@ -333,9 +333,15 @@ impl NexusVolume {
         let signature =
             owner.sign(&SyncResponse::signed_portion(&quote, &nonce, &wrapped));
         let response = SyncResponse { quote, nonce, wrapped, signature };
-        self.backend()
+        if let Err(e) = self
+            .backend()
             .put(&sync_response_path(peer_name), &response.to_bytes())
-            .map_err(NexusError::from)?;
+        {
+            // Commit-or-unwind, mirroring the asynchronous exchange: no
+            // user record without a fetchable response.
+            self.unwind_added_user(peer_name);
+            return Err(NexusError::from(e));
+        }
         // The request is consumed.
         let _ = self.backend().delete(&sync_request_path(peer_name));
         Ok(())

@@ -12,10 +12,11 @@ use nexus_crypto::rng::SecureRandom;
 use nexus_sgx::{AttestationService, Enclave, EnclaveImage, Measurement, Platform};
 use nexus_storage::{IoStats, StorageBackend};
 
-use crate::acl::Rights;
+use crate::acl::{Principal, Rights, UserId};
 use crate::enclave::{EnclaveState, MetaIo, Mounted, NexusConfig, Session};
 use crate::error::{NexusError, Result};
 use crate::fsops::{self, DirRow, FileType, LookupInfo};
+use crate::groups::group_master_key;
 use crate::metadata::dirnode::Dirnode;
 use crate::protocol::{
     self, auth_challenge_message, ExchangeOffer, RootKeyGrant,
@@ -139,6 +140,7 @@ impl NexusVolume {
                 supernode_uuid,
                 supernode,
                 supernode_version: 0,
+                supernode_storage_version: 0,
                 session: None,
                 meta_cache: crate::cache::ShardedCache::with_shards(config.cache_shards),
                 version_table: Default::default(),
@@ -185,12 +187,16 @@ impl NexusVolume {
             state.config = Some(config);
             let (rootkey, uuid) = protocol::unseal_rootkey(env, &sealed_bytes)?;
             let io = MetaIo::new(env, b.as_ref());
+            // Probe before fetch: if a writer lands between the two, the
+            // recorded probe is merely stale and the next probe refetches.
+            let storage_version = io.version(&uuid).unwrap_or(0);
             let (supernode, version) = crate::enclave::fetch_supernode(&io, &rootkey, config.crypto_profile, uuid)?;
             state.mounted = Some(Mounted {
                 rootkey,
                 supernode_uuid: uuid,
                 supernode,
                 supernode_version: version,
+                supernode_storage_version: storage_version,
                 session: None,
                 meta_cache: crate::cache::ShardedCache::with_shards(config.cache_shards),
                 version_table: Default::default(),
@@ -227,7 +233,7 @@ impl NexusVolume {
         &self.ias
     }
 
-    fn ecall<R>(
+    pub(crate) fn ecall<R>(
         &self,
         f: impl FnOnce(&mut EnclaveState, &MetaIo<'_>) -> Result<R>,
     ) -> Result<R> {
@@ -437,15 +443,36 @@ impl NexusVolume {
         })
     }
 
-    /// Revokes a user from the volume entirely (owner only). A single
-    /// metadata update — no file re-encryption (paper §VII-E).
+    /// Revokes a user from the volume entirely (owner only). One supernode
+    /// write — no file re-encryption (paper §VII-E); groups the user
+    /// belonged to rotate to a fresh key epoch in that same write, and
+    /// their ACL entries are swept out of every reachable dirnode in one
+    /// batched commit.
     pub fn revoke_user(&self, name: &str) -> Result<()> {
         let name = name.to_string();
+        let cleanup = name.clone();
         self.ecall(move |state, io| {
             Self::require_owner(state)?;
-            state.mounted()?.supernode.remove_user(&name)?;
-            crate::enclave::store_supernode(state, io)
-        })
+            let user_id = state.mounted()?.supernode.remove_user(&name)?;
+            let profile = state.config().crypto_profile;
+            let m = state.mounted()?;
+            let master = group_master_key(&m.rootkey, &m.supernode_uuid);
+            m.supernode.groups.revoke_member_everywhere(user_id, &master, profile, |d| {
+                io.env.random_bytes(d)
+            });
+            crate::enclave::store_supernode(state, io)?;
+            fsops::sweep_acl_user(state, io, user_id)?;
+            Ok(())
+        })?;
+        // Untrusted-side hygiene: the wrapped-rootkey grant (and any
+        // in-flight exchange blobs) addressed to the revoked user are
+        // garbage now — and the grant in particular must not survive, or
+        // the revoked user's enclave could re-extract the rootkey.
+        let _ = self.backend.delete(&protocol::grant_path(&cleanup));
+        let _ = self.backend.delete(&protocol::offer_path(&cleanup));
+        let _ = self.backend.delete(&crate::sync_exchange::sync_request_path(&cleanup));
+        let _ = self.backend.delete(&crate::sync_exchange::sync_response_path(&cleanup));
+        Ok(())
     }
 
     /// Names of all users (owner first).
@@ -491,12 +518,18 @@ impl NexusVolume {
                 .id;
             let comps = fsops::split_path(&path)?;
             let (mut dir, _) = fsops::resolve_dir(state, io, &comps)?;
-            dir.acl.revoke(user_id);
+            if !dir.acl.revoke(user_id) {
+                return Err(NexusError::NotFound(format!(
+                    "user {user_name} holds no entry on the {path} ACL"
+                )));
+            }
             crate::enclave::store_dirnode(state, io, dir)
         })
     }
 
-    /// The ACL of the directory at `path`, as (user name, rights) pairs.
+    /// The ACL of the directory at `path`, as (principal name, rights)
+    /// pairs. Group principals render as `@name`; principals whose record
+    /// no longer exists render as `<stale:id>` / `<stale-group:id>`.
     pub fn acl_entries(&self, path: &str) -> Result<Vec<(String, Rights)>> {
         let path = path.to_string();
         self.ecall(move |state, io| {
@@ -506,15 +539,248 @@ impl NexusVolume {
             Ok(dir
                 .acl
                 .iter()
-                .map(|(id, rights)| {
-                    let name = m
-                        .supernode
-                        .user_by_id(*id)
-                        .map(|u| u.name.clone())
-                        .unwrap_or_else(|| format!("<stale:{}>", id.0));
+                .map(|(principal, rights)| {
+                    let name = match principal {
+                        Principal::User(id) => m
+                            .supernode
+                            .user_by_id(*id)
+                            .map(|u| u.name.clone())
+                            .unwrap_or_else(|| format!("<stale:{}>", id.0)),
+                        Principal::Group(gid) => m
+                            .supernode
+                            .groups
+                            .by_id(*gid)
+                            .map(|g| format!("@{}", g.name))
+                            .unwrap_or_else(|| format!("<stale-group:{}>", gid.0)),
+                    };
                     (name, *rights)
                 })
                 .collect())
+        })
+    }
+
+    // -- Group access control (beyond-paper: IBBE-SGX direction) -----------
+
+    /// Creates an empty group (owner only): one supernode write mints the
+    /// group record and its epoch-0 key.
+    pub fn create_group(&self, name: &str) -> Result<()> {
+        let name = name.to_string();
+        self.ecall(move |state, io| {
+            Self::require_owner(state)?;
+            let profile = state.config().crypto_profile;
+            let m = state.mounted()?;
+            let master = group_master_key(&m.rootkey, &m.supernode_uuid);
+            m.supernode
+                .groups
+                .create(&name, &master, profile, |d| io.env.random_bytes(d))?;
+            crate::enclave::store_supernode(state, io)
+        })
+    }
+
+    /// Names of all groups.
+    pub fn groups(&self) -> Result<Vec<String>> {
+        self.ecall(|state, _| {
+            let m = state.mounted()?;
+            Ok(m.supernode.groups.iter().map(|g| g.name.clone()).collect())
+        })
+    }
+
+    /// Member names of `group`. Ids spliced in without user records (bench
+    /// scaffolding) render as `<user:id>`.
+    pub fn group_members(&self, group: &str) -> Result<Vec<String>> {
+        let group = group.to_string();
+        self.ecall(move |state, _| {
+            let m = state.mounted()?;
+            let rec = m
+                .supernode
+                .groups
+                .by_name(&group)
+                .ok_or_else(|| NexusError::NotFound(format!("group {group}")))?;
+            Ok(rec
+                .members()
+                .iter()
+                .map(|id| {
+                    m.supernode
+                        .user_by_id(*id)
+                        .map(|u| u.name.clone())
+                        .unwrap_or_else(|| format!("<user:{}>", id.0))
+                })
+                .collect())
+        })
+    }
+
+    /// Current key epoch of `group` (bumped by every membership
+    /// revocation).
+    pub fn group_epoch(&self, group: &str) -> Result<u64> {
+        let group = group.to_string();
+        self.ecall(move |state, _| {
+            let m = state.mounted()?;
+            m.supernode
+                .groups
+                .by_name(&group)
+                .map(|g| g.epoch)
+                .ok_or_else(|| NexusError::NotFound(format!("group {group}")))
+        })
+    }
+
+    /// Number of retained epoch keys of `group` — the storage-amplification
+    /// probe used by the `micro_groups` benchmark.
+    pub fn group_key_count(&self, group: &str) -> Result<usize> {
+        let group = group.to_string();
+        self.ecall(move |state, _| {
+            let m = state.mounted()?;
+            m.supernode
+                .groups
+                .by_name(&group)
+                .map(|g| g.key_count())
+                .ok_or_else(|| NexusError::NotFound(format!("group {group}")))
+        })
+    }
+
+    /// Adds the named users to `group` (owner only, batched): one supernode
+    /// write regardless of batch size, returning how many were new. Grants
+    /// do **not** rotate the epoch — new members may read existing
+    /// ciphertext by design.
+    pub fn add_group_members(&self, group: &str, users: &[&str]) -> Result<usize> {
+        let group = group.to_string();
+        let users: Vec<String> = users.iter().map(|s| s.to_string()).collect();
+        self.ecall(move |state, io| {
+            Self::require_owner(state)?;
+            let m = state.mounted()?;
+            let ids = users
+                .iter()
+                .map(|u| {
+                    m.supernode
+                        .user_by_name(u)
+                        .map(|r| r.id)
+                        .ok_or_else(|| NexusError::NotFound(format!("user {u}")))
+                })
+                .collect::<Result<Vec<UserId>>>()?;
+            let rec = m
+                .supernode
+                .groups
+                .by_name_mut(&group)
+                .ok_or_else(|| NexusError::NotFound(format!("group {group}")))?;
+            let added = rec.add_members(&ids);
+            crate::enclave::store_supernode(state, io)?;
+            Ok(added)
+        })
+    }
+
+    /// Removes the named users from `group` (owner only, batched) and
+    /// rotates the group to a fresh key epoch — **one supernode write
+    /// total**, no data re-encryption. Objects re-wrap to the new epoch
+    /// lazily on their next write; see [`crate::groups`].
+    ///
+    /// # Errors
+    ///
+    /// [`NexusError::NotFound`] when a named user does not exist or none
+    /// of them were members (a no-op revocation writes nothing).
+    pub fn remove_group_members(&self, group: &str, users: &[&str]) -> Result<usize> {
+        let group = group.to_string();
+        let users: Vec<String> = users.iter().map(|s| s.to_string()).collect();
+        self.ecall(move |state, io| {
+            Self::require_owner(state)?;
+            let profile = state.config().crypto_profile;
+            let m = state.mounted()?;
+            let ids = users
+                .iter()
+                .map(|u| {
+                    m.supernode
+                        .user_by_name(u)
+                        .map(|r| r.id)
+                        .ok_or_else(|| NexusError::NotFound(format!("user {u}")))
+                })
+                .collect::<Result<Vec<UserId>>>()?;
+            let master = group_master_key(&m.rootkey, &m.supernode_uuid);
+            let rec = m
+                .supernode
+                .groups
+                .by_name_mut(&group)
+                .ok_or_else(|| NexusError::NotFound(format!("group {group}")))?;
+            let removed =
+                rec.revoke_members(&ids, &master, profile, |d| io.env.random_bytes(d))?;
+            crate::enclave::store_supernode(state, io)?;
+            Ok(removed)
+        })
+    }
+
+    /// Grants `rights` on the directory at `path` to every member of
+    /// `group` (owner only) — one ACL entry covers the whole membership.
+    /// The first group grant also *scopes* the directory: its metadata
+    /// (and everything created under it from now on) seals under the
+    /// group's epoch keys instead of the rootkey, which is what makes an
+    /// epoch bump cryptographically cut off revoked members. A directory
+    /// already scoped to another group keeps its scope — the ACL still
+    /// grants access (the enclave mediates either way).
+    pub fn set_group_acl(&self, path: &str, group: &str, rights: Rights) -> Result<()> {
+        let (path, group) = (path.to_string(), group.to_string());
+        self.ecall(move |state, io| {
+            Self::require_owner(state)?;
+            let gid = state
+                .mounted()?
+                .supernode
+                .groups
+                .by_name(&group)
+                .ok_or_else(|| NexusError::NotFound(format!("group {group}")))?
+                .id;
+            let comps = fsops::split_path(&path)?;
+            let (mut dir, _) = fsops::resolve_dir(state, io, &comps)?;
+            dir.acl.grant_group(gid, rights);
+            if dir.scope.is_none() {
+                dir.scope = Some(gid);
+            }
+            crate::enclave::store_dirnode(state, io, dir)
+        })
+    }
+
+    /// Removes `group`'s entry from the directory ACL at `path` (owner
+    /// only). The directory's key scope is left as-is: already-sealed
+    /// metadata stays on its epoch chain, and membership revocation (not
+    /// ACL removal) is what rotates keys.
+    ///
+    /// # Errors
+    ///
+    /// [`NexusError::NotFound`] when the group has no entry there.
+    pub fn revoke_group_acl(&self, path: &str, group: &str) -> Result<()> {
+        let (path, group) = (path.to_string(), group.to_string());
+        self.ecall(move |state, io| {
+            Self::require_owner(state)?;
+            let gid = state
+                .mounted()?
+                .supernode
+                .groups
+                .by_name(&group)
+                .ok_or_else(|| NexusError::NotFound(format!("group {group}")))?
+                .id;
+            let comps = fsops::split_path(&path)?;
+            let (mut dir, _) = fsops::resolve_dir(state, io, &comps)?;
+            if !dir.acl.revoke_group(gid) {
+                return Err(NexusError::NotFound(format!(
+                    "group {group} holds no entry on the {path} ACL"
+                )));
+            }
+            crate::enclave::store_dirnode(state, io, dir)
+        })
+    }
+
+    /// Bench/test scaffolding: splices raw member ids into `group` without
+    /// minting user records, so 10^6-member cells are measurable without
+    /// 10^6 Ed25519 key generations. One supernode write, production
+    /// sorted-set path.
+    #[doc(hidden)]
+    pub fn add_group_member_ids(&self, group: &str, ids: &[u32]) -> Result<usize> {
+        let group = group.to_string();
+        let ids = ids.to_vec();
+        self.ecall(move |state, io| {
+            Self::require_owner(state)?;
+            let added = state
+                .mounted()?
+                .supernode
+                .groups
+                .splice_member_ids(&group, &ids)?;
+            crate::enclave::store_supernode(state, io)?;
+            Ok(added)
         })
     }
 
@@ -549,9 +815,29 @@ impl NexusVolume {
         self.add_user(peer_name, *peer_key)?;
 
         let grant = RootKeyGrant::sign(eph_public, nonce, wrapped, &owner.signing);
-        self.backend
-            .put(&protocol::grant_path(peer_name), &grant.to_bytes())?;
+        if let Err(e) = self
+            .backend
+            .put(&protocol::grant_path(peer_name), &grant.to_bytes())
+        {
+            // Commit-or-unwind: the supernode already lists the peer, but
+            // without a fetchable grant they could never join — roll the
+            // membership back so the exchange is all-or-nothing.
+            self.unwind_added_user(peer_name);
+            return Err(e.into());
+        }
         Ok(())
+    }
+
+    /// Rolls back a just-added user record after a failed grant write.
+    /// Best-effort: if even the rollback write fails, the stale record is
+    /// caught later by `fsck` (the user has no rights and no grant, so
+    /// nothing is exposed in the meantime).
+    pub(crate) fn unwind_added_user(&self, name: &str) {
+        let name = name.to_string();
+        let _ = self.ecall(move |state, io| {
+            state.mounted()?.supernode.remove_user(&name)?;
+            crate::enclave::store_supernode(state, io)
+        });
     }
 }
 

@@ -7,7 +7,7 @@ use nexus_core::metadata::dirnode::{Bucket, DirEntry, EntryKind};
 use nexus_core::metadata::filenode::{ChunkContext, Filenode};
 use nexus_core::metadata::supernode::Supernode;
 use nexus_core::wire::{Reader, Writer};
-use nexus_core::NexusUuid;
+use nexus_core::{Acl, GroupId, NexusUuid, Principal, Rights, UserId};
 use nexus_testkit::{shrink, tk_assert, tk_assert_eq, Gen, Runner};
 
 const CASES: u32 = 96;
@@ -87,7 +87,7 @@ fn sealed_objects_roundtrip() {
         shrink::none,
         |(rootkey, uuid, parent, version, body, seed)| {
             let preamble =
-                Preamble { kind: ObjectKind::Filenode, uuid: *uuid, parent: *parent, version: *version };
+                Preamble { kind: ObjectKind::Filenode, uuid: *uuid, parent: *parent, version: *version, scope: None };
             let mut counter = *seed;
             let blob = seal_object(rootkey, &preamble, body, |dest| {
                 for b in dest.iter_mut() {
@@ -230,4 +230,62 @@ fn writer_reader_mixed_sequences() {
             Ok(())
         },
     );
+}
+
+fn gen_acl(g: &mut Gen) -> Acl {
+    let mut acl = Acl::new();
+    for _ in 0..g.usize_below(8) {
+        let principal = if g.usize_below(2) == 0 {
+            Principal::User(UserId(g.usize_below(32) as u32))
+        } else {
+            Principal::Group(GroupId(g.usize_below(16) as u32))
+        };
+        acl.grant_principal(principal, Rights(g.usize_below(4) as u8));
+    }
+    acl
+}
+
+#[test]
+fn acl_encode_decode_is_canonical() {
+    Runner::new("acl_encode_decode_is_canonical").cases(CASES).run(
+        gen_acl,
+        |_| Vec::new(),
+        |acl| {
+            let mut w = Writer::new();
+            acl.encode(&mut w);
+            let bytes = w.into_bytes();
+            let decoded = Acl::decode(&mut Reader::new(&bytes)).map_err(|e| e.to_string())?;
+            tk_assert_eq!(&decoded, acl);
+            // Canonical: re-encoding the decoded list reproduces the exact
+            // bytes, so encode∘decode is a fixpoint on the wire form.
+            let mut w2 = Writer::new();
+            decoded.encode(&mut w2);
+            tk_assert_eq!(w2.into_bytes(), bytes);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn acl_decode_rejects_duplicate_principals() {
+    // v1 layout: count, then (user id, rights) pairs.
+    let mut w = Writer::new();
+    w.u32(2);
+    w.u32(5).u8(1);
+    w.u32(5).u8(3);
+    assert!(Acl::decode(&mut Reader::new(&w.into_bytes())).is_err());
+
+    // v2 layout: marker, count, then (tag, id, rights) triples. The same
+    // id under *different* tags is two distinct principals and stays legal.
+    let mut w = Writer::new();
+    w.u32(0xFFFF_FFFF).u32(2);
+    w.u8(1).u32(5).u8(1);
+    w.u8(1).u32(5).u8(3);
+    assert!(Acl::decode(&mut Reader::new(&w.into_bytes())).is_err());
+
+    let mut w = Writer::new();
+    w.u32(0xFFFF_FFFF).u32(2);
+    w.u8(0).u32(5).u8(1);
+    w.u8(1).u32(5).u8(3);
+    assert!(Acl::decode(&mut Reader::new(&w.into_bytes())).is_ok());
 }

@@ -6,7 +6,7 @@
 #   scripts/bench.sh           full sizes, writes ./BENCH_datapath.json,
 #                              ./BENCH_rpcbatch.json, ./BENCH_mclient.json,
 #                              ./BENCH_ct.json, ./BENCH_logstore.json,
-#                              ./BENCH_scale.json
+#                              ./BENCH_scale.json, ./BENCH_groups.json
 #   scripts/bench.sh --smoke   reduced sizes for CI (scripts/verify.sh);
 #                              writes target/BENCH_*.smoke.json so the
 #                              checked-in artifacts are never clobbered
@@ -27,7 +27,9 @@
 # at its full 1k/10k/100k client ladder with >= 5x aggregate executor
 # throughput at 10k clients over the thread-per-client baseline — at
 # both the wire level (raw RPC clients) and the fs level (real mounted
-# NexusVolume enclave clients).
+# NexusVolume enclave clients), plus the group ladder: one-member
+# revocation from a 10^6-member group in exactly as many metadata
+# writes as from a 10^2-member one, with zero data objects touched.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -39,6 +41,7 @@ out_mc="BENCH_mclient.json"
 out_ct="BENCH_ct.json"
 out_ls="BENCH_logstore.json"
 out_sc="BENCH_scale.json"
+out_gr="BENCH_groups.json"
 flags=()
 if [ "${1:-}" = "--smoke" ]; then
     mode="smoke"
@@ -48,13 +51,14 @@ if [ "${1:-}" = "--smoke" ]; then
     out_ct="target/BENCH_ct.smoke.json"
     out_ls="target/BENCH_logstore.smoke.json"
     out_sc="target/BENCH_scale.smoke.json"
+    out_gr="target/BENCH_groups.smoke.json"
     flags+=(--smoke)
 fi
 
-echo "== cargo build --release (micro_datapath, micro_rpcbatch, micro_mclient, micro_ct, micro_logstore, micro_scale) =="
+echo "== cargo build --release (micro_datapath, micro_rpcbatch, micro_mclient, micro_ct, micro_logstore, micro_scale, micro_groups) =="
 cargo build --release --offline -p nexus-bench \
     --bin micro_datapath --bin micro_rpcbatch --bin micro_mclient --bin micro_ct \
-    --bin micro_logstore --bin micro_scale
+    --bin micro_logstore --bin micro_scale --bin micro_groups
 
 echo "== micro_datapath ($mode) =="
 mkdir -p "$(dirname "$out")"
@@ -352,6 +356,53 @@ print(f"ok: {path} valid; {max(doc['clients'])} wire clients / "
       f"{doc['os_threads']} OS threads, "
       f"x{sp['over_thread_baseline']:.1f} wire / "
       f"x{fsp['over_thread_baseline']:.1f} fs over the thread baselines")
+EOF
+
+echo "== micro_groups ($mode) =="
+mkdir -p "$(dirname "$out_gr")"
+./target/release/micro_groups "${flags[@]}" --json "$out_gr"
+
+echo "== validate $out_gr =="
+python3 - "$out_gr" "$mode" <<'EOF'
+import json, sys
+path, mode = sys.argv[1], sys.argv[2]
+with open(path) as f:
+    doc = json.load(f)
+for key in ("bench", "smoke", "o1_writes", "cells"):
+    assert key in doc, f"{path}: missing key {key!r}"
+cells = doc["cells"]
+assert cells, f"{path}: no cells"
+for cell in cells:
+    for key in ("members", "grant_us", "revoke_us", "revoke_writes",
+                "revoke_deletes", "revoke_bytes_written", "supernode_bytes",
+                "epoch_after", "key_count_after"):
+        assert key in cell, f"{path}: cell missing {key!r}"
+    # Correctness gates, BOTH modes (the group path is deterministic):
+    # a revocation is exactly one epoch bump, retaining the old key so
+    # remaining members keep reading pre-bump ciphertext.
+    assert cell["epoch_after"] == 1, f"{path}: expected epoch 1 after revoke"
+    assert cell["key_count_after"] == 2, f"{path}: old epoch key must be retained"
+    assert cell["revoke_deletes"] == 0, f"{path}: revocation must delete nothing"
+    # Metadata-only: every byte the revocation wrote is the supernode
+    # commit — no data object was re-encrypted at any group size (the
+    # per-user baseline in BENCH revocation rewrites the whole ACL'd
+    # directory's main object; groups touch only the one shared record).
+    assert cell["revoke_bytes_written"] == cell["supernode_bytes"], \
+        f"{path}: revocation wrote beyond the supernode at " \
+        f"{cell['members']} members"
+# The headline O(1) claim: identical write counts across the ladder.
+writes = {c["revoke_writes"] for c in cells}
+assert len(writes) == 1 and max(writes) <= 2, \
+    f"{path}: revocation writes must be O(1) across sizes, got {writes}"
+assert doc["o1_writes"] is True, f"{path}: emitter o1_writes flag unset"
+if mode == "full":
+    members = [c["members"] for c in cells]
+    assert members == [100, 10000, 1000000], \
+        f"full run must ladder 10^2/10^4/10^6 members, got {members}"
+big = cells[-1]
+print(f"ok: {path} valid; {big['members']}-member revocation = "
+      f"{big['revoke_writes']} write(s), {big['revoke_us']:.0f} us, "
+      f"epoch {big['epoch_after']} with {big['key_count_after']} keys retained")
 EOF
 
 echo "bench: OK"

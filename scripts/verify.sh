@@ -179,6 +179,37 @@ echo "== async fs differential =="
 cargo test -q -p nexus-workloads --offline --test exec_fs_differential > /dev/null
 echo "ok: async crypto-fs world is byte-identical to the serial oracle"
 
+echo "== revocation-path audit =="
+# The leaky-revocation bug class this PR fixed: a membership change that
+# rewrites metadata without rotating the epoch would silently keep the
+# revoked member's keys live. Two static gates keep the invariant:
+#  1. `bump_epoch` stays private to the groups module (no caller outside
+#     it can mint epochs, and the public surface can't skip one);
+#  2. the one revocation entry point actually calls it — grants never do.
+grep -qE '^\s*fn bump_epoch' crates/core/src/groups.rs \
+    || { echo "FAIL: GroupRecord::bump_epoch is missing or no longer private" >&2; exit 1; }
+awk '/fn revoke_members/,/^    }$/' crates/core/src/groups.rs | grep -q 'bump_epoch(' \
+    || { echo "FAIL: revoke_members no longer bumps the group epoch" >&2; exit 1; }
+if awk '/fn add_members/,/^    }$/' crates/core/src/groups.rs | grep -q 'bump_epoch('; then
+    echo "FAIL: add_members must not bump the epoch (grants are free)" >&2; exit 1
+fi
+if grep -q 'bump_epoch' crates/core/src/volume.rs crates/core/src/fsops.rs \
+        crates/core/src/enclave.rs 2>/dev/null; then
+    echo "FAIL: epoch bumps must stay inside crates/core/src/groups.rs" >&2; exit 1
+fi
+echo "ok: epoch bumps are minted only by groups::revoke_members"
+
+echo "== group + revocation suites =="
+# By target name, like the suites above: the differential suite proves a
+# revoked member decrypts nothing post-bump while a remaining member
+# reads pre- and post-epoch data byte-identically, at O(1) write cost;
+# the regression suite covers the four leaky-revocation paths (surviving
+# grant blobs, silent no-op revokes, stale ACL entries, half-committed
+# grants).
+cargo test -q -p nexus-core --offline --test groups_differential > /dev/null
+cargo test -q -p nexus-core --offline --test revocation_paths > /dev/null
+echo "ok: epoch-key revocation differential + leaky-path regressions pass"
+
 echo "== bench smoke (JSON emitter) =="
 scripts/bench.sh --smoke
 
